@@ -1,0 +1,55 @@
+"""ABL-1 — why "share two classification items"?
+
+Sweeps the Figure 3 edge threshold and compares the paper's absolute-
+count rule against a Jaccard rule, showing threshold 2 is the knee that
+keeps exactly the meaningful cluster.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    ancestor_expansion_effect,
+    count_vs_jaccard,
+    threshold_sweep,
+)
+
+
+def test_threshold_sweep(benchmark, repo, nifty_ids, peachy_ids):
+    sweep = benchmark(threshold_sweep, repo, nifty_ids, peachy_ids)
+
+    print("\nABL-1 — shared-item threshold sweep")
+    print("  thr  edges  iso_nifty  iso_peachy  comps  largest")
+    for p in sweep:
+        print(
+            f"  {p.threshold:3d} {p.edges:6d} {p.isolated_left:9d} "
+            f"{p.isolated_right:11d} {p.components:5d} {p.largest_component:8d}"
+        )
+
+    by_thr = {p.threshold: p for p in sweep}
+    assert by_thr[1].edges > 2 * by_thr[2].edges   # 1 floods the graph
+    assert by_thr[2].edges == 24                   # the paper's figure
+    assert by_thr[3].edges == 0                    # 3 dissolves the cluster
+
+
+def test_count_vs_jaccard(benchmark, repo, nifty_ids, peachy_ids):
+    comparison = benchmark(count_vs_jaccard, repo, nifty_ids, peachy_ids)
+    print(
+        f"\nABL-1 — count rule {comparison.count_edges} edges vs "
+        f"jaccard rule {comparison.jaccard_edges} edges; "
+        f"agreement {comparison.agreement:.2f}"
+    )
+    assert comparison.count_edges == 24
+    assert comparison.agreement >= 0.5
+
+
+def test_ancestor_expansion(benchmark, repo, nifty_ids, peachy_ids):
+    effect = benchmark(
+        ancestor_expansion_effect, repo, nifty_ids, peachy_ids, threshold=2
+    )
+    print(
+        f"\nABL-1 — direct-selection edges {effect['base_edges']} vs "
+        f"ancestor-expanded {effect['expanded_edges']}"
+    )
+    # Expanding to shared units/areas inflates similarity — evidence for
+    # the paper's direct-selection rule.
+    assert effect["expanded_edges"] > effect["base_edges"]

@@ -1,0 +1,72 @@
+"""TAB-S1 — the corpus/ontology statistics asserted in the paper text.
+
+No numbered table exists in the paper, but Sections II–IV scatter hard
+numbers; this bench gathers them into one reproduced table and times the
+full seeding of the prototype.
+"""
+
+from __future__ import annotations
+
+from repro.core.material import MaterialKind
+from repro.core.repository import Repository
+from repro.corpus import MANUAL_CLASSIFICATION_MINUTES
+from repro.corpus.seed import seed_all
+from repro.ontologies import load
+
+
+def test_seed_prototype(benchmark):
+    """Time the end-to-end seeding (ontologies + 97 classified materials)."""
+    built = benchmark(seed_all)
+    assert built.material_count() == 97
+
+
+def test_reported_statistics(repo):
+    cs13 = repo.ontology("CS13")
+    pdc12 = repo.ontology("PDC12")
+    materials = repo.materials("itcs3145")
+    decks = sum(1 for m in materials if m.kind is MaterialKind.LECTURE_SLIDES)
+    assignments = sum(1 for m in materials if m.kind is MaterialKind.ASSIGNMENT)
+
+    rows = [
+        ("CS13 classification entries (paper: ~3000)", len(cs13)),
+        ("CS13 knowledge areas", len(cs13.areas())),
+        ("PDC12 areas (paper: 4)", len(pdc12.areas())),
+        ("Nifty assignments (paper: ~65)", repo.material_count("nifty")),
+        ("Peachy assignments (paper: 11)", repo.material_count("peachy")),
+        ("ITCS 3145 slide decks (paper: 12)", decks),
+        ("ITCS 3145 assignments (paper: 9)", assignments),
+        ("classification links", repo.stats()["classification_links"]),
+        ("manual minutes/item (paper: 15-25)", MANUAL_CLASSIFICATION_MINUTES),
+    ]
+    print("\nTAB-S1 — reproduced statistics")
+    for label, value in rows:
+        print(f"  {label:45s} {value}")
+
+    assert 2700 <= len(cs13) <= 3400
+    assert len(cs13.areas()) == 18
+    assert len(pdc12.areas()) == 4
+    assert repo.material_count("nifty") == 65
+    assert repo.material_count("peachy") == 11
+    assert (decks, assignments) == (12, 9)
+
+
+def test_ontology_build_cost(benchmark):
+    """How long loading the two curricula takes from scratch (the cost a
+    fresh deployment pays once)."""
+
+    def build():
+        repo = Repository()
+        from repro.ontologies import cs2013, pdc12
+        repo.add_ontology(cs2013.build())
+        repo.add_ontology(pdc12.build())
+        return repo
+
+    built = benchmark(build)
+    assert len(built.db.table("ontology_entries")) > 3000
+
+
+def test_ontology_phrase_search(benchmark):
+    """The Figure 1b interaction: phrase search inside ~3000 entries."""
+    cs13 = load("CS13")
+    hits = benchmark(cs13.search, "parallel")
+    assert len(hits) >= 10

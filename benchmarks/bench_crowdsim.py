@@ -1,0 +1,61 @@
+"""EXT-2 — the crowdsourced-curation scaling study.
+
+Quantifies the conclusion's organizational claims: how many editors a
+CAR-CS deployment needs at increasing submission loads, and how much the
+classification auto-suggest (ABL-2) shrinks that pool by cutting the
+paper's 15-25 minute review down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.crowdsim import (
+    CurationConfig,
+    editors_needed,
+    simulate,
+    sweep_editor_pool,
+)
+
+LOADS = (20, 50, 100, 200)
+
+
+def test_editor_sizing_curve():
+    print("\nEXT-2 — editors needed to keep the queue stable")
+    print("  load/day  plain  with auto-suggest")
+    rows = []
+    for load in LOADS:
+        plain = editors_needed(load, horizon_days=15)
+        assisted = editors_needed(load, autosuggest=True, horizon_days=15)
+        rows.append((load, plain, assisted))
+        print(f"  {load:8d} {plain:6d} {assisted:18d}")
+    # Pool grows with load; auto-suggest never needs more editors and
+    # saves at least one editor at the highest load.
+    plains = [p for _, p, _ in rows]
+    assert plains == sorted(plains)
+    assert all(a <= p for _, p, a in rows)
+    assert rows[-1][2] < rows[-1][1]
+
+
+def test_pool_size_sweep(benchmark):
+    results = benchmark(
+        sweep_editor_pool,
+        pool_sizes=(1, 2, 3, 5, 8),
+        submissions_per_day=50,
+        horizon_days=15,
+    )
+    print("\nEXT-2 — 50 submissions/day, 15 working days")
+    print("  editors  sojourn(min)  backlog  utilization")
+    for r in results:
+        print(
+            f"  {r.config.n_editors:7d} {r.mean_sojourn_minutes:12.1f} "
+            f"{r.backlog_at_end:8d} {r.editor_utilization:11.2f}"
+        )
+    sojourns = [r.mean_sojourn_minutes for r in results]
+    assert sojourns == sorted(sojourns, reverse=True)
+
+
+def test_single_run_cost(benchmark):
+    """One 30-day simulation (the unit of the sizing search)."""
+    result = benchmark(simulate, CurationConfig(submissions_per_day=50))
+    assert result.published > 0

@@ -1,0 +1,59 @@
+"""EXT — extension features: edition migration, course planning, snapshots.
+
+Not paper figures, but the operational paths a production CAR-CS needs
+(DESIGN.md ABL/extension rows): migrating all classifications across a
+curriculum revision, greedy course planning over core topics, and
+snapshot round-trip cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import core_targets, plan_course
+from repro.core.migrate import migrate_classifications
+from repro.core.ontology import Tier
+from repro.core.persist import export_repository, import_repository
+from repro.ontologies import load, pdc2019
+
+
+def test_edition_migration(benchmark, repo):
+    """Full PDC12 -> PDC19 migration of a repository copy."""
+
+    def migrate():
+        copy = import_repository(export_repository(repo))
+        return migrate_classifications(
+            copy, "PDC12", load("PDC19"), pdc2019.translate_key
+        )
+
+    report = benchmark.pedantic(migrate, rounds=3, iterations=1)
+    print(f"\nEXT — migration: {report.summary()}")
+    assert not report.dropped_links
+    assert report.migrated_links > 100
+
+
+def test_course_planning(benchmark, repo):
+    pdc12 = repo.ontology("PDC12")
+    targets = core_targets(pdc12, [Tier.CORE])
+    plan = benchmark(plan_course, repo, "PDC12", targets)
+    print(
+        f"\nEXT — course plan: {len(plan.picks)} materials cover "
+        f"{plan.coverage_ratio:.0%} of {len(targets)} core topics; "
+        f"{len(plan.uncovered)} uncoverable with current corpus"
+    )
+    assert 0.5 < plan.coverage_ratio < 1.0  # gaps exist by design (IV-C)
+
+
+def test_snapshot_roundtrip(benchmark, repo):
+    def roundtrip():
+        return import_repository(export_repository(repo))
+
+    restored = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+    assert restored.material_count() >= 97
+
+
+def test_ontology_diff(benchmark):
+    from repro.ontologies.diff import diff_ontologies
+
+    diff = benchmark(diff_ontologies, load("PDC12"), load("PDC19"))
+    assert diff.summary()["moved"] == 3

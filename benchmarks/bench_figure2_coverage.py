@@ -1,0 +1,73 @@
+"""FIG2 — regenerate the six Figure 2 coverage panels.
+
+"The three dataset classified against the PDC12 and CS13 ontologies ...
+The color intensity of the node is proportional to the number of
+material that matches that entry of the ontology."  Each bench builds
+one panel's pruned coverage tree end to end (counts + rollup + tree),
+prints the area-level series, asserts the paper's ranking shape, and
+times the computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coverage import compute_coverage
+from repro.viz import tree_render
+
+PANELS = [
+    ("a", "nifty", "CS13"),
+    ("b", "peachy", "CS13"),
+    ("c", "itcs3145", "CS13"),
+    ("d", "nifty", "PDC12"),
+    ("e", "peachy", "PDC12"),
+    ("f", "itcs3145", "PDC12"),
+]
+
+# (collection, ontology) -> expected non-zero area ranking prefix
+EXPECTED_PREFIX = {
+    ("nifty", "CS13"): ["SDF", "PL", "AL", "CN"],
+    ("peachy", "CS13"): ["PD", "SF", "AR"],
+    ("itcs3145", "CS13"): ["PD", "AL", "CN", "SDF"],
+    ("nifty", "PDC12"): [],
+    ("peachy", "PDC12"): ["PROG"],
+    ("itcs3145", "PDC12"): ["PROG", "ALGO"],
+}
+
+
+def _panel(repo, collection, ontology):
+    coverage = compute_coverage(repo, ontology, collection=collection)
+    tree = coverage.tree(repo.ontology(ontology))
+    return coverage, tree
+
+
+@pytest.mark.parametrize("panel,collection,ontology", PANELS)
+def test_figure2_panel(benchmark, repo, panel, collection, ontology):
+    coverage, tree = benchmark(_panel, repo, collection, ontology)
+
+    onto = repo.ontology(ontology)
+    ranking = [(a.code, n) for a, n in coverage.area_ranking(onto) if n > 0]
+    print(f"\nFigure 2{panel} — {collection} / {ontology}: {ranking}")
+
+    prefix = EXPECTED_PREFIX[(collection, ontology)]
+    assert [code for code, _ in ranking[: len(prefix)]] == prefix
+
+    # Pruning invariant from the caption: no zero-count nodes in the tree
+    # and the panel renders to valid SVG.
+    for node in tree_render.iter_nodes(tree):
+        if node.depth >= 1:
+            assert node.count > 0
+    svg = tree_render.render_svg(tree)
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+
+
+def test_figure2_all_panels_consistency(repo):
+    """Cross-panel claims: Nifty covers zero PDC entries anywhere, and
+    every panel's root count equals the collection size with at least one
+    classification."""
+    nifty_pdc, _ = _panel(repo, "nifty", "PDC12")
+    assert nifty_pdc.rollup_counts == {}
+
+    for _, collection, ontology in PANELS:
+        coverage, tree = _panel(repo, collection, ontology)
+        assert tree.count == len(coverage.covered_material_ids)

@@ -1,0 +1,60 @@
+"""FIG3 — regenerate the Nifty↔Peachy similarity graph.
+
+"A Nifty assignment and a Peachy assignment are said to be similar if
+they share two classification items ... The graph shows that most
+assignments have no similar assignment in the other set."  Benchmarks
+the full graph build (incidence matrices + shared-item multiply +
+thresholding) and the force-directed layout behind the figure.
+"""
+
+from __future__ import annotations
+
+from repro.core.similarity import (
+    clusters,
+    isolated_materials,
+    similarity_graph,
+)
+from repro.corpus.nifty import CLUSTER_TITLES as NIFTY_CLUSTER
+from repro.corpus.peachy import CLUSTER_TITLES as PEACHY_CLUSTER
+from repro.viz.graph_render import fruchterman_reingold, render_svg
+
+
+def _build(repo, nifty_ids, peachy_ids):
+    return similarity_graph(
+        repo, nifty_ids, peachy_ids, threshold=2,
+        left_group="nifty", right_group="peachy",
+    )
+
+
+def test_figure3_graph(benchmark, repo, nifty_ids, peachy_ids):
+    graph = benchmark(_build, repo, nifty_ids, peachy_ids)
+
+    iso_nifty = isolated_materials(graph, "nifty")
+    iso_peachy = isolated_materials(graph, "peachy")
+    print(
+        f"\nFigure 3 — edges: {graph.number_of_edges()}, "
+        f"isolated nifty {len(iso_nifty)}/65, "
+        f"isolated peachy {len(iso_peachy)}/11"
+    )
+
+    # Paper shape: most assignments isolated; one cluster with the named
+    # members; every edge justified by Arrays + control structures.
+    assert len(iso_nifty) == 59 and len(iso_peachy) == 7
+    comps = clusters(graph)
+    assert len(comps) == 1
+    titles = {repo.get_material(m).title for m in comps[0]}
+    assert titles == set(NIFTY_CLUSTER) | set(PEACHY_CLUSTER)
+    cs13 = repo.ontology("CS13")
+    for _, _, data in graph.edges(data=True):
+        labels = {cs13.node(k).label for k in data["shared_keys"]}
+        assert labels == {
+            "Arrays", "Conditional and iterative control structures"
+        }
+
+
+def test_figure3_layout(benchmark, repo, nifty_ids, peachy_ids):
+    graph = _build(repo, nifty_ids, peachy_ids)
+    pos = benchmark(fruchterman_reingold, graph, iterations=100)
+    assert len(pos) == graph.number_of_nodes()
+    svg = render_svg(graph, layout=pos)
+    assert svg.count("<circle") == 76

@@ -1,0 +1,94 @@
+"""SCALE — how the analyses behave as the crowdsourced corpus grows.
+
+The paper's curation model implies corpora well beyond the 97 seeded
+materials.  Synthetic corpora of growing size drive the coverage,
+similarity and search kernels; the benches document the scaling shape
+(coverage ~linear in links; similarity ~quadratic in materials via one
+BLAS multiply; search index build linear).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coverage import compute_coverage
+from repro.core.repository import Repository
+from repro.core.search import SearchEngine
+from repro.core.similarity import incidence, shared_item_matrix
+from repro.corpus.generator import GeneratorConfig, seed_synthetic
+from repro.corpus.seed import seed_ontologies
+
+SIZES = (100, 400, 1600)
+
+
+@pytest.fixture(scope="module")
+def synthetic_repos():
+    repos = {}
+    for size in SIZES:
+        repo = Repository()
+        seed_ontologies(repo)
+        ids = seed_synthetic(
+            repo, "CS13",
+            GeneratorConfig(n_materials=size, collection="bulk"),
+        )
+        repos[size] = (repo, ids)
+    return repos
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_coverage_scaling(benchmark, synthetic_repos, size):
+    repo, _ = synthetic_repos[size]
+    coverage = benchmark(compute_coverage, repo, "CS13", collection="bulk")
+    assert coverage.n_materials == size
+    print(f"\nSCALE coverage n={size}: "
+          f"{len(coverage.rollup_counts)} entries touched")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_similarity_kernel_scaling(benchmark, synthetic_repos, size):
+    repo, ids = synthetic_repos[size]
+    space = incidence(repo, ids)
+
+    shared = benchmark(shared_item_matrix, space)
+    assert shared.shape == (size, size)
+
+
+@pytest.mark.parametrize("size", SIZES[:2])
+def test_search_index_scaling(benchmark, synthetic_repos, size):
+    repo, _ = synthetic_repos[size]
+    engine = SearchEngine(repo)
+
+    def build_and_query():
+        engine.refresh()
+        return engine.search("parallel graph traversal", limit=10)
+
+    hits = benchmark(build_and_query)
+    assert isinstance(hits, list)
+
+
+def test_insert_throughput(benchmark):
+    """Classified-material insert rate (the crowdsourcing write path)."""
+    repo = Repository()
+    seed_ontologies(repo)
+    from repro.corpus.generator import generate_specs
+
+    pairs = generate_specs(
+        repo.ontology("CS13"), GeneratorConfig(n_materials=50)
+    )
+
+    counter = [0]
+
+    def insert_batch():
+        collection = f"batch{counter[0]}"
+        counter[0] += 1
+        for material, cs in pairs:
+            from dataclasses import replace
+            repo.add_material(
+                replace(material,
+                        title=f"{material.title} {collection}",
+                        collection=collection),
+                cs,
+            )
+
+    benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+    assert repo.material_count() >= 150

@@ -1,0 +1,68 @@
+"""UC-B — the Section IV-B course-coverage narrative for ITCS 3145.
+
+Regenerates every ranking statement of IV-B as a table and times the
+full class-report pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.coverage import compute_coverage
+from repro.core.report import class_report, coverage_summary_table
+
+
+def test_itcs_class_report(benchmark, repo):
+    report = benchmark(class_report, repo, "itcs3145", "PDC12")
+
+    print("\nUC-B — ITCS 3145 vs PDC12")
+    for area in report.ranked_areas + report.lightly_touched:
+        print(f"  {area.label:32s} {area.count:3d}")
+
+    ordered = [a.label for a in report.ranked_areas]
+    assert ordered[0] == "Programming"
+    assert ordered[1] == "Algorithm"
+    light = {a.label for a in report.lightly_touched}
+    assert {"Architecture", "Cross Cutting and Advanced"} <= light
+    assert any("Tools" in hole for hole in report.core_holes)
+
+
+def test_itcs_cs13_report(repo):
+    report = class_report(repo, "itcs3145", "CS13")
+    print("\nUC-B — ITCS 3145 vs CS13")
+    for area in report.ranked_areas:
+        print(f"  {area.label:44s} {area.count:3d}")
+    codes = [a.code for a in report.ranked_areas + report.lightly_touched]
+    assert codes[0] == "PD" and codes[1] == "AL"
+    untouched = set(report.untouched_areas)
+    for label in (
+        "Human-Computer Interaction",
+        "Social Issues and Professional Practice",
+        "Information Assurance and Security",
+        "Platform-Based Development",
+        "Graphics and Visualization",
+        "Intelligent Systems",
+    ):
+        assert label in untouched
+
+
+def test_summary_table(benchmark, repo):
+    rows = benchmark(
+        coverage_summary_table, repo, ["nifty", "peachy", "itcs3145"], "CS13"
+    )
+    print("\nUC-B — CS13 coverage summary")
+    for row in rows:
+        print(
+            f"  {row['collection']:10s} materials={row['materials']:3d} "
+            f"entries={row['entries_touched']:4d} "
+            f"areas={row['areas_covered']:2d} top={row['top_area']}"
+        )
+    assert rows[0]["top_area"] == "Software Development Fundamentals"
+    assert rows[1]["top_area"] == "Parallel and Distributed Computing"
+    assert rows[2]["top_area"] == "Parallel and Distributed Computing"
+
+
+def test_coverage_computation_cost(benchmark, repo):
+    """The raw coverage kernel over the largest (CS13) ontology."""
+    # ">=": other benches (bench_api) may have added materials to the
+    # session-scoped repository before this one runs.
+    coverage = benchmark(compute_coverage, repo, "CS13")
+    assert coverage.n_materials >= 97

@@ -1,0 +1,81 @@
+"""UC-C — the Section IV-C gap-identification narrative.
+
+Regenerates the Nifty-vs-Peachy comparison: area rankings, the OOP
+mismatch, the FPC-vs-FDS observation, and the alignment score; times
+the full community comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compare_communities
+from repro.core.coverage import compute_coverage
+from repro.ontologies.cs2013 import unit_key
+
+
+def test_community_comparison(benchmark, repo):
+    comparison = benchmark(compare_communities, repo, "nifty", "peachy", "CS13")
+
+    print("\nUC-C — Nifty vs Peachy over CS13 "
+          f"(alignment {comparison.alignment:.3f})")
+    for area in comparison.per_area:
+        if area.reference_count or area.candidate_count:
+            print(
+                f"  {area.code:5s} nifty={area.reference_count:3d} "
+                f"peachy={area.candidate_count:3d} both={area.overlap_entries}"
+            )
+
+    assert 0.0 < comparison.alignment < 0.5
+    by_code = {a.code: a for a in comparison.per_area}
+    # "Clearly Nifty Assignments do not cover any PDC topics while Peachy
+    # Assignments do."
+    assert by_code["PD"].reference_count == 0
+    assert by_code["PD"].candidate_count == 11
+    # OOP in Nifty only.
+    assert by_code["PL"].candidate_count == 0
+
+
+def test_nifty_ranking_claims(repo):
+    cov = compute_coverage(repo, "CS13", collection="nifty")
+    ranking = [
+        (a.code, n) for a, n in cov.area_ranking(repo.ontology("CS13"))
+    ]
+    print("\nUC-C — Nifty CS13 ranking:", ranking[:6])
+    assert [c for c, _ in ranking[:4]] == ["SDF", "PL", "AL", "CN"]
+
+
+def test_peachy_ranking_claims(repo):
+    cov = compute_coverage(repo, "CS13", collection="peachy")
+    ranking = [
+        (a.code, n) for a, n in cov.area_ranking(repo.ontology("CS13")) if n
+    ]
+    print("\nUC-C — Peachy CS13 ranking:", ranking)
+    assert ranking[0][0] == "PD"
+    assert {ranking[1][0], ranking[2][0]} == {"SF", "AR"}
+    counts = dict(ranking)
+    assert counts["SDF"] <= counts["AR"]
+
+
+def test_peachy_sdf_structure(repo):
+    """Peachy SDF = Fundamental Programming Concepts (variables, loops)
+    plus only 'Arrays' from Fundamental Data Structures."""
+    cov = compute_coverage(repo, "CS13", collection="peachy")
+    fpc = unit_key("SDF", "Fundamental Programming Concepts")
+    fds = unit_key("SDF", "Fundamental Data Structures")
+    fpc_topics = [k for k in cov.direct_counts if k.startswith(fpc + "/")]
+    fds_topics = [k for k in cov.direct_counts if k.startswith(fds + "/")]
+    print(f"\nUC-C — Peachy SDF: {len(fpc_topics)} FPC topics, "
+          f"{len(fds_topics)} FDS topics")
+    assert len(fds_topics) == 1
+    assert len(fpc_topics) >= 2
+
+
+def test_development_targets(benchmark, repo):
+    comparison = compare_communities(repo, "nifty", "peachy", "CS13")
+    targets = benchmark(
+        comparison.gap_report.top_development_targets, 10
+    )
+    print("\nUC-C — what the PDC community should build next:")
+    for entry in targets:
+        print(f"  ({entry.reference_count:2d} nifty uses) {entry.path}")
+    assert targets
+    assert targets[0].reference_count >= targets[-1].reference_count

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Use case IV-D: finding PDC reference material for an early course.
+
+An instructor teaching with Nifty-style assignments asks: which materials
+cover the same topics as mine *but also* cover PDC topics?  ("replace a
+lecture on looping construct with one that ... also includes discussion
+of parallel loops.")  This walks the Figure 3 machinery from one
+instructor's material outward.
+
+Run:  python examples/find_pdc_replacement.py
+"""
+
+from repro import seeded_repository, similarity_graph
+from repro.corpus import collection_ids
+
+
+def main() -> None:
+    repo = seeded_repository()
+    nifty_ids = collection_ids(repo, "nifty")
+    peachy_ids = collection_ids(repo, "peachy")
+
+    graph = similarity_graph(
+        repo, nifty_ids, peachy_ids, threshold=2,
+        left_group="nifty", right_group="peachy",
+    )
+    cs13 = repo.ontology("CS13")
+
+    print("For each Nifty assignment with a PDC counterpart (Figure 3):\n")
+    for nid in nifty_ids:
+        neighbors = list(graph.neighbors(nid))
+        if not neighbors:
+            continue
+        mine = repo.get_material(nid)
+        print(f"{mine.title}  (what I teach today)")
+        for pid in neighbors:
+            peachy = repo.get_material(pid)
+            shared = graph.get_edge_data(nid, pid)["shared_keys"]
+            labels = ", ".join(cs13.node(k).label for k in shared)
+            extra_pdc = sorted(
+                repo.classification_of(pid).keys("PDC12")
+            )[:3]
+            print(f"  -> {peachy.title}")
+            print(f"     shares: {labels}")
+            print(f"     adds PDC topics such as:")
+            pdc12 = repo.ontology("PDC12")
+            for key in extra_pdc:
+                print(f"       {pdc12.path_string(key)}")
+        print()
+
+    isolated = [n for n in peachy_ids if graph.degree(n) == 0]
+    print("Peachy assignments with no early-CS anchor (systems-oriented):")
+    for pid in isolated:
+        print(f"  - {repo.get_material(pid).title}")
+
+
+if __name__ == "__main__":
+    main()

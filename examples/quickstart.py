@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: seed the CAR-CS repository and run every headline analysis.
+
+Reproduces, in one script, the paper's seeded prototype state (Section
+III-B) and a one-screen summary of Figures 2 and 3.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    compute_coverage,
+    isolated_materials,
+    seeded_repository,
+    similarity_graph,
+)
+from repro.corpus import collection_ids
+
+
+def main() -> None:
+    print("Seeding CAR-CS with both ontologies and all three corpora...")
+    repo = seeded_repository()
+
+    cs13 = repo.ontology("CS13")
+    pdc12 = repo.ontology("PDC12")
+    print(f"  CS13  : {len(cs13):5d} entries, {len(cs13.areas())} knowledge areas")
+    print(f"  PDC12 : {len(pdc12):5d} entries, {len(pdc12.areas())} areas")
+    print(f"  materials: {repo.material_count()} "
+          f"({repo.material_count('nifty')} Nifty, "
+          f"{repo.material_count('peachy')} Peachy, "
+          f"{repo.material_count('itcs3145')} ITCS 3145)")
+
+    print("\nCS13 area coverage per corpus (Figure 2 top rows):")
+    header = f"{'area':42s} {'nifty':>6s} {'peachy':>7s} {'itcs':>6s}"
+    print("  " + header)
+    reports = {
+        name: compute_coverage(repo, "CS13", collection=name)
+        for name in ("nifty", "peachy", "itcs3145")
+    }
+    for area in cs13.areas():
+        row = [reports[n].count(area.key) for n in ("nifty", "peachy", "itcs3145")]
+        if any(row):
+            print(f"  {area.label:42s} {row[0]:6d} {row[1]:7d} {row[2]:6d}")
+
+    print("\nFigure 3: Nifty-Peachy similarity graph (>= 2 shared items)")
+    graph = similarity_graph(
+        repo,
+        collection_ids(repo, "nifty"),
+        collection_ids(repo, "peachy"),
+        threshold=2,
+        left_group="nifty",
+        right_group="peachy",
+    )
+    print(f"  edges: {graph.number_of_edges()}")
+    print(f"  isolated Nifty : {len(isolated_materials(graph, 'nifty'))} / 65")
+    print(f"  isolated Peachy: {len(isolated_materials(graph, 'peachy'))} / 11")
+    connected = [
+        repo.get_material(n).title
+        for n in graph.nodes()
+        if graph.degree(n) > 0
+    ]
+    print("  the cluster:", ", ".join(sorted(connected)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper as SVG + text artifacts.
+
+Writes to artifacts/:
+  figure2_{nifty,peachy,itcs3145}_{cs13,pdc12}.svg/.txt   (six panels)
+  figure3_similarity.svg/.txt
+
+Run:  python examples/render_figures.py
+"""
+
+from pathlib import Path
+
+from repro import compute_coverage, seeded_repository, similarity_graph
+from repro.corpus import collection_ids
+from repro.viz import graph_render, tree_render
+
+ARTIFACTS = Path(__file__).resolve().parent.parent / "artifacts"
+
+
+def main() -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    repo = seeded_repository()
+
+    panel = ord("a")
+    for onto_name in ("CS13", "PDC12"):
+        for collection in ("nifty", "peachy", "itcs3145"):
+            coverage = compute_coverage(repo, onto_name, collection=collection)
+            tree = coverage.tree(repo.ontology(onto_name))
+            title = f"Figure 2{chr(panel)}: {collection} / {onto_name}"
+            stem = f"figure2_{collection}_{onto_name.lower()}"
+            (ARTIFACTS / f"{stem}.svg").write_text(
+                tree_render.render_svg(tree, title=title)
+            )
+            (ARTIFACTS / f"{stem}.txt").write_text(
+                tree_render.render_text(tree, max_depth=2) + "\n"
+            )
+            print(f"wrote artifacts/{stem}.svg (+.txt)  [{title}]")
+            panel += 1
+
+    graph = similarity_graph(
+        repo,
+        collection_ids(repo, "nifty"),
+        collection_ids(repo, "peachy"),
+        threshold=2,
+        left_group="nifty",
+        right_group="peachy",
+    )
+    (ARTIFACTS / "figure3_similarity.svg").write_text(
+        graph_render.render_svg(
+            graph, title="Figure 3: Nifty (blue) vs Peachy (red) similarity"
+        )
+    )
+    (ARTIFACTS / "figure3_similarity.txt").write_text(
+        graph_render.render_text(graph) + "\n"
+    )
+    print("wrote artifacts/figure3_similarity.svg (+.txt)")
+
+    from repro.viz.export import write_similarity_graphml
+    from repro.viz.html_report import write_report
+
+    write_similarity_graphml(graph, ARTIFACTS / "figure3_similarity.graphml")
+    print("wrote artifacts/figure3_similarity.graphml")
+    write_report(repo, ARTIFACTS / "report.html")
+    print("wrote artifacts/report.html (all panels, one page)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Sizing the editor pool for a crowdsourced CAR-CS deployment.
+
+The paper proposes crowdsourced curation with editor review and expects
+auto-suggested classifications to "save time for the user".  This example
+runs the curation-queue simulation at growing submission loads and shows
+the staffing answer — including how much the recommender (see
+examples/crowdsourced_curation.py) shrinks the pool.
+
+Run:  python examples/size_the_editor_pool.py
+"""
+
+from repro.analysis.crowdsim import (
+    CurationConfig,
+    editors_needed,
+    simulate,
+    sweep_editor_pool,
+)
+
+
+def main() -> None:
+    print("Review cost: the paper's measured 15-25 minutes per item.")
+    print("Auto-suggest saves 40% of review time (verification remains).\n")
+
+    print("How many editors keep the queue stable?")
+    print(f"  {'submissions/day':>16s} {'plain':>6s} {'auto-suggest':>13s}")
+    for load in (20, 50, 100, 200):
+        plain = editors_needed(load, horizon_days=15)
+        assisted = editors_needed(load, autosuggest=True, horizon_days=15)
+        print(f"  {load:16d} {plain:6d} {assisted:13d}")
+
+    print("\nService quality at 50 submissions/day (30 working days):")
+    print(f"  {'editors':>8s} {'mean wait (min)':>16s} {'p90':>8s} "
+          f"{'backlog':>8s} {'utilization':>12s}")
+    for result in sweep_editor_pool(
+        pool_sizes=(1, 2, 3, 5, 8), submissions_per_day=50
+    ):
+        print(
+            f"  {result.config.n_editors:8d} "
+            f"{result.mean_sojourn_minutes:16.1f} "
+            f"{result.p90_sojourn_minutes:8.1f} "
+            f"{result.backlog_at_end:8d} "
+            f"{result.editor_utilization:12.2f}"
+        )
+
+    nifty_day = simulate(CurationConfig(
+        n_editors=1, submissions_per_day=97 / 1.0, horizon_days=1.0,
+    ))
+    print(
+        f"\nSanity anchor: at the paper's own 15-25 min/item, one editor "
+        f"publishes only {nifty_day.published} of 97 materials in an 8h "
+        f"day — entering the full corpus is really ~4 working days, which "
+        f"puts the paper's 'about a day of work' in perspective and "
+        f"strengthens its own case for crowdsourcing plus auto-suggest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — reproduction of "Classifying Pedagogical Material to Improve
+Adoption of Parallel and Distributed Computing Topics" (IPDPSW 2019).
+
+The public API re-exports the CAR-CS core; substrates live in the
+subpackages :mod:`repro.db`, :mod:`repro.ontologies`, :mod:`repro.corpus`,
+:mod:`repro.text`, :mod:`repro.web`, :mod:`repro.viz`, and
+:mod:`repro.analysis`.
+
+Quickstart::
+
+    from repro import seeded_repository, compute_coverage
+
+    repo = seeded_repository()
+    cov = compute_coverage(repo, "PDC12", collection="itcs3145")
+    for area, n in cov.area_ranking(repo.ontology("PDC12")):
+        print(area.label, n)
+"""
+
+from .core import (  # noqa: F401
+    BloomLevel,
+    ClassificationItem,
+    ClassificationSet,
+    CourseLevel,
+    CoverageReport,
+    Material,
+    MaterialKind,
+    NodeKind,
+    Ontology,
+    Repository,
+    Role,
+    SearchEngine,
+    SearchFilters,
+    Tier,
+    class_report,
+    clusters,
+    compute_coverage,
+    find_gaps,
+    isolated_materials,
+    similarity_graph,
+)
+
+__version__ = "1.0.0"
+
+
+def seeded_repository():
+    """A repository loaded with both ontologies and all three corpora
+    (Nifty, Peachy, ITCS 3145) — the paper's seeded prototype state."""
+    from .corpus.seed import seed_all
+
+    return seed_all()
+
+
+__all__ = [
+    "BloomLevel",
+    "ClassificationItem",
+    "ClassificationSet",
+    "CourseLevel",
+    "CoverageReport",
+    "Material",
+    "MaterialKind",
+    "NodeKind",
+    "Ontology",
+    "Repository",
+    "Role",
+    "SearchEngine",
+    "SearchFilters",
+    "Tier",
+    "class_report",
+    "clusters",
+    "compute_coverage",
+    "find_gaps",
+    "isolated_materials",
+    "seeded_repository",
+    "similarity_graph",
+    "__version__",
+]

@@ -1,0 +1,68 @@
+"""Higher-level studies: community alignment, Bloom levels, ablations."""
+
+from .ablation import (
+    MetricComparison,
+    ThresholdPoint,
+    ancestor_expansion_effect,
+    count_vs_jaccard,
+    threshold_sweep,
+)
+from .alignment import (
+    AreaAlignment,
+    CommunityComparison,
+    compare_communities,
+    coverage_vector,
+)
+from .bloom import BloomGap, BloomReport, bloom_coverage
+from .planner import CoursePlan, PlannedMaterial, core_targets, plan_course
+from .statistics import (
+    DistributionSummary,
+    classification_sizes,
+    collection_profile,
+    entry_popularity,
+    top_cooccurring_pairs,
+)
+from .consistency import Finding, lint_material, lint_repository
+from .crowdsim import (
+    CurationConfig,
+    CurationResult,
+    editors_needed,
+    simulate,
+    sweep_editor_pool,
+)
+from .variants import VariantHit, find_variants, variant_matrix
+
+__all__ = [
+    "CurationConfig",
+    "Finding",
+    "lint_material",
+    "lint_repository",
+    "CurationResult",
+    "editors_needed",
+    "simulate",
+    "sweep_editor_pool",
+    "VariantHit",
+    "find_variants",
+    "variant_matrix",
+    "DistributionSummary",
+    "classification_sizes",
+    "collection_profile",
+    "entry_popularity",
+    "top_cooccurring_pairs",
+    "CoursePlan",
+    "PlannedMaterial",
+    "core_targets",
+    "plan_course",
+    "AreaAlignment",
+    "BloomGap",
+    "BloomReport",
+    "CommunityComparison",
+    "MetricComparison",
+    "ThresholdPoint",
+    "ancestor_expansion_effect",
+    "bloom_coverage",
+    "compare_communities",
+    "count_vs_jaccard",
+    "coverage_vector",
+    "threshold_sweep",
+]

@@ -1,0 +1,125 @@
+"""Community-alignment analyses (the quantitative side of Section IV-C).
+
+"Using standard classification is a way to measure the alignment between
+different communities and set of assignments."  Beyond the single cosine
+alignment score in :mod:`repro.core.gaps`, this module provides per-area
+overlap profiles and the "what should the PDC community build next"
+ranking that drives the paper's take-home message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coverage import CoverageReport, compute_coverage
+from repro.core.gaps import GapReport, find_gaps
+from repro.core.ontology import NodeKind, Ontology
+from repro.core.repository import Repository
+
+
+@dataclass
+class AreaAlignment:
+    code: str
+    label: str
+    reference_count: int
+    candidate_count: int
+    overlap_entries: int       # entries covered by both corpora
+
+    @property
+    def balanced(self) -> bool:
+        """Both communities invest here (each covers at least one entry)."""
+        return self.reference_count > 0 and self.candidate_count > 0
+
+
+@dataclass
+class CommunityComparison:
+    ontology: str
+    reference_name: str
+    candidate_name: str
+    per_area: list[AreaAlignment]
+    alignment: float
+    gap_report: GapReport
+
+    def misaligned_areas(self) -> list[AreaAlignment]:
+        """Areas one community covers and the other ignores — the 'unless
+        the PDC community develops assignments that align better ...'
+        evidence."""
+        return [a for a in self.per_area if not a.balanced
+                and (a.reference_count > 0 or a.candidate_count > 0)]
+
+    def format(self) -> str:
+        lines = [
+            f"Alignment of {self.candidate_name!r} with {self.reference_name!r} "
+            f"over {self.ontology} (cosine = {self.alignment:.3f})",
+            f"{'area':6s} {'ref':>4s} {'cand':>5s} {'both':>5s}",
+        ]
+        for area in self.per_area:
+            lines.append(
+                f"{area.code:6s} {area.reference_count:4d} "
+                f"{area.candidate_count:5d} {area.overlap_entries:5d}"
+            )
+        lines.append("")
+        lines.append("Top development targets for the candidate community:")
+        for entry in self.gap_report.top_development_targets(8):
+            lines.append(f"  ({entry.reference_count:2d} ref materials) {entry.path}")
+        return "\n".join(lines)
+
+
+def compare_communities(
+    repo: Repository,
+    reference_collection: str,
+    candidate_collection: str,
+    ontology_name: str = "CS13",
+) -> CommunityComparison:
+    """Full IV-C comparison between two collections."""
+    onto = repo.ontology(ontology_name)
+    ref = compute_coverage(repo, ontology_name, collection=reference_collection)
+    cand = compute_coverage(repo, ontology_name, collection=candidate_collection)
+
+    per_area = []
+    for area in onto.areas():
+        subtree = set(onto.subtree_keys(area.key))
+        overlap = sum(
+            1
+            for key in subtree
+            if ref.rollup_counts.get(key, 0) > 0
+            and cand.rollup_counts.get(key, 0) > 0
+            and onto.node(key).kind in (NodeKind.TOPIC, NodeKind.LEARNING_OUTCOME)
+        )
+        per_area.append(
+            AreaAlignment(
+                code=area.code,
+                label=area.label,
+                reference_count=ref.rollup_counts.get(area.key, 0),
+                candidate_count=cand.rollup_counts.get(area.key, 0),
+                overlap_entries=overlap,
+            )
+        )
+    per_area.sort(key=lambda a: (-a.reference_count, a.code))
+
+    gap_report = find_gaps(
+        onto, ref, cand,
+        reference_name=reference_collection,
+        candidate_name=candidate_collection,
+    )
+    return CommunityComparison(
+        ontology=ontology_name,
+        reference_name=reference_collection,
+        candidate_name=candidate_collection,
+        per_area=per_area,
+        alignment=gap_report.alignment,
+        gap_report=gap_report,
+    )
+
+
+def coverage_vector(
+    report: CoverageReport, ontology: Ontology
+) -> np.ndarray:
+    """Per-area rollup counts as a fixed-order vector (for clustering or
+    plotting corpora against each other)."""
+    return np.array(
+        [report.rollup_counts.get(a.key, 0) for a in ontology.areas()],
+        dtype=np.float64,
+    )

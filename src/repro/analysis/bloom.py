@@ -1,0 +1,109 @@
+"""Bloom-level coverage analysis — the paper's suggested extension.
+
+Section IV-A argues that topic-level matching overstates coverage: a CS1
+integration assignment and a full numerical-methods lecture "check the
+box in the same way", and "since both CS13 and PDC12 guidelines have
+incorporated Bloom levels, it would make sense to classify materials
+with Bloom levels as well."  This module implements that analysis: given
+materials classified *with* Bloom levels, compare each demonstrated level
+against the curriculum's expected level and report under-taught topics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ontology import BloomLevel, NodeKind, Ontology
+from repro.core.repository import Repository
+
+
+@dataclass
+class BloomGap:
+    """A topic taught below the curriculum's expected mastery level."""
+
+    key: str
+    path: str
+    expected: BloomLevel
+    best_demonstrated: BloomLevel | None
+    material_count: int
+
+    @property
+    def deficit(self) -> int:
+        if self.best_demonstrated is None:
+            return self.expected.rank() + 1
+        return self.expected.rank() - self.best_demonstrated.rank()
+
+
+@dataclass
+class BloomReport:
+    ontology: str
+    met: list[BloomGap]          # expected level met or exceeded
+    under: list[BloomGap]        # taught, but below the expected level
+    untaught: list[BloomGap]     # expected topics with no material at all
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "met": len(self.met),
+            "under_level": len(self.under),
+            "untaught": len(self.untaught),
+        }
+
+
+def bloom_coverage(
+    repo: Repository,
+    ontology_name: str,
+    *,
+    collection: str | None = None,
+) -> BloomReport:
+    """Compare demonstrated vs expected Bloom levels per topic.
+
+    Only topics that carry an expected Bloom level in the ontology are
+    considered.  A material's classification without an explicit level is
+    conservatively treated as the lowest level of its scale.
+    """
+    onto = repo.ontology(ontology_name)
+
+    # Best demonstrated level and count per entry key.
+    best: dict[str, BloomLevel] = {}
+    counts: dict[str, int] = {}
+    entries = repo.db.table("ontology_entries")
+    for link in repo.material_classifications.table:
+        entry = entries.get(link["ontology_entries_id"])
+        if entry["ontology"] != ontology_name:
+            continue
+        if collection is not None:
+            material = repo.db.table("materials").get(link["materials_id"])
+            if material["collection"] != collection:
+                continue
+        key = entry["key"]
+        counts[key] = counts.get(key, 0) + 1
+        level = (
+            BloomLevel(link["bloom"]) if link["bloom"] else BloomLevel.KNOW
+        )
+        current = best.get(key)
+        if current is None or level.rank() > current.rank():
+            best[key] = level
+
+    met, under, untaught = [], [], []
+    for node in onto.nodes():
+        if node.kind is not NodeKind.TOPIC or node.bloom is None:
+            continue
+        gap = BloomGap(
+            key=node.key,
+            path=onto.path_string(node.key),
+            expected=node.bloom,
+            best_demonstrated=best.get(node.key),
+            material_count=counts.get(node.key, 0),
+        )
+        if gap.best_demonstrated is None:
+            untaught.append(gap)
+        elif gap.deficit <= 0:
+            met.append(gap)
+        else:
+            under.append(gap)
+
+    under.sort(key=lambda g: (-g.deficit, g.key))
+    untaught.sort(key=lambda g: (-g.expected.rank(), g.key))
+    return BloomReport(
+        ontology=ontology_name, met=met, under=under, untaught=untaught
+    )

@@ -1,0 +1,141 @@
+"""Classification consistency linting — the editor's review aid.
+
+CAR-CS editors "can appropriately edit or fix classification issues with
+a submitted material" (Section III-A).  This linter encodes the checks a
+PDC-literate editor applies mechanically, so the human can focus on
+judgment:
+
+* **cross-ontology drift** — a material classified under CS13's Parallel
+  and Distributed Computing area but carrying *no* PDC12 entries (or the
+  reverse) is probably under-classified in one ontology;
+* **orphan interior selections** — selecting a knowledge unit or area
+  without any of its topics usually means the curator stopped early
+  ("one could quickly make some selection but most likely doing so would
+  miss relevant entries", IV-A);
+* **over-broad selections** — more than a threshold of entries suggests
+  box-ticking rather than curation;
+* **bloom mismatches** — a demonstrated Bloom level above the entry's
+  curriculum expectation is legal but worth an editor's glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.ontology import NodeKind
+from repro.core.repository import Repository
+
+
+@dataclass(frozen=True)
+class Finding:
+    material_id: int
+    title: str
+    rule: str       # "cross-ontology" | "orphan-interior" | "over-broad" | "bloom"
+    detail: str
+
+
+# CS13 subtrees whose selection implies the PDC12 ontology applies.
+_CS13_PDC_AREAS = ("CS13/PD",)
+
+
+def lint_material(
+    repo: Repository,
+    material_id: int,
+    *,
+    max_entries: int = 15,
+) -> list[Finding]:
+    """All findings for one material (empty list = clean)."""
+    material = repo.get_material(material_id)
+    cs = repo.classification_of(material_id)
+    findings: list[Finding] = []
+
+    def add(rule: str, detail: str) -> None:
+        findings.append(Finding(material_id, material.title, rule, detail))
+
+    cs13_keys = cs.keys("CS13")
+    pdc_keys = cs.keys("PDC12")
+    has_cs13_pd = any(
+        any(key.startswith(area + "/") or key == area for area in _CS13_PDC_AREAS)
+        for key in cs13_keys
+    )
+    if has_cs13_pd and "CS13" in repo.ontologies and "PDC12" in repo.ontologies:
+        if not pdc_keys:
+            add(
+                "cross-ontology",
+                "classified under CS13 Parallel and Distributed Computing "
+                "but has no PDC12 entries",
+            )
+    if pdc_keys and "CS13" in repo.ontologies and not has_cs13_pd:
+        add(
+            "cross-ontology",
+            "has PDC12 entries but no CS13 PD-area entries",
+        )
+
+    # Orphan interior selections per ontology.
+    for onto_name in cs.ontologies():
+        onto = repo.ontologies.get(onto_name)
+        if onto is None:
+            continue
+        keys = cs.keys(onto_name)
+        for key in keys:
+            node = onto.get(key)
+            if node is None or node.kind not in (NodeKind.AREA, NodeKind.UNIT):
+                continue
+            subtree = set(onto.subtree_keys(key)) - {key}
+            if subtree and not (subtree & keys):
+                add(
+                    "orphan-interior",
+                    f"{onto_name} {node.kind.value} "
+                    f"{onto.path_string(key)!r} selected without any of "
+                    f"its topics",
+                )
+
+    if len(cs) > max_entries:
+        add(
+            "over-broad",
+            f"{len(cs)} classification entries (threshold {max_entries}) "
+            "— verify this is curation, not box-ticking",
+        )
+
+    # Bloom levels above the curriculum expectation.
+    for onto_name in cs.ontologies():
+        onto = repo.ontologies.get(onto_name)
+        if onto is None:
+            continue
+        for key in cs.keys(onto_name):
+            node = onto.get(key)
+            demonstrated = cs.bloom(onto_name, key)
+            if (
+                node is not None
+                and node.bloom is not None
+                and demonstrated is not None
+                and demonstrated.rank() > node.bloom.rank()
+            ):
+                add(
+                    "bloom",
+                    f"{onto.path_string(key)!r}: demonstrated "
+                    f"{demonstrated.value} exceeds the curriculum's "
+                    f"{node.bloom.value} expectation",
+                )
+    return findings
+
+
+def lint_repository(
+    repo: Repository,
+    *,
+    collection: str | None = None,
+    rules: Iterable[str] | None = None,
+    max_entries: int = 15,
+) -> list[Finding]:
+    """Lint every (or one collection's) material; optionally filter rules."""
+    wanted = set(rules) if rules is not None else None
+    out: list[Finding] = []
+    for material in repo.materials(collection):
+        assert material.id is not None
+        for finding in lint_material(
+            repo, material.id, max_entries=max_entries
+        ):
+            if wanted is None or finding.rule in wanted:
+                out.append(finding)
+    return out

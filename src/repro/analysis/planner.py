@@ -1,0 +1,134 @@
+"""Course planning: select materials to cover target curriculum entries.
+
+The CS13 guidelines "provide numerous exemplars of actual courses"; the
+CAR-CS classification data makes the inverse direction computable — given
+the topics an instructor must cover (e.g. every PDC12 core topic, or a
+knowledge-unit list from a syllabus), pick a small set of classified
+materials that covers them.  Weighted greedy set cover gives the standard
+(1 + ln n)-approximation; the report also lists what remained uncoverable
+with the current repository (feeding back into the gap analysis of
+Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.ontology import NodeKind, Ontology, Tier
+from repro.core.repository import Repository
+
+
+@dataclass
+class PlannedMaterial:
+    material_id: int
+    title: str
+    newly_covered: tuple[str, ...]   # target keys this pick added
+
+
+@dataclass
+class CoursePlan:
+    ontology: str
+    targets: frozenset[str]
+    picks: list[PlannedMaterial] = field(default_factory=list)
+    uncovered: frozenset[str] = frozenset()
+
+    @property
+    def covered(self) -> frozenset[str]:
+        return self.targets - self.uncovered
+
+    @property
+    def coverage_ratio(self) -> float:
+        if not self.targets:
+            return 1.0
+        return len(self.covered) / len(self.targets)
+
+    def format(self, ontology: Ontology) -> str:
+        lines = [
+            f"Course plan over {self.ontology}: {len(self.picks)} materials "
+            f"cover {len(self.covered)}/{len(self.targets)} targets "
+            f"({self.coverage_ratio:.0%})",
+        ]
+        for pick in self.picks:
+            lines.append(f"  + {pick.title}")
+            for key in pick.newly_covered:
+                lines.append(f"      covers {ontology.path_string(key)}")
+        if self.uncovered:
+            lines.append("  Uncovered (no material in the repository):")
+            for key in sorted(self.uncovered):
+                lines.append(f"      {ontology.path_string(key)}")
+        return "\n".join(lines)
+
+
+def core_targets(ontology: Ontology, tiers: Sequence[Tier]) -> frozenset[str]:
+    """All topic keys of the given requirement tiers — e.g. every PDC12
+    core topic, the natural 'what must my course cover' target set."""
+    return frozenset(
+        n.key
+        for n in ontology.nodes()
+        if n.kind is NodeKind.TOPIC and n.tier in tiers
+    )
+
+
+def plan_course(
+    repo: Repository,
+    ontology_name: str,
+    targets: Iterable[str],
+    *,
+    max_materials: int | None = None,
+    collections: Sequence[str] = (),
+) -> CoursePlan:
+    """Greedy weighted set cover of ``targets`` by classified materials.
+
+    Each step picks the material covering the most still-uncovered
+    targets (ties broken by fewer total classifications — prefer focused
+    materials — then by id for determinism).  ``collections`` restricts
+    the candidate pool.
+    """
+    onto = repo.ontology(ontology_name)
+    target_set = frozenset(targets)
+    unknown = [k for k in target_set if k not in onto]
+    if unknown:
+        raise KeyError(f"targets not in {ontology_name}: {sorted(unknown)[:3]}")
+
+    wanted_collections = set(collections)
+    coverage_by_material: dict[int, frozenset[str]] = {}
+    sizes: dict[int, int] = {}
+    for material in repo.materials():
+        assert material.id is not None
+        if wanted_collections and material.collection not in wanted_collections:
+            continue
+        keys = repo.classification_of(material.id).keys(ontology_name)
+        covered = frozenset(keys) & target_set
+        if covered:
+            coverage_by_material[material.id] = covered
+            sizes[material.id] = len(keys)
+
+    plan = CoursePlan(ontology=ontology_name, targets=target_set)
+    remaining = set(target_set)
+    available = dict(coverage_by_material)
+    while remaining and available:
+        if max_materials is not None and len(plan.picks) >= max_materials:
+            break
+        best_id = max(
+            available,
+            key=lambda mid: (
+                len(available[mid] & remaining),
+                -sizes[mid],
+                -mid,
+            ),
+        )
+        gain = available[best_id] & remaining
+        if not gain:
+            break
+        plan.picks.append(
+            PlannedMaterial(
+                material_id=best_id,
+                title=repo.get_material(best_id).title,
+                newly_covered=tuple(sorted(gain)),
+            )
+        )
+        remaining -= gain
+        del available[best_id]
+    plan.uncovered = frozenset(remaining)
+    return plan

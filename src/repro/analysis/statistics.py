@@ -1,0 +1,111 @@
+"""Descriptive statistics of a repository's classification data.
+
+The IV-A discussion rests on distributional facts ("going quickly through
+the classification would most likely get a poor classification", entries
+per material, ontology hot spots).  This module computes them: per-
+material classification-size distributions, per-entry popularity, the
+most co-selected entry pairs ("topics commonly used together" — the raw
+signal behind the co-occurrence recommender), and per-collection
+summaries for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.repository import Repository
+
+
+@dataclass
+class DistributionSummary:
+    count: int
+    mean: float
+    median: float
+    minimum: int
+    maximum: int
+    p90: float
+
+    @classmethod
+    def of(cls, values: Sequence[int]) -> "DistributionSummary":
+        if not values:
+            return cls(0, 0.0, 0.0, 0, 0, 0.0)
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            count=len(values),
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            minimum=int(arr.min()),
+            maximum=int(arr.max()),
+            p90=float(np.percentile(arr, 90)),
+        )
+
+
+def classification_sizes(
+    repo: Repository, collection: str | None = None
+) -> DistributionSummary:
+    """Entries-per-material distribution (how richly curators classify)."""
+    sizes = []
+    for material in repo.materials(collection):
+        assert material.id is not None
+        sizes.append(len(repo.classification_of(material.id)))
+    return DistributionSummary.of(sizes)
+
+
+def entry_popularity(
+    repo: Repository, ontology: str, *, top: int = 10
+) -> list[tuple[str, int]]:
+    """The hottest ontology entries (most classified-under), descending."""
+    counts: dict[str, int] = {}
+    for _, key in repo.classification_pairs():
+        if key.split("/", 1)[0] == ontology:
+            counts[key] = counts.get(key, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]
+
+
+def top_cooccurring_pairs(
+    repo: Repository, *, top: int = 10, min_count: int = 2
+) -> list[tuple[str, str, int]]:
+    """Entry pairs most often selected together on one material."""
+    per_material: dict[int, set[str]] = {}
+    for mid, key in repo.classification_pairs():
+        per_material.setdefault(mid, set()).add(key)
+    pair_counts: dict[tuple[str, str], int] = {}
+    for keys in per_material.values():
+        ordered = sorted(keys)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+    ranked = [
+        (a, b, n) for (a, b), n in pair_counts.items() if n >= min_count
+    ]
+    ranked.sort(key=lambda t: (-t[2], t[0], t[1]))
+    return ranked[:top]
+
+
+def collection_profile(repo: Repository, collection: str) -> dict:
+    """One-shot per-collection summary used by reports and the CLI."""
+    materials = repo.materials(collection)
+    sizes = classification_sizes(repo, collection)
+    years = [m.year for m in materials if m.year is not None]
+    languages: dict[str, int] = {}
+    for m in materials:
+        for lang in m.languages:
+            languages[lang] = languages.get(lang, 0) + 1
+    return {
+        "collection": collection,
+        "materials": len(materials),
+        "kinds": {
+            kind: sum(1 for m in materials if m.kind.value == kind)
+            for kind in sorted({m.kind.value for m in materials})
+        },
+        "classification_sizes": sizes,
+        "year_range": (min(years), max(years)) if years else None,
+        "languages": dict(
+            sorted(languages.items(), key=lambda kv: (-kv[1], kv[0]))
+        ),
+        "with_datasets": sum(1 for m in materials if m.datasets),
+    }

@@ -1,0 +1,104 @@
+"""Variant discovery: materials that could replace or re-skin each other.
+
+Section III-A: classification "opens up several opportunities ... or look
+for similarities to an existing material, and perhaps, to create variants
+of an existing material."  A *variant* of a material covers substantially
+the same curriculum entries but differs on a presentation facet —
+programming language, course level, or dataset flavor — exactly what an
+instructor porting an assignment to their course context needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.material import Material
+from repro.core.repository import Repository
+
+
+@dataclass
+class VariantHit:
+    material: Material
+    overlap: int                 # shared classification entries
+    jaccard: float
+    differing_facets: tuple[str, ...]   # e.g. ("language", "course_level")
+
+
+def _facet_differences(a: Material, b: Material) -> tuple[str, ...]:
+    diffs = []
+    if set(l.lower() for l in a.languages) != set(l.lower() for l in b.languages):
+        diffs.append("language")
+    if a.course_level != b.course_level:
+        diffs.append("course_level")
+    if bool(a.datasets) != bool(b.datasets) or set(a.datasets) != set(b.datasets):
+        diffs.append("datasets")
+    if a.kind != b.kind:
+        diffs.append("kind")
+    return tuple(diffs)
+
+
+def find_variants(
+    repo: Repository,
+    material_id: int,
+    *,
+    min_overlap: int = 2,
+    min_jaccard: float = 0.25,
+    require_facet_difference: bool = True,
+    limit: int = 10,
+) -> list[VariantHit]:
+    """Materials classification-similar to ``material_id`` but differing
+    on at least one presentation facet.
+
+    ``min_overlap`` uses the paper's shared-item currency; ``min_jaccard``
+    filters out pairs that merely share ubiquitous entries.  Results are
+    ordered by descending Jaccard, then overlap.
+    """
+    source = repo.get_material(material_id)
+    source_cs = repo.classification_of(material_id)
+    hits: list[VariantHit] = []
+    for candidate in repo.materials():
+        assert candidate.id is not None
+        if candidate.id == material_id:
+            continue
+        cs = repo.classification_of(candidate.id)
+        overlap = source_cs.shared_count(cs)
+        if overlap < min_overlap:
+            continue
+        jaccard = source_cs.jaccard(cs)
+        if jaccard < min_jaccard:
+            continue
+        diffs = _facet_differences(source, candidate)
+        if require_facet_difference and not diffs:
+            continue
+        hits.append(
+            VariantHit(
+                material=candidate,
+                overlap=overlap,
+                jaccard=jaccard,
+                differing_facets=diffs,
+            )
+        )
+    hits.sort(key=lambda h: (-h.jaccard, -h.overlap, h.material.id or 0))
+    return hits[:limit]
+
+
+def variant_matrix(
+    repo: Repository,
+    collection: str,
+    *,
+    min_overlap: int = 2,
+    min_jaccard: float = 0.25,
+) -> dict[int, list[int]]:
+    """For every material of a collection, its variant ids (same rules as
+    :func:`find_variants`) — the bulk form used by reports."""
+    out: dict[int, list[int]] = {}
+    for material in repo.materials(collection):
+        assert material.id is not None
+        hits = find_variants(
+            repo, material.id,
+            min_overlap=min_overlap, min_jaccard=min_jaccard,
+        )
+        out[material.id] = [
+            h.material.id for h in hits if h.material.id is not None
+        ]
+    return out

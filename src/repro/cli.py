@@ -1,0 +1,329 @@
+"""``carcs`` — command-line front end to the CAR-CS system.
+
+Stands in for the prototype's web UI when driving the system from a
+terminal or scripts.  Every subcommand operates on either the built-in
+seeded repository (the paper's prototype state) or a JSON snapshot
+produced by ``carcs export``.
+
+Examples::
+
+    carcs stats
+    carcs coverage --collection itcs3145 --ontology PDC12
+    carcs similarity --left nifty --right peachy --threshold 2
+    carcs search "monte carlo fire" --limit 5
+    carcs gaps --reference nifty --candidate peachy
+    carcs recommend "parallel loops over an image with OpenMP"
+    carcs plan --ontology PDC12 --tier core
+    carcs diff PDC12 PDC19
+    carcs export snapshot.json ; carcs --snapshot snapshot.json stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis import compare_communities, core_targets, plan_course
+from repro.core.coverage import compute_coverage
+from repro.core.ontology import Tier
+from repro.core.recommend import HybridRecommender
+from repro.core.repository import Repository
+from repro.core.search import SearchEngine, SearchFilters
+from repro.core.similarity import isolated_materials, similarity_graph
+from repro.corpus.seed import collection_ids, seed_all
+from repro.ontologies import load
+from repro.ontologies.diff import diff_ontologies
+from repro.viz import tree_render
+
+
+def _open_repository(args: argparse.Namespace) -> Repository:
+    if args.snapshot:
+        from repro.core.persist import load_json
+
+        return load_json(args.snapshot)
+    return seed_all()
+
+
+def cmd_stats(repo: Repository, args: argparse.Namespace) -> int:
+    print(f"collections: {', '.join(repo.collections()) or '(none)'}")
+    for name, onto in sorted(repo.ontologies.items()):
+        print(f"ontology {name}: {len(onto)} entries, "
+              f"{len(onto.areas())} areas")
+    for key, value in sorted(repo.stats().items()):
+        if value:
+            print(f"{key}: {value}")
+    return 0
+
+
+def cmd_coverage(repo: Repository, args: argparse.Namespace) -> int:
+    onto = repo.ontology(args.ontology)
+    coverage = compute_coverage(repo, args.ontology, collection=args.collection)
+    if args.tree:
+        print(tree_render.render_text(
+            coverage.tree(onto), max_depth=args.depth
+        ))
+    else:
+        print(f"{args.collection or 'all'} vs {args.ontology} "
+              f"({coverage.n_materials} materials):")
+        for area, count in coverage.area_ranking(onto):
+            if count or args.all:
+                print(f"  {area.code or area.label[:5]:6s} "
+                      f"{area.label:48s} {count:4d}")
+    return 0
+
+
+def cmd_similarity(repo: Repository, args: argparse.Namespace) -> int:
+    graph = similarity_graph(
+        repo,
+        collection_ids(repo, args.left),
+        collection_ids(repo, args.right),
+        threshold=args.threshold,
+        left_group=args.left,
+        right_group=args.right,
+    )
+    print(f"nodes={graph.number_of_nodes()} edges={graph.number_of_edges()}")
+    print(f"isolated {args.left}: "
+          f"{len(isolated_materials(graph, args.left))}")
+    print(f"isolated {args.right}: "
+          f"{len(isolated_materials(graph, args.right))}")
+    for u, v, data in sorted(
+        graph.edges(data=True), key=lambda e: -e[2]["shared"]
+    ):
+        print(f"  {graph.nodes[u]['title']}  <->  {graph.nodes[v]['title']} "
+              f"(shared={data['shared']})")
+    return 0
+
+
+def cmd_search(repo: Repository, args: argparse.Namespace) -> int:
+    """Search with the facet query language, e.g.
+    ``carcs search "language:python under:PDC12/PROG monte carlo"``."""
+    from dataclasses import replace
+
+    from repro.core.query_language import QuerySyntaxError, parse_query
+
+    engine = SearchEngine(repo)
+    try:
+        parsed = parse_query(args.query)
+    except QuerySyntaxError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    filters = parsed.filters
+    if args.collection:
+        filters = replace(
+            filters, collections=filters.collections + (args.collection,)
+        )
+    if args.under:
+        filters = replace(filters, under=filters.under + (args.under,))
+    hits = engine.search(parsed.text, filters, limit=args.limit)
+    if not hits:
+        print("no results")
+        return 1
+    for hit in hits:
+        print(f"{hit.score:5.2f}  [{hit.material.collection}] "
+              f"{hit.material.title}")
+    return 0
+
+
+def cmd_gaps(repo: Repository, args: argparse.Namespace) -> int:
+    comparison = compare_communities(
+        repo, args.reference, args.candidate, args.ontology
+    )
+    print(comparison.format())
+    return 0
+
+
+def cmd_recommend(repo: Repository, args: argparse.Namespace) -> int:
+    recommender = HybridRecommender(repo).fit()
+    recs = recommender.recommend(args.text, args.selected or (), top=args.top)
+    if not recs:
+        print("no suggestions")
+        return 1
+    for rec in recs:
+        print(f"{rec.score:5.2f}  {rec.key}")
+    return 0
+
+
+def cmd_plan(repo: Repository, args: argparse.Namespace) -> int:
+    onto = repo.ontology(args.ontology)
+    tiers = {
+        "core": (Tier.CORE, Tier.CORE1),
+        "core2": (Tier.CORE, Tier.CORE1, Tier.CORE2),
+        "all": tuple(Tier),
+    }[args.tier]
+    plan = plan_course(
+        repo, args.ontology, core_targets(onto, tiers),
+        max_materials=args.max_materials,
+    )
+    print(plan.format(onto))
+    return 0
+
+
+def cmd_diff(repo: Repository, args: argparse.Namespace) -> int:
+    diff = diff_ontologies(load(args.old), load(args.new))
+    print(diff.format())
+    return 0 if diff.is_empty() else 0
+
+
+def cmd_export(repo: Repository, args: argparse.Namespace) -> int:
+    from repro.core.persist import save_json
+
+    path = save_json(repo, args.path)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_profile(repo: Repository, args: argparse.Namespace) -> int:
+    from repro.analysis import collection_profile, entry_popularity
+
+    for collection in (args.collections or repo.collections()):
+        profile = collection_profile(repo, collection)
+        sizes = profile["classification_sizes"]
+        print(f"{collection}: {profile['materials']} materials "
+              f"({profile['kinds']})")
+        print(f"  entries/material: mean {sizes.mean:.1f}, "
+              f"median {sizes.median:.0f}, max {sizes.maximum}")
+        if profile["year_range"]:
+            print(f"  years: {profile['year_range'][0]}-"
+                  f"{profile['year_range'][1]}")
+        if profile["languages"]:
+            langs = ", ".join(
+                f"{k} ({v})" for k, v in list(profile["languages"].items())[:5]
+            )
+            print(f"  languages: {langs}")
+    print("\nhottest entries:")
+    for onto in sorted(repo.ontologies):
+        for key, n in entry_popularity(repo, onto, top=args.top):
+            print(f"  {n:3d}  {key}")
+    return 0
+
+
+def cmd_report(repo: Repository, args: argparse.Namespace) -> int:
+    from repro.viz.html_report import write_report
+
+    path = write_report(repo, args.path)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_lint(repo: Repository, args: argparse.Namespace) -> int:
+    from repro.analysis import lint_repository
+
+    findings = lint_repository(repo, collection=args.collection)
+    if not findings:
+        print("clean — no classification issues found")
+        return 0
+    for finding in findings:
+        print(f"[{finding.rule}] {finding.title}")
+        print(f"    {finding.detail}")
+    print(f"{len(findings)} finding(s)")
+    return 1
+
+
+def cmd_serve(repo: Repository, args: argparse.Namespace) -> int:
+    from repro.web import CarCsApi
+    from repro.web.server import ApiServer
+
+    server = ApiServer(CarCsApi(repo), host=args.host, port=args.port,
+                       threaded=True)
+    print(f"serving CAR-CS API at {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="carcs",
+        description="CAR-CS: classify and analyze pedagogical materials",
+    )
+    parser.add_argument(
+        "--snapshot", help="operate on a JSON snapshot instead of the "
+        "built-in seeded repository",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="repository summary")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("coverage", help="area coverage of a collection")
+    p.add_argument("--collection", default=None)
+    p.add_argument("--ontology", default="CS13")
+    p.add_argument("--tree", action="store_true", help="render the tree")
+    p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--all", action="store_true", help="include zero areas")
+    p.set_defaults(fn=cmd_coverage)
+
+    p = sub.add_parser("similarity", help="cross-collection similarity graph")
+    p.add_argument("--left", default="nifty")
+    p.add_argument("--right", default="peachy")
+    p.add_argument("--threshold", type=int, default=2)
+    p.set_defaults(fn=cmd_similarity)
+
+    p = sub.add_parser("search", help="faceted full-text search")
+    p.add_argument("query")
+    p.add_argument("--collection", default=None)
+    p.add_argument("--under", default=None, help="ontology subtree key")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(fn=cmd_search)
+
+    p = sub.add_parser("gaps", help="community gap analysis")
+    p.add_argument("--reference", default="nifty")
+    p.add_argument("--candidate", default="peachy")
+    p.add_argument("--ontology", default="CS13")
+    p.set_defaults(fn=cmd_gaps)
+
+    p = sub.add_parser("recommend", help="suggest classifications for text")
+    p.add_argument("text")
+    p.add_argument("--selected", nargs="*", default=None,
+                   help="already-selected entry keys")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_recommend)
+
+    p = sub.add_parser("plan", help="greedy course plan over core topics")
+    p.add_argument("--ontology", default="PDC12")
+    p.add_argument("--tier", choices=("core", "core2", "all"), default="core")
+    p.add_argument("--max-materials", type=int, default=None)
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("diff", help="diff two ontology editions")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("export", help="write a JSON snapshot")
+    p.add_argument("path")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("profile", help="descriptive corpus statistics")
+    p.add_argument("--collections", nargs="*", default=None)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("report", help="write the self-contained HTML report")
+    p.add_argument("path")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("lint", help="lint classifications like an editor")
+    p.add_argument("--collection", default=None)
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("serve", help="serve the REST API over HTTP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.set_defaults(fn=cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    fn: Callable[[Repository, argparse.Namespace], int] = args.fn
+    repo = _open_repository(args)
+    return fn(repo, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

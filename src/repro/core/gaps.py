@@ -1,0 +1,148 @@
+"""Gap identification between material communities (Section IV-C).
+
+"Classification helps PDC educational experts identify where more efforts
+are needed to improve adoption" — operationally: compare the coverage of
+a reference corpus (what early-CS instructors already use, e.g. Nifty)
+with a candidate corpus (what the PDC community offers, e.g. Peachy) and
+report (1) entries common in the reference but absent from the candidate
+(assignments the PDC community should develop), (2) entries unique to the
+candidate (systems-oriented materials with no early-CS anchor), and (3)
+an alignment score between the two communities ("Using standard
+classification is a way to measure the alignment between different
+communities and set of assignments").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .coverage import CoverageReport
+from .ontology import NodeKind, Ontology, OntologyNode
+
+
+@dataclass
+class GapEntry:
+    """One ontology entry where the two corpora diverge."""
+
+    key: str
+    label: str
+    path: str
+    reference_count: int
+    candidate_count: int
+
+    @property
+    def deficit(self) -> int:
+        return self.reference_count - self.candidate_count
+
+
+@dataclass
+class GapReport:
+    ontology: str
+    reference_name: str
+    candidate_name: str
+    missing_in_candidate: list[GapEntry]   # popular in ref, absent in cand
+    unique_to_candidate: list[GapEntry]    # present in cand, absent in ref
+    alignment: float                       # weighted overlap in [0, 1]
+
+    def top_development_targets(self, n: int = 10) -> list[GapEntry]:
+        """The entries the candidate community should write materials for,
+        by how popular they are in the reference corpus."""
+        return self.missing_in_candidate[:n]
+
+
+def _leafish(onto: Ontology, key: str) -> bool:
+    """Entries worth reporting: topics and learning outcomes (not areas)."""
+    return onto.node(key).kind in (NodeKind.TOPIC, NodeKind.LEARNING_OUTCOME)
+
+
+def find_gaps(
+    ontology: Ontology,
+    reference: CoverageReport,
+    candidate: CoverageReport,
+    *,
+    reference_name: str = "reference",
+    candidate_name: str = "candidate",
+    min_reference_count: int = 2,
+) -> GapReport:
+    """Compare two coverage reports over the same ontology."""
+    if reference.ontology != ontology.name or candidate.ontology != ontology.name:
+        raise ValueError("coverage reports must target the given ontology")
+
+    missing: list[GapEntry] = []
+    unique: list[GapEntry] = []
+    keys = {*reference.direct_counts, *candidate.direct_counts}
+    for key in keys:
+        if key not in ontology or not _leafish(ontology, key):
+            continue
+        ref_n = reference.direct_counts.get(key, 0)
+        cand_n = candidate.direct_counts.get(key, 0)
+        entry = GapEntry(
+            key=key,
+            label=ontology.node(key).label,
+            path=ontology.path_string(key),
+            reference_count=ref_n,
+            candidate_count=cand_n,
+        )
+        if ref_n >= min_reference_count and cand_n == 0:
+            missing.append(entry)
+        elif cand_n >= 1 and ref_n == 0:
+            unique.append(entry)
+
+    missing.sort(key=lambda e: (-e.reference_count, e.key))
+    unique.sort(key=lambda e: (-e.candidate_count, e.key))
+    return GapReport(
+        ontology=ontology.name,
+        reference_name=reference_name,
+        candidate_name=candidate_name,
+        missing_in_candidate=missing,
+        unique_to_candidate=unique,
+        alignment=alignment_score(ontology, reference, candidate),
+    )
+
+
+def alignment_score(
+    ontology: Ontology,
+    a: CoverageReport,
+    b: CoverageReport,
+) -> float:
+    """Weighted cosine between the two corpora's per-entry coverage
+    profiles, over topic/outcome entries.  1.0 = identical emphasis,
+    0.0 = disjoint communities.
+    """
+    keys = sorted(
+        k for k in ({*a.direct_counts, *b.direct_counts})
+        if k in ontology and _leafish(ontology, k)
+    )
+    if not keys:
+        return 0.0
+    import numpy as np
+
+    va = np.array([a.direct_counts.get(k, 0) for k in keys], dtype=np.float64)
+    vb = np.array([b.direct_counts.get(k, 0) for k in keys], dtype=np.float64)
+    na, nb = np.linalg.norm(va), np.linalg.norm(vb)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(va, vb) / (na * nb))
+
+
+def curriculum_holes(
+    ontology: Ontology,
+    coverage: CoverageReport,
+    *,
+    tiers: tuple = (),
+) -> list[OntologyNode]:
+    """Core curriculum entries *no* material covers — where "pedagogical
+    material does not exist and ... should be developed" (Section I).
+
+    ``tiers`` restricts to specific requirement tiers (e.g. core-1 only);
+    empty means any tier.
+    """
+    holes = []
+    for node in ontology.nodes():
+        if node.kind not in (NodeKind.TOPIC,):
+            continue
+        if tiers and node.tier not in tiers:
+            continue
+        if not coverage.is_covered(node.key):
+            holes.append(node)
+    return holes

@@ -1,0 +1,89 @@
+"""Pedagogical material model.
+
+"In the database, each assignment is associated with a title, authors, URL
+and description" (Section III-B); CAR-CS additionally "uses classic
+material descriptors, such as course-level, programming language, and
+datasets" (Section III-A).  The paper's material kinds — "assignments,
+lecture slides, exams, video lectures, book chapters, etc." — are the
+:class:`MaterialKind` enum.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+
+class MaterialKind(enum.Enum):
+    """The kinds of pedagogical material the paper enumerates."""
+
+    ASSIGNMENT = "assignment"
+    LECTURE_SLIDES = "lecture_slides"
+    EXAM = "exam"
+    VIDEO_LECTURE = "video_lecture"
+    BOOK_CHAPTER = "book_chapter"
+    COURSE_DESCRIPTION = "course_description"
+    DEMO = "demo"
+
+
+class CourseLevel(enum.Enum):
+    """Target course level descriptor (CS0/CS1/CS2 plus later levels)."""
+
+    CS0 = "cs0"
+    CS1 = "cs1"
+    CS2 = "cs2"
+    INTERMEDIATE = "intermediate"
+    ADVANCED = "advanced"
+
+
+@dataclass(frozen=True)
+class Material:
+    """An immutable pedagogical material record.
+
+    Identity (``id``) is assigned by the repository on insertion;
+    materials constructed by hand for seeding carry ``id=None``.
+    """
+
+    title: str
+    description: str
+    kind: MaterialKind = MaterialKind.ASSIGNMENT
+    authors: tuple[str, ...] = ()
+    url: str = ""
+    course_level: CourseLevel | None = None
+    languages: tuple[str, ...] = ()
+    datasets: tuple[str, ...] = ()
+    tags: tuple[str, ...] = ()
+    collection: str = ""
+    year: int | None = None
+    id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.title.strip():
+            raise ValueError("material title must be non-empty")
+
+    def with_id(self, new_id: int) -> "Material":
+        return replace(self, id=new_id)
+
+    def text(self) -> str:
+        """Title + description, the searchable full text of the material."""
+        return f"{self.title}\n{self.description}"
+
+    def summary(self, width: int = 70) -> str:
+        """One-line display string used by reports and examples."""
+        desc = self.description.replace("\n", " ")
+        if len(desc) > width:
+            desc = desc[: width - 1] + "…"
+        return f"[{self.kind.value}] {self.title} — {desc}"
+
+
+def normalize_authors(authors: Iterable[str]) -> tuple[str, ...]:
+    """Strip whitespace, drop empties, and deduplicate preserving order."""
+    seen: set[str] = set()
+    out: list[str] = []
+    for author in authors:
+        name = " ".join(author.split())
+        if name and name.lower() not in seen:
+            seen.add(name.lower())
+            out.append(name)
+    return tuple(out)

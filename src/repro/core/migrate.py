@@ -1,0 +1,89 @@
+"""Classification migration between ontology editions.
+
+When a curriculum is revised (PDC12 → PDC19), every stored classification
+must be carried over or flagged for editorial review — the CAR-CS system
+"is highly extensible" and its crowdsourced model depends on not losing
+curation work across editions.  :func:`migrate_classifications` applies a
+key-translation function to all of a repository's links for one ontology
+and produces an auditable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .ontology import Ontology
+from .repository import Repository
+
+#: Maps an old-edition key to its new-edition key(s); empty tuple = the
+#: entry was dropped and the link needs editorial attention.
+KeyTranslator = Callable[[str], Sequence[str]]
+
+
+@dataclass
+class MigrationReport:
+    old_ontology: str
+    new_ontology: str
+    migrated_links: int = 0            # 1:1 carried over
+    expanded_links: int = 0            # 1:N (e.g. split topics)
+    dropped_links: list[tuple[int, str]] = field(default_factory=list)
+    materials_touched: set[int] = field(default_factory=set)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "migrated": self.migrated_links,
+            "expanded": self.expanded_links,
+            "dropped": len(self.dropped_links),
+            "materials": len(self.materials_touched),
+        }
+
+
+def migrate_classifications(
+    repo: Repository,
+    old_name: str,
+    new_ontology: Ontology,
+    translate: KeyTranslator,
+    *,
+    keep_old: bool = False,
+) -> MigrationReport:
+    """Re-classify every material from ``old_name`` to ``new_ontology``.
+
+    ``new_ontology`` is loaded into the repository if not yet present.
+    Each existing (material, old key) link is translated; translated keys
+    missing from the new edition, or translations returning no keys, are
+    recorded as dropped (for an editor to fix) and the old link is kept
+    in that case regardless of ``keep_old``.  With ``keep_old=False``
+    successfully migrated old links are removed.
+    """
+    repo.ontology(old_name)  # must exist
+    if new_ontology.name not in repo.ontologies:
+        repo.add_ontology(new_ontology)
+
+    report = MigrationReport(
+        old_ontology=old_name, new_ontology=new_ontology.name
+    )
+    # Snapshot first: we mutate links while iterating.
+    links = [
+        (mid, key)
+        for mid, key in repo.classification_pairs()
+        if key.split("/", 1)[0] == old_name
+    ]
+    for mid, old_key in links:
+        bloom = repo.classification_of(mid).bloom(old_name, old_key)
+        new_keys = [
+            k for k in translate(old_key) if k in new_ontology
+        ]
+        if not new_keys:
+            report.dropped_links.append((mid, old_key))
+            continue
+        for new_key in new_keys:
+            repo.classify(mid, new_ontology.name, new_key, bloom=bloom)
+        if len(new_keys) == 1:
+            report.migrated_links += 1
+        else:
+            report.expanded_links += 1
+        report.materials_touched.add(mid)
+        if not keep_old:
+            repo.declassify(mid, old_key)
+    return report

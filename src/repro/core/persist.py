@@ -1,0 +1,185 @@
+"""Self-contained JSON persistence for a CAR-CS repository.
+
+The prototype kept its state in PostgreSQL; this substrate is in-memory,
+so deployments need a durable snapshot format.  The dump is fully
+self-contained — ontology trees are serialized alongside materials and
+classifications — so a snapshot restores bit-for-bit even if the code's
+built-in ontologies change later (exactly the cross-edition safety the
+migration tooling is about).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .classification import ClassificationSet
+from .material import CourseLevel, Material, MaterialKind
+from .ontology import BloomLevel, NodeKind, Ontology, Tier
+from .repository import Repository
+
+FORMAT_VERSION = 1
+
+
+def _ontology_to_dict(onto: Ontology) -> dict[str, Any]:
+    return {
+        "name": onto.name,
+        "description": onto.description,
+        "nodes": [
+            {
+                "key": n.key,
+                "label": n.label,
+                "kind": n.kind.value,
+                "parent": n.parent,
+                "code": n.code,
+                "tier": n.tier.value,
+                "bloom": n.bloom.value if n.bloom else None,
+                "hours": n.hours,
+                "cross_links": list(n.cross_links),
+            }
+            for n in onto.nodes()
+        ],
+    }
+
+
+def _ontology_from_dict(data: dict[str, Any]) -> Ontology:
+    onto = Ontology(data["name"], data.get("description", ""))
+    for node in data["nodes"]:
+        onto.add(
+            node["key"],
+            node["label"],
+            NodeKind(node["kind"]),
+            node["parent"] if node["parent"] != data["name"] else None,
+            code=node.get("code", ""),
+            tier=Tier(node.get("tier", "none")),
+            bloom=BloomLevel(node["bloom"]) if node.get("bloom") else None,
+            hours=node.get("hours", 0.0),
+            cross_links=tuple(node.get("cross_links", ())),
+        )
+    onto.validate()
+    return onto
+
+
+def export_repository(repo: Repository) -> dict[str, Any]:
+    """The full repository state as one JSON-serializable dict."""
+    materials = []
+    for material in repo.materials():
+        assert material.id is not None
+        cs = repo.classification_of(material.id)
+        materials.append({
+            "id": material.id,
+            "title": material.title,
+            "description": material.description,
+            "kind": material.kind.value,
+            "authors": list(material.authors),
+            "url": material.url,
+            "course_level": (
+                material.course_level.value if material.course_level else None
+            ),
+            "languages": list(material.languages),
+            "datasets": list(material.datasets),
+            "tags": list(material.tags),
+            "collection": material.collection,
+            "year": material.year,
+            "classifications": [
+                {
+                    "ontology": item.ontology,
+                    "key": item.key,
+                    "bloom": item.bloom.value if item.bloom else None,
+                }
+                for item in cs.items()
+            ],
+        })
+    users = repo.db.table("users").find()
+    return {
+        "format_version": FORMAT_VERSION,
+        "ontologies": [
+            _ontology_to_dict(o) for _, o in sorted(repo.ontologies.items())
+        ],
+        "materials": materials,
+        "users": users,
+    }
+
+
+def import_repository(data: dict[str, Any]) -> Repository:
+    """Rebuild a repository from :func:`export_repository` output.
+
+    Material ids are preserved (the dump is the source of truth for
+    cross-references like similarity-graph node ids).
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot format {version!r}; expected {FORMAT_VERSION}"
+        )
+    repo = Repository()
+    for onto_data in data["ontologies"]:
+        repo.add_ontology(_ontology_from_dict(onto_data))
+    for user in data.get("users", []):
+        repo.db.insert("users", **user)
+    for m in data["materials"]:
+        cs = ClassificationSet()
+        for c in m["classifications"]:
+            cs.add(
+                c["ontology"], c["key"],
+                BloomLevel(c["bloom"]) if c.get("bloom") else None,
+            )
+        material = Material(
+            title=m["title"],
+            description=m["description"],
+            kind=MaterialKind(m["kind"]),
+            authors=tuple(m["authors"]),
+            url=m.get("url", ""),
+            course_level=(
+                CourseLevel(m["course_level"]) if m.get("course_level") else None
+            ),
+            languages=tuple(m.get("languages", ())),
+            datasets=tuple(m.get("datasets", ())),
+            tags=tuple(m.get("tags", ())),
+            collection=m.get("collection", ""),
+            year=m.get("year"),
+        )
+        # Preserve the original id by inserting the row explicitly first.
+        with repo.db.transaction():
+            row = repo.db.insert(
+                "materials",
+                id=m["id"],
+                title=material.title,
+                description=material.description,
+                kind=material.kind.value,
+                url=material.url,
+                course_level=(
+                    material.course_level.value if material.course_level else None
+                ),
+                collection=material.collection,
+                year=material.year,
+            )
+            mid = row["id"]
+            repo._link_named(
+                repo.material_authors, "authors", mid, material.authors
+            )
+            repo._link_named(repo.material_tags, "tags", mid, material.tags)
+            repo._link_named(
+                repo.material_datasets, "datasets", mid, material.datasets
+            )
+            repo._link_named(
+                repo.material_languages, "languages", mid, material.languages
+            )
+            for item in cs.items():
+                repo.classify(mid, item.ontology, item.key, bloom=item.bloom)
+    return repo
+
+
+def save_json(repo: Repository, path: str | Path) -> Path:
+    """Write the snapshot to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(export_repository(repo), indent=1, sort_keys=True)
+    )
+    return path
+
+
+def load_json(path: str | Path) -> Repository:
+    """Read a snapshot produced by :func:`save_json`."""
+    return import_repository(json.loads(Path(path).read_text()))

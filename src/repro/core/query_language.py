@@ -1,0 +1,128 @@
+"""A small query language for expressive material search.
+
+Section II-A motivates "a more expansive, fine-grained classification
+system that allows for greater expressiveness in assignment search
+queries"; this module provides the textual form.  A query is free text
+plus ``field:value`` facets::
+
+    language:python level:cs1 monte carlo simulation
+    under:PDC12/PROG kind:assignment collection:peachy
+    year:2015..2018 dataset:yes tag:sorting
+
+Recognized facets: ``language:``, ``level:``, ``kind:``, ``collection:``,
+``tag:``, ``under:`` (ontology subtree key), ``year:`` (single year or
+``a..b`` range), ``dataset:yes|no``.  Unknown facet names raise
+:class:`QuerySyntaxError` (silent typos would turn facets into free
+text); everything else is free text passed to the TF-IDF ranker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .material import CourseLevel, MaterialKind
+from .search import SearchFilters
+
+
+class QuerySyntaxError(ValueError):
+    """The query string contains an unknown facet or malformed value."""
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    text: str
+    filters: SearchFilters
+
+
+_FACETS = {
+    "language", "level", "kind", "collection", "tag", "under", "year",
+    "dataset",
+}
+
+
+def _parse_year(value: str) -> tuple[int, int]:
+    if ".." in value:
+        lo_s, hi_s = value.split("..", 1)
+    else:
+        lo_s = hi_s = value
+    try:
+        lo, hi = int(lo_s), int(hi_s)
+    except ValueError:
+        raise QuerySyntaxError(
+            f"year facet expects YYYY or YYYY..YYYY, got {value!r}"
+        ) from None
+    if lo > hi:
+        raise QuerySyntaxError(f"empty year range {value!r}")
+    return lo, hi
+
+
+def parse_query(query: str) -> ParsedQuery:
+    """Split a query string into free text and :class:`SearchFilters`."""
+    text_terms: list[str] = []
+    languages: list[str] = []
+    levels: list[CourseLevel] = []
+    kinds: list[MaterialKind] = []
+    collections: list[str] = []
+    tags: list[str] = []
+    under: list[str] = []
+    years: tuple[int, int] | None = None
+    datasets_required: bool | None = None
+
+    for token in query.split():
+        if ":" not in token:
+            text_terms.append(token)
+            continue
+        field, _, value = token.partition(":")
+        field = field.lower()
+        if field not in _FACETS:
+            raise QuerySyntaxError(
+                f"unknown facet {field!r}; known: {sorted(_FACETS)}"
+            )
+        if not value:
+            raise QuerySyntaxError(f"facet {field!r} needs a value")
+        if field == "language":
+            languages.append(value)
+        elif field == "level":
+            try:
+                levels.append(CourseLevel(value.lower()))
+            except ValueError:
+                raise QuerySyntaxError(
+                    f"unknown course level {value!r}"
+                ) from None
+        elif field == "kind":
+            try:
+                kinds.append(MaterialKind(value.lower()))
+            except ValueError:
+                raise QuerySyntaxError(
+                    f"unknown material kind {value!r}"
+                ) from None
+        elif field == "collection":
+            collections.append(value)
+        elif field == "tag":
+            tags.append(value)
+        elif field == "under":
+            under.append(value)
+        elif field == "year":
+            years = _parse_year(value)
+        elif field == "dataset":
+            lowered = value.lower()
+            if lowered in ("yes", "true", "1"):
+                datasets_required = True
+            elif lowered in ("no", "false", "0"):
+                datasets_required = False
+            else:
+                raise QuerySyntaxError(
+                    f"dataset facet expects yes/no, got {value!r}"
+                )
+
+    filters = SearchFilters(
+        kinds=tuple(kinds),
+        course_levels=tuple(levels),
+        languages=tuple(languages),
+        datasets_required=datasets_required,
+        collections=tuple(collections),
+        years=years,
+        under=tuple(under),
+        tags=tuple(tags),
+    )
+    return ParsedQuery(text=" ".join(text_terms), filters=filters)

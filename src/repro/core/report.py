@@ -1,0 +1,138 @@
+"""Course coverage reports — the Section IV-B "take home message" engine.
+
+Produces, for a class's material set: the ranked areas it covers, the
+areas it leaves untouched, unit-level highlights inside covered areas,
+and "adjacent opportunity" areas (touched as side notes, candidates for
+engagement — the paper's Graphics/Intelligent Systems observation for
+ITCS 3145).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .coverage import CoverageReport, compute_coverage
+from .ontology import NodeKind, Ontology
+from .repository import Repository
+
+
+@dataclass
+class AreaSummary:
+    code: str
+    label: str
+    count: int
+    units_covered: list[tuple[str, int]]  # (unit label, count), desc
+
+
+@dataclass
+class ClassReport:
+    collection: str
+    ontology: str
+    n_materials: int
+    ranked_areas: list[AreaSummary]       # covered, most-touched first
+    untouched_areas: list[str]            # area labels with zero coverage
+    lightly_touched: list[AreaSummary]    # covered but below threshold
+    core_holes: list[str]                 # core topics nothing covers
+
+    def format(self, *, top_units: int = 3) -> str:
+        """Human-readable report, as an instructor would read it."""
+        lines = [
+            f"Coverage of {self.collection!r} against {self.ontology} "
+            f"({self.n_materials} materials)",
+            "=" * 72,
+            "",
+            "Covered areas (most-touched first):",
+        ]
+        for area in self.ranked_areas:
+            lines.append(f"  {area.code:4s} {area.label:<48s} {area.count:3d}")
+            for unit, count in area.units_covered[:top_units]:
+                lines.append(f"        - {unit:<44s} {count:3d}")
+        if self.lightly_touched:
+            lines.append("")
+            lines.append("Touched only as side notes (engagement opportunities):")
+            for area in self.lightly_touched:
+                lines.append(f"  {area.code:4s} {area.label:<48s} {area.count:3d}")
+        if self.untouched_areas:
+            lines.append("")
+            lines.append("Untouched areas:")
+            for label in self.untouched_areas:
+                lines.append(f"  - {label}")
+        if self.core_holes:
+            lines.append("")
+            lines.append("Core topics not covered by any material (first 10):")
+            for label in self.core_holes[:10]:
+                lines.append(f"  - {label}")
+        return "\n".join(lines)
+
+
+def class_report(
+    repo: Repository,
+    collection: str,
+    ontology_name: str,
+    *,
+    light_threshold: int = 2,
+) -> ClassReport:
+    """Build the full IV-B style report for one collection."""
+    onto = repo.ontology(ontology_name)
+    coverage = compute_coverage(repo, ontology_name, collection=collection)
+    ranked, light = [], []
+    for area, count in coverage.area_ranking(onto):
+        if count == 0:
+            continue
+        units = []
+        for unit in onto.children(area.key):
+            c = coverage.count(unit.key)
+            if c > 0:
+                units.append((unit.label, c))
+        units.sort(key=lambda pair: (-pair[1], pair[0]))
+        summary = AreaSummary(
+            code=area.code or area.label[:4],
+            label=area.label,
+            count=count,
+            units_covered=units,
+        )
+        if count <= light_threshold:
+            light.append(summary)
+        else:
+            ranked.append(summary)
+
+    from .gaps import curriculum_holes
+    from .ontology import Tier
+
+    holes = curriculum_holes(onto, coverage, tiers=(Tier.CORE1, Tier.CORE))
+    return ClassReport(
+        collection=collection,
+        ontology=ontology_name,
+        n_materials=coverage.n_materials,
+        ranked_areas=ranked,
+        untouched_areas=[a.label for a in coverage.uncovered_areas(onto)],
+        lightly_touched=light,
+        core_holes=[onto.path_string(n.key) for n in holes],
+    )
+
+
+def coverage_summary_table(
+    repo: Repository, collections: list[str], ontology_name: str
+) -> list[dict]:
+    """One row per collection: material count, entries touched, top area.
+
+    The tabular companion to Figure 2 used by benchmarks and EXPERIMENTS.md.
+    """
+    onto = repo.ontology(ontology_name)
+    rows = []
+    for collection in collections:
+        coverage = compute_coverage(repo, ontology_name, collection=collection)
+        ranking = coverage.area_ranking(onto)
+        top_area, top_count = ranking[0] if ranking else (None, 0)
+        rows.append(
+            {
+                "collection": collection,
+                "ontology": ontology_name,
+                "materials": coverage.n_materials,
+                "entries_touched": len(coverage.rollup_counts),
+                "areas_covered": len(coverage.covered_areas(onto)),
+                "top_area": top_area.label if top_area and top_count else "-",
+                "top_area_count": top_count,
+            }
+        )
+    return rows

@@ -1,0 +1,506 @@
+"""The CAR-CS repository: materials + ontologies + classifications.
+
+This is the system of Section III: a relational store of pedagogical
+materials where "tags, items in the classification, dataset used, and
+authors are associated with an assignment using a many-to-many
+relationship", plus the user-account/role machinery the conclusion calls
+for ("a proper user account system, and roles (editor, submitter, user)
+need to be integrated to enable a larger scale curation") — implemented
+here rather than left as future work.
+
+The web layer (:mod:`repro.web`) and every analysis (coverage, gaps,
+similarity) run on top of this facade.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping
+
+from repro.db import Column, Database, ForeignKey, ManyToMany, TableSchema
+from repro.db.errors import RowNotFound
+
+from .classification import ClassificationSet, validate_against
+from .material import CourseLevel, Material, MaterialKind, normalize_authors
+from .ontology import BloomLevel, NodeKind, Ontology, Tier
+
+
+class Role(enum.Enum):
+    """User roles from the paper's curation model (Section III-A)."""
+
+    EDITOR = "editor"
+    SUBMITTER = "submitter"
+    USER = "user"
+
+
+class SubmissionStatus(enum.Enum):
+    PENDING = "pending"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+
+
+class PermissionError_(Exception):
+    """An operation requires a role the acting user does not have."""
+
+
+class Repository:
+    """Facade over the relational engine implementing the CAR-CS model."""
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db if db is not None else Database("carcs")
+        self._ontologies: dict[str, Ontology] = {}
+        self._create_schema()
+
+    # ------------------------------------------------------------------ DDL
+
+    def _create_schema(self) -> None:
+        db = self.db
+        db.create_table(TableSchema(
+            "authors",
+            columns=(Column("id", int), Column("name", str)),
+            unique=(("name",),),
+        ))
+        db.create_table(TableSchema(
+            "tags",
+            columns=(Column("id", int), Column("name", str)),
+            unique=(("name",),),
+        ))
+        db.create_table(TableSchema(
+            "datasets",
+            columns=(Column("id", int), Column("name", str)),
+            unique=(("name",),),
+        ))
+        db.create_table(TableSchema(
+            "languages",
+            columns=(Column("id", int), Column("name", str)),
+            unique=(("name",),),
+        ))
+        db.create_table(TableSchema(
+            "users",
+            columns=(
+                Column("id", int),
+                Column("name", str),
+                Column("role", str),
+            ),
+            unique=(("name",),),
+        ))
+        db.create_table(TableSchema(
+            "materials",
+            columns=(
+                Column("id", int),
+                Column("title", str),
+                Column("description", str, default=""),
+                Column("kind", str, default=MaterialKind.ASSIGNMENT.value),
+                Column("url", str, default=""),
+                Column("course_level", str, nullable=True, default=None),
+                Column("collection", str, default=""),
+                Column("year", int, nullable=True, default=None),
+            ),
+        ))
+        # Ontology entries mirrored relationally, exactly as Section III-B
+        # describes: "a key, the key of the parent, a string description,
+        # and type (separating topics and learning outcomes)".
+        db.create_table(TableSchema(
+            "ontology_entries",
+            columns=(
+                Column("id", int),
+                Column("ontology", str),
+                Column("key", str),
+                Column("parent_key", str, nullable=True, default=None),
+                Column("label", str),
+                Column("kind", str),
+                Column("tier", str, default=Tier.NONE.value),
+                Column("bloom", str, nullable=True, default=None),
+            ),
+            unique=(("key",),),
+        ))
+        db.table("ontology_entries").create_index("ontology")
+        db.table("ontology_entries").create_index("parent_key")
+        db.table("materials").create_index("collection")
+
+        self.material_authors = ManyToMany(db, "material_authors", "materials", "authors")
+        self.material_tags = ManyToMany(db, "material_tags", "materials", "tags")
+        self.material_datasets = ManyToMany(db, "material_datasets", "materials", "datasets")
+        self.material_languages = ManyToMany(db, "material_languages", "materials", "languages")
+        self.material_classifications = ManyToMany(
+            db, "material_classifications", "materials", "ontology_entries",
+            extra_columns=(Column("bloom", str, nullable=True, default=None),),
+        )
+        db.create_table(TableSchema(
+            "submissions",
+            columns=(
+                Column("id", int),
+                Column("material_id", int),
+                Column("submitted_by", int),
+                Column("status", str, default=SubmissionStatus.PENDING.value),
+                Column("reviewed_by", int, nullable=True, default=None),
+                Column("note", str, default=""),
+            ),
+            foreign_keys=(
+                ForeignKey("material_id", "materials", on_delete="cascade"),
+                ForeignKey("submitted_by", "users"),
+            ),
+        ))
+        db.create_table(TableSchema(
+            "suggestions",
+            columns=(
+                Column("id", int),
+                Column("material_id", int),
+                Column("suggested_by", int),
+                Column("ontology_key", str),
+                Column("action", str),  # "add" | "remove"
+                Column("status", str, default=SubmissionStatus.PENDING.value),
+                Column("reviewed_by", int, nullable=True, default=None),
+            ),
+            foreign_keys=(
+                ForeignKey("material_id", "materials", on_delete="cascade"),
+                ForeignKey("suggested_by", "users"),
+            ),
+        ))
+
+    # ----------------------------------------------------------- ontologies
+
+    def add_ontology(self, ontology: Ontology) -> int:
+        """Mirror an ontology tree into the relational store.
+
+        Returns the number of entries inserted.  Idempotent per ontology
+        name (re-adding the same ontology raises).
+        """
+        if ontology.name in self._ontologies:
+            raise ValueError(f"ontology {ontology.name!r} already loaded")
+        inserted = 0
+        with self.db.transaction():
+            for node in ontology.nodes():
+                parent = node.parent
+                self.db.insert(
+                    "ontology_entries",
+                    ontology=ontology.name,
+                    key=node.key,
+                    parent_key=None if parent == ontology.root.key else parent,
+                    label=node.label,
+                    kind=node.kind.value,
+                    tier=node.tier.value,
+                    bloom=node.bloom.value if node.bloom else None,
+                )
+                inserted += 1
+        self._ontologies[ontology.name] = ontology
+        return inserted
+
+    @property
+    def ontologies(self) -> Mapping[str, Ontology]:
+        return dict(self._ontologies)
+
+    def ontology(self, name: str) -> Ontology:
+        try:
+            return self._ontologies[name]
+        except KeyError:
+            raise KeyError(
+                f"ontology {name!r} not loaded; have {sorted(self._ontologies)}"
+            ) from None
+
+    def entry_id(self, key: str) -> int:
+        row = self.db.table("ontology_entries").find_one(key=key)
+        if row is None:
+            raise KeyError(f"no ontology entry with key {key!r}")
+        return row["id"]
+
+    # ------------------------------------------------------------ materials
+
+    def _link_named(self, m2m: ManyToMany, table: str, material_id: int,
+                    names: Iterable[str]) -> None:
+        for name in names:
+            existing = self.db.table(table).find_one(name=name)
+            row = existing if existing is not None else self.db.insert(table, name=name)
+            m2m.add(material_id, row["id"])
+
+    def add_material(
+        self,
+        material: Material,
+        classification: ClassificationSet | None = None,
+    ) -> Material:
+        """Insert a material (and its relations); returns it with an id."""
+        if classification is not None:
+            problems = validate_against(classification, self._ontologies)
+            if problems:
+                raise ValueError(
+                    f"invalid classification for {material.title!r}: {problems}"
+                )
+        with self.db.transaction():
+            row = self.db.insert(
+                "materials",
+                title=material.title,
+                description=material.description,
+                kind=material.kind.value,
+                url=material.url,
+                course_level=(
+                    material.course_level.value if material.course_level else None
+                ),
+                collection=material.collection,
+                year=material.year,
+            )
+            mid = row["id"]
+            self._link_named(
+                self.material_authors, "authors", mid,
+                normalize_authors(material.authors),
+            )
+            self._link_named(self.material_tags, "tags", mid, material.tags)
+            self._link_named(
+                self.material_datasets, "datasets", mid, material.datasets
+            )
+            self._link_named(
+                self.material_languages, "languages", mid, material.languages
+            )
+            if classification is not None:
+                for item in classification.items():
+                    self.classify(
+                        mid, item.ontology, item.key, bloom=item.bloom
+                    )
+        return material.with_id(mid)
+
+    def _row_to_material(self, row: dict) -> Material:
+        mid = row["id"]
+        authors = tuple(
+            self.db.table("authors").get(aid)["name"]
+            for aid in sorted(self.material_authors.right_of(mid))
+        )
+        tags = tuple(
+            self.db.table("tags").get(tid)["name"]
+            for tid in sorted(self.material_tags.right_of(mid))
+        )
+        datasets = tuple(
+            self.db.table("datasets").get(did)["name"]
+            for did in sorted(self.material_datasets.right_of(mid))
+        )
+        languages = tuple(
+            self.db.table("languages").get(lid)["name"]
+            for lid in sorted(self.material_languages.right_of(mid))
+        )
+        return Material(
+            id=mid,
+            title=row["title"],
+            description=row["description"],
+            kind=MaterialKind(row["kind"]),
+            url=row["url"],
+            course_level=(
+                CourseLevel(row["course_level"]) if row["course_level"] else None
+            ),
+            collection=row["collection"],
+            year=row["year"],
+            authors=authors,
+            tags=tags,
+            datasets=datasets,
+            languages=languages,
+        )
+
+    def get_material(self, material_id: int) -> Material:
+        return self._row_to_material(self.db.table("materials").get(material_id))
+
+    def materials(self, collection: str | None = None) -> list[Material]:
+        table = self.db.table("materials")
+        rows = table.find(collection=collection) if collection else table.find()
+        rows.sort(key=lambda r: r["id"])
+        return [self._row_to_material(r) for r in rows]
+
+    def material_count(self, collection: str | None = None) -> int:
+        if collection is None:
+            return len(self.db.table("materials"))
+        return self.db.table("materials").count(collection=collection)
+
+    def collections(self) -> list[str]:
+        return sorted(
+            {r["collection"] for r in self.db.table("materials") if r["collection"]}
+        )
+
+    def delete_material(self, material_id: int) -> None:
+        # m2m link tables cascade; submissions/suggestions cascade.
+        self.db.delete("materials", material_id)
+
+    def update_material(self, material_id: int, **changes) -> Material:
+        allowed = {"title", "description", "url", "collection", "year"}
+        bad = set(changes) - allowed
+        if bad:
+            raise ValueError(f"cannot update column(s) {sorted(bad)}")
+        self.db.update("materials", material_id, **changes)
+        return self.get_material(material_id)
+
+    # -------------------------------------------------------- classification
+
+    def classify(
+        self,
+        material_id: int,
+        ontology: str,
+        key: str,
+        *,
+        bloom: BloomLevel | None = None,
+    ) -> None:
+        """Attach one ontology entry to a material (idempotent)."""
+        onto = self.ontology(ontology)
+        if key not in onto:
+            raise KeyError(f"{ontology} has no entry {key!r}")
+        self.db.table("materials").get(material_id)  # raises if missing
+        self.material_classifications.add(
+            material_id,
+            self.entry_id(key),
+            bloom=bloom.value if bloom else None,
+        )
+
+    def declassify(self, material_id: int, key: str) -> bool:
+        try:
+            eid = self.entry_id(key)
+        except KeyError:
+            return False
+        return self.material_classifications.remove(material_id, eid)
+
+    def classification_of(self, material_id: int) -> ClassificationSet:
+        cs = ClassificationSet()
+        entries = self.db.table("ontology_entries")
+        for link in self.material_classifications.links_of(material_id):
+            entry = entries.get(link["ontology_entries_id"])
+            bloom = BloomLevel(link["bloom"]) if link["bloom"] else None
+            cs.add(entry["ontology"], entry["key"], bloom)
+        return cs
+
+    def materials_with(self, key: str) -> list[Material]:
+        """All materials classified under the ontology entry ``key``."""
+        try:
+            eid = self.entry_id(key)
+        except KeyError:
+            return []
+        mids = sorted(self.material_classifications.left_of(eid))
+        return [self.get_material(mid) for mid in mids]
+
+    def classification_pairs(
+        self, collection: str | None = None
+    ) -> list[tuple[int, str]]:
+        """(material_id, ontology key) pairs — the bulk export the
+        coverage/similarity analyses consume in one pass."""
+        entries = self.db.table("ontology_entries")
+        wanted: set[int] | None = None
+        if collection is not None:
+            wanted = {
+                r["id"]
+                for r in self.db.table("materials").find(collection=collection)
+            }
+        out = []
+        for mid, eid in self.material_classifications.pairs():
+            if wanted is not None and mid not in wanted:
+                continue
+            out.append((mid, entries.get(eid)["key"]))
+        return out
+
+    # ------------------------------------------------------ users & curation
+
+    def add_user(self, name: str, role: Role) -> int:
+        return self.db.insert("users", name=name, role=role.value)["id"]
+
+    def user_role(self, user_id: int) -> Role:
+        return Role(self.db.table("users").get(user_id)["role"])
+
+    def _require_role(self, user_id: int, *roles: Role) -> None:
+        role = self.user_role(user_id)
+        if role not in roles:
+            raise PermissionError_(
+                f"user {user_id} has role {role.value!r}; needs one of "
+                f"{[r.value for r in roles]}"
+            )
+
+    def submit_material(
+        self,
+        material: Material,
+        classification: ClassificationSet | None,
+        *,
+        submitted_by: int,
+    ) -> int:
+        """Crowdsourced path: any registered user may submit; the material
+        is stored but flagged pending until an editor approves it."""
+        self._require_role(
+            submitted_by, Role.SUBMITTER, Role.EDITOR, Role.USER
+        )
+        stored = self.add_material(material, classification)
+        sub = self.db.insert(
+            "submissions", material_id=stored.id, submitted_by=submitted_by
+        )
+        return sub["id"]
+
+    def review_submission(
+        self, submission_id: int, *, editor: int, approve: bool, note: str = ""
+    ) -> SubmissionStatus:
+        """Editors 'can appropriately edit or fix classification issues
+        with a submitted material' — or reject it (deleting the material)."""
+        self._require_role(editor, Role.EDITOR)
+        sub = self.db.table("submissions").get(submission_id)
+        if sub["status"] != SubmissionStatus.PENDING.value:
+            raise ValueError("submission already reviewed")
+        status = SubmissionStatus.APPROVED if approve else SubmissionStatus.REJECTED
+        self.db.update(
+            "submissions", submission_id,
+            status=status.value, reviewed_by=editor, note=note,
+        )
+        if not approve:
+            # Deleting the material cascades into the submission row too,
+            # so record the review *then* delete.
+            self.db.delete("materials", sub["material_id"])
+        return status
+
+    def pending_submissions(self) -> list[dict]:
+        return self.db.table("submissions").find(
+            status=SubmissionStatus.PENDING.value
+        )
+
+    def approved_material_ids(self) -> set[int]:
+        return {
+            r["material_id"]
+            for r in self.db.table("submissions").find(
+                status=SubmissionStatus.APPROVED.value
+            )
+        }
+
+    def suggest_classification(
+        self, material_id: int, key: str, *, action: str, suggested_by: int
+    ) -> int:
+        """'Less knowledgeable users can suggest changes to the metadata
+        which must be verified by an editor.'"""
+        if action not in ("add", "remove"):
+            raise ValueError("action must be 'add' or 'remove'")
+        self.entry_id(key)  # must exist
+        self.db.table("materials").get(material_id)
+        return self.db.insert(
+            "suggestions",
+            material_id=material_id,
+            suggested_by=suggested_by,
+            ontology_key=key,
+            action=action,
+        )["id"]
+
+    def review_suggestion(
+        self, suggestion_id: int, *, editor: int, approve: bool
+    ) -> SubmissionStatus:
+        self._require_role(editor, Role.EDITOR)
+        sug = self.db.table("suggestions").get(suggestion_id)
+        if sug["status"] != SubmissionStatus.PENDING.value:
+            raise ValueError("suggestion already reviewed")
+        status = SubmissionStatus.APPROVED if approve else SubmissionStatus.REJECTED
+        self.db.update(
+            "suggestions", suggestion_id,
+            status=status.value, reviewed_by=editor,
+        )
+        if approve:
+            entry = self.db.table("ontology_entries").find_one(
+                key=sug["ontology_key"]
+            )
+            assert entry is not None
+            if sug["action"] == "add":
+                self.classify(
+                    sug["material_id"], entry["ontology"], sug["ontology_key"]
+                )
+            else:
+                self.declassify(sug["material_id"], sug["ontology_key"])
+        return status
+
+    # ------------------------------------------------------------- summary
+
+    def stats(self) -> dict[str, int]:
+        """Row counts of the main tables (used by reports and benches)."""
+        base = self.db.stats()
+        base["classification_links"] = len(self.material_classifications)
+        return base

@@ -1,0 +1,169 @@
+"""Faceted and full-text search over materials.
+
+Section III-A: "one can explicitly filter against a group of features
+that is of interest to an instructor looking for material" — course
+level, language, dataset use, kind, collection, and (most importantly)
+classification under an ontology subtree.  Full-text ranking uses the
+TF-IDF substrate so "traditional search tools" queries work too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.text import TfidfVectorizer, cosine_matrix
+
+from .material import CourseLevel, Material, MaterialKind
+from .repository import Repository
+
+
+@dataclass
+class SearchFilters:
+    """Conjunction of facet constraints; ``None``/empty means 'any'."""
+
+    kinds: tuple[MaterialKind, ...] = ()
+    course_levels: tuple[CourseLevel, ...] = ()
+    languages: tuple[str, ...] = ()
+    datasets_required: bool | None = None
+    collections: tuple[str, ...] = ()
+    years: tuple[int, int] | None = None           # inclusive range
+    under: tuple[str, ...] = ()                    # ontology subtree keys
+    tags: tuple[str, ...] = ()
+
+    def matches(self, material: Material, classified_keys: frozenset[str],
+                subtree_sets: Sequence[frozenset[str]]) -> bool:
+        if self.kinds and material.kind not in self.kinds:
+            return False
+        if self.course_levels and material.course_level not in self.course_levels:
+            return False
+        if self.languages and not (
+            set(l.lower() for l in self.languages)
+            & set(l.lower() for l in material.languages)
+        ):
+            return False
+        if self.datasets_required is True and not material.datasets:
+            return False
+        if self.datasets_required is False and material.datasets:
+            return False
+        if self.collections and material.collection not in self.collections:
+            return False
+        if self.years is not None:
+            lo, hi = self.years
+            if material.year is None or not (lo <= material.year <= hi):
+                return False
+        if self.tags and not (set(self.tags) & set(material.tags)):
+            return False
+        # Every requested subtree must be touched by the classification.
+        for subtree in subtree_sets:
+            if not (classified_keys & subtree):
+                return False
+        return True
+
+
+@dataclass
+class SearchHit:
+    material: Material
+    score: float
+
+
+class SearchEngine:
+    """Combined facet + full-text search over one repository.
+
+    The TF-IDF index is built lazily from material titles/descriptions and
+    invalidated explicitly (:meth:`refresh`) after bulk changes.
+    """
+
+    def __init__(self, repo: Repository) -> None:
+        self.repo = repo
+        self._materials: list[Material] = []
+        self._vectorizer: TfidfVectorizer | None = None
+        self._matrix: np.ndarray | None = None
+
+    def refresh(self) -> None:
+        self._materials = self.repo.materials()
+        texts = [m.text() for m in self._materials]
+        if texts:
+            self._vectorizer = TfidfVectorizer(min_df=1)
+            self._matrix = self._vectorizer.fit_transform(texts)
+        else:
+            self._vectorizer = None
+            self._matrix = None
+
+    def _ensure_index(self) -> None:
+        if self._vectorizer is None or len(self._materials) != self.repo.material_count():
+            self.refresh()
+
+    def _subtree_sets(self, filters: SearchFilters) -> list[frozenset[str]]:
+        sets = []
+        for key in filters.under:
+            onto_name = key.split("/", 1)[0]
+            onto = self.repo.ontology(onto_name)
+            sets.append(frozenset(onto.subtree_keys(key)))
+        return sets
+
+    def search(
+        self,
+        text: str = "",
+        filters: SearchFilters | None = None,
+        *,
+        limit: int = 20,
+    ) -> list[SearchHit]:
+        """Ranked results; with empty ``text`` returns facet matches with
+        score 1.0 in repository order."""
+        self._ensure_index()
+        filters = filters or SearchFilters()
+        subtree_sets = self._subtree_sets(filters)
+
+        candidates: list[tuple[int, Material]] = []
+        for idx, material in enumerate(self._materials):
+            assert material.id is not None
+            keys = frozenset(
+                str(item.key)
+                for item in self.repo.classification_of(material.id).items()
+            )
+            if filters.matches(material, keys, subtree_sets):
+                candidates.append((idx, material))
+
+        if not text.strip():
+            return [SearchHit(m, 1.0) for _, m in candidates[:limit]]
+
+        if self._vectorizer is None or self._matrix is None or not candidates:
+            return []
+        qvec = self._vectorizer.transform([text])
+        rows = np.array([idx for idx, _ in candidates])
+        sims = cosine_matrix(qvec, self._matrix[rows]).ravel()
+        order = np.argsort(-sims, kind="stable")
+        hits = [
+            SearchHit(candidates[int(i)][1], float(sims[int(i)]))
+            for i in order
+            if sims[int(i)] > 0.0
+        ]
+        return hits[:limit]
+
+    def similar_to(
+        self, material_id: int, *, limit: int = 10
+    ) -> list[SearchHit]:
+        """Text-level nearest neighbours of a material (complements the
+        classification-level similarity of :mod:`repro.core.similarity`)."""
+        self._ensure_index()
+        if self._matrix is None:
+            return []
+        try:
+            row = next(
+                i for i, m in enumerate(self._materials) if m.id == material_id
+            )
+        except StopIteration:
+            raise KeyError(f"no material with id {material_id}") from None
+        sims = cosine_matrix(
+            self._matrix[row : row + 1], self._matrix
+        ).ravel()
+        sims[row] = -1.0
+        order = np.argsort(-sims, kind="stable")[:limit]
+        return [
+            SearchHit(self._materials[int(i)], float(sims[int(i)]))
+            for i in order
+            if sims[int(i)] > 0.0
+        ]

@@ -1,0 +1,209 @@
+"""Similarity between materials via shared classification items.
+
+Section IV-D / Figure 3: "A Nifty assignment and a Peachy assignment are
+said to be similar if they share two classification items and this
+similarity is represented by an edge."  This module generalizes that
+rule: shared-item counts between two material sets (or within one set)
+are computed with one vectorised binary-matrix multiply, then thresholded
+into a :mod:`networkx` graph.  Jaccard and cosine weights are exposed for
+the ablation study (why "two shared items"?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .repository import Repository
+
+
+@dataclass
+class MaterialVectorSpace:
+    """Binary material × ontology-entry incidence matrix."""
+
+    material_ids: list[int]
+    entry_keys: list[str]
+    matrix: np.ndarray  # (n_materials, n_entries), float64 of {0.0, 1.0}
+
+    @property
+    def n(self) -> int:
+        return len(self.material_ids)
+
+    def row_of(self, material_id: int) -> np.ndarray:
+        return self.matrix[self.material_ids.index(material_id)]
+
+
+def incidence(
+    repo: Repository,
+    material_ids: Sequence[int],
+    *,
+    ontologies: Iterable[str] | None = None,
+) -> MaterialVectorSpace:
+    """Build the binary incidence matrix for the given materials.
+
+    ``ontologies`` restricts which classification namespaces contribute
+    (Figure 3 uses both; the ablation can isolate one).
+    """
+    onto_filter = set(ontologies) if ontologies is not None else None
+    per_material: dict[int, set[str]] = {mid: set() for mid in material_ids}
+    wanted = set(material_ids)
+    for mid, key in repo.classification_pairs():
+        if mid not in wanted:
+            continue
+        if onto_filter is not None:
+            name = key.split("/", 1)[0]
+            if name not in onto_filter:
+                continue
+        per_material[mid].add(key)
+    entry_keys = sorted(set().union(*per_material.values()) if per_material else set())
+    index = {k: i for i, k in enumerate(entry_keys)}
+    matrix = np.zeros((len(material_ids), len(entry_keys)), dtype=np.float64)
+    for row, mid in enumerate(material_ids):
+        for key in per_material[mid]:
+            matrix[row, index[key]] = 1.0
+    return MaterialVectorSpace(list(material_ids), entry_keys, matrix)
+
+
+def shared_item_matrix(
+    a: MaterialVectorSpace, b: MaterialVectorSpace | None = None
+) -> np.ndarray:
+    """Pairwise counts of shared classification items.
+
+    One matrix multiply over aligned binary matrices — the hot loop of the
+    Figure 3 computation, vectorised per the HPC guide.
+    """
+    if b is None:
+        return a.matrix @ a.matrix.T
+    # Align the two entry vocabularies onto their union.
+    union = sorted(set(a.entry_keys) | set(b.entry_keys))
+    index = {k: i for i, k in enumerate(union)}
+
+    def lift(space: MaterialVectorSpace) -> np.ndarray:
+        lifted = np.zeros((space.n, len(union)), dtype=np.float64)
+        cols = [index[k] for k in space.entry_keys]
+        lifted[:, cols] = space.matrix
+        return lifted
+
+    return lift(a) @ lift(b).T
+
+
+def jaccard_matrix(
+    a: MaterialVectorSpace, b: MaterialVectorSpace | None = None
+) -> np.ndarray:
+    """Pairwise Jaccard similarity of classification sets."""
+    shared = shared_item_matrix(a, b)
+    sa = a.matrix.sum(axis=1)
+    sb = sa if b is None else b.matrix.sum(axis=1)
+    union = sa[:, None] + sb[None, :] - shared
+    with np.errstate(invalid="ignore", divide="ignore"):
+        jac = np.where(union > 0, shared / union, 0.0)
+    return jac
+
+
+@dataclass
+class SimilarityEdge:
+    left_id: int
+    right_id: int
+    shared: int
+    shared_keys: tuple[str, ...]
+
+
+def similarity_graph(
+    repo: Repository,
+    left_ids: Sequence[int],
+    right_ids: Sequence[int] | None = None,
+    *,
+    threshold: int = 2,
+    ontologies: Iterable[str] | None = None,
+    left_group: str = "left",
+    right_group: str = "right",
+) -> nx.Graph:
+    """The Figure 3 graph.
+
+    Nodes are material ids annotated with ``group`` and ``title``; an edge
+    joins a left and a right material sharing at least ``threshold``
+    classification items (edge attributes: ``shared`` count and the
+    ``shared_keys`` themselves).  With ``right_ids=None`` the graph is
+    built within one set (self-pairs excluded).
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    cross = right_ids is not None
+    a = incidence(repo, left_ids, ontologies=ontologies)
+    b = incidence(repo, right_ids, ontologies=ontologies) if cross else None
+
+    graph = nx.Graph()
+    for mid in left_ids:
+        graph.add_node(mid, group=left_group, title=repo.get_material(mid).title)
+    if cross:
+        assert right_ids is not None
+        for mid in right_ids:
+            graph.add_node(
+                mid, group=right_group, title=repo.get_material(mid).title
+            )
+
+    shared = shared_item_matrix(a, b)
+    rows, cols = np.nonzero(shared >= threshold)
+    left_sets = {mid: set() for mid in a.material_ids}
+    for row, mid in enumerate(a.material_ids):
+        left_sets[mid] = {
+            a.entry_keys[j] for j in np.nonzero(a.matrix[row])[0]
+        }
+    if cross:
+        assert b is not None
+        right_sets = {}
+        for row, mid in enumerate(b.material_ids):
+            right_sets[mid] = {
+                b.entry_keys[j] for j in np.nonzero(b.matrix[row])[0]
+            }
+    else:
+        right_sets = left_sets
+
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        left_mid = a.material_ids[r]
+        right_mid = (b or a).material_ids[c]
+        if not cross:
+            if left_mid >= right_mid:  # dedupe the symmetric matrix
+                continue
+        keys = tuple(sorted(left_sets[left_mid] & right_sets[right_mid]))
+        graph.add_edge(
+            left_mid, right_mid, shared=int(shared[r, c]), shared_keys=keys
+        )
+    return graph
+
+
+def isolated_materials(graph: nx.Graph, group: str | None = None) -> list[int]:
+    """Nodes with no edge — "most assignments have no similar assignment
+    in the other set" (Section IV-D)."""
+    out = []
+    for node, data in graph.nodes(data=True):
+        if group is not None and data.get("group") != group:
+            continue
+        if graph.degree(node) == 0:
+            out.append(node)
+    return sorted(out)
+
+
+def clusters(graph: nx.Graph, *, min_size: int = 2) -> list[set[int]]:
+    """Connected components with at least ``min_size`` nodes, largest first."""
+    comps = [set(c) for c in nx.connected_components(graph) if len(c) >= min_size]
+    comps.sort(key=lambda c: (-len(c), min(c)))
+    return comps
+
+
+def edges_with_shared_keys(graph: nx.Graph) -> list[SimilarityEdge]:
+    out = []
+    for u, v, data in graph.edges(data=True):
+        out.append(
+            SimilarityEdge(
+                left_id=min(u, v),
+                right_id=max(u, v),
+                shared=data["shared"],
+                shared_keys=data["shared_keys"],
+            )
+        )
+    out.sort(key=lambda e: (-e.shared, e.left_id, e.right_id))
+    return out

@@ -1,0 +1,17 @@
+"""The curated corpus substrate: Nifty, Peachy, ITCS 3145 + generator."""
+
+from . import itcs3145, nifty, peachy
+from .base import MANUAL_CLASSIFICATION_MINUTES, Spec, load_into
+from .seed import collection_ids, seed_all, seed_ontologies
+
+__all__ = [
+    "MANUAL_CLASSIFICATION_MINUTES",
+    "Spec",
+    "collection_ids",
+    "itcs3145",
+    "load_into",
+    "nifty",
+    "peachy",
+    "seed_all",
+    "seed_ontologies",
+]

@@ -1,0 +1,153 @@
+"""Parameterised synthetic corpus generator.
+
+The paper's crowdsourcing vision implies corpora far larger than the 97
+seeded materials; the SCALE benchmark (DESIGN.md) measures how coverage,
+similarity and search behave as the repository grows.  This generator
+produces deterministic synthetic materials whose classifications follow a
+realistic skewed (Zipf-like) popularity distribution over ontology
+entries, with tunable topical clustering so the similarity graph has
+non-trivial structure at every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classification import ClassificationSet
+from repro.core.material import CourseLevel, Material, MaterialKind
+from repro.core.ontology import NodeKind, Ontology
+from repro.core.repository import Repository
+
+_ADJECTIVES = (
+    "adaptive", "blazing", "compact", "dynamic", "elegant", "fuzzy",
+    "greedy", "hybrid", "incremental", "jittery", "kinetic", "layered",
+    "modular", "nimble", "optimal", "parallel", "quick", "robust",
+    "scalable", "tiny",
+)
+_NOUNS = (
+    "automaton", "buffer", "cipher", "dataset", "engine", "filter",
+    "graph", "heap", "index", "journal", "kernel", "lattice", "matrix",
+    "network", "oracle", "pipeline", "queue", "scheduler", "tree",
+    "vector",
+)
+_VERBS = (
+    "analyze", "balance", "compress", "decode", "explore", "fold",
+    "generate", "hash", "iterate", "join", "merge", "navigate",
+    "order", "partition", "query", "rank", "sample", "traverse",
+    "update", "visualize",
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the synthetic corpus."""
+
+    n_materials: int = 100
+    min_items: int = 2              # classification entries per material
+    max_items: int = 8
+    n_clusters: int = 8             # topical neighborhoods in entry space
+    zipf_s: float = 1.3             # popularity skew of ontology entries
+    seed: int = 20190520            # IPDPSW 2019 opening day
+    collection: str = "synthetic"
+
+
+def _leaf_keys(ontology: Ontology) -> list[str]:
+    return [
+        n.key
+        for n in ontology.nodes()
+        if n.kind in (NodeKind.TOPIC, NodeKind.LEARNING_OUTCOME)
+    ]
+
+
+def generate_specs(
+    ontology: Ontology, config: GeneratorConfig
+) -> list[tuple[Material, ClassificationSet]]:
+    """Deterministic synthetic (material, classification) pairs.
+
+    Entries are drawn per material from a mixture of a global Zipf
+    popularity law and the material's cluster-local preference, so both
+    the "few hot topics" and "topical neighborhoods" properties of real
+    corpora are present.
+    """
+    rng = np.random.default_rng(config.seed)
+    leaves = _leaf_keys(ontology)
+    n_leaves = len(leaves)
+    if n_leaves == 0:
+        raise ValueError("ontology has no leaf entries")
+
+    # Global popularity: Zipf over a random permutation of the leaves.
+    ranks = rng.permutation(n_leaves) + 1
+    popularity = 1.0 / np.power(ranks.astype(np.float64), config.zipf_s)
+    popularity /= popularity.sum()
+
+    # Cluster-local preferences: each cluster concentrates on a random
+    # subset of ~5% of entries.
+    cluster_masks = []
+    width = max(4, n_leaves // 20)
+    for _ in range(config.n_clusters):
+        chosen = rng.choice(n_leaves, size=width, replace=False)
+        mask = np.zeros(n_leaves)
+        mask[chosen] = 1.0
+        cluster_masks.append(mask)
+
+    out: list[tuple[Material, ClassificationSet]] = []
+    levels = list(CourseLevel)
+    kinds = (
+        MaterialKind.ASSIGNMENT,
+        MaterialKind.ASSIGNMENT,
+        MaterialKind.ASSIGNMENT,
+        MaterialKind.LECTURE_SLIDES,
+        MaterialKind.EXAM,
+    )
+    for i in range(config.n_materials):
+        cluster = int(rng.integers(config.n_clusters))
+        local = cluster_masks[cluster]
+        # 60% local neighborhood, 40% global popularity.
+        weights = 0.6 * local / max(local.sum(), 1.0) + 0.4 * popularity
+        weights /= weights.sum()
+        k = int(rng.integers(config.min_items, config.max_items + 1))
+        k = min(k, n_leaves)
+        chosen = rng.choice(n_leaves, size=k, replace=False, p=weights)
+
+        adjective = _ADJECTIVES[int(rng.integers(len(_ADJECTIVES)))]
+        noun = _NOUNS[int(rng.integers(len(_NOUNS)))]
+        verb = _VERBS[int(rng.integers(len(_VERBS)))]
+        labels = [ontology.node(leaves[int(c)]).label for c in chosen[:3]]
+        material = Material(
+            title=f"Synthetic {i:05d}: the {adjective} {noun}",
+            description=(
+                f"Students {verb} a {adjective} {noun} while practicing "
+                + "; ".join(l.lower() for l in labels)
+                + "."
+            ),
+            kind=kinds[int(rng.integers(len(kinds)))],
+            course_level=levels[int(rng.integers(len(levels)))],
+            collection=config.collection,
+            year=2010 + int(rng.integers(10)),
+        )
+        cs = ClassificationSet()
+        for c in chosen:
+            cs.add(ontology.name, leaves[int(c)])
+        out.append((material, cs))
+    return out
+
+
+def seed_synthetic(
+    repo: Repository,
+    ontology_name: str = "CS13",
+    config: GeneratorConfig | None = None,
+) -> list[int]:
+    """Generate and insert a synthetic corpus; returns the material ids.
+
+    The ontology must already be loaded in the repository.
+    """
+    config = config or GeneratorConfig()
+    ontology = repo.ontology(ontology_name)
+    ids = []
+    for material, cs in generate_specs(ontology, config):
+        stored = repo.add_material(material, cs)
+        assert stored.id is not None
+        ids.append(stored.id)
+    return ids

@@ -1,0 +1,293 @@
+"""ITCS 3145: Parallel and Distributed Computing (UNC Charlotte).
+
+"We have entered all of the learning materials from the class ITCS 3145
+... That class is composed of 12 slide decks and 9 assignments.  The
+materials of class consist of lecture slides and scaffolded assignments
+on parallel algorithms to be implemented on shared memory systems
+(pthreads, OpenMP) and distributed memory systems (MPI and
+MapReduce-MPI)." (Sections III-B, IV-A.)
+
+Classification constraints reconstructed from Section IV-B:
+
+* PDC12: Programming first, Algorithm second; Architecture and
+  Cross-Cutting mostly untouched; no distributed-systems, complexity-
+  theory, complex-algorithm, or Tools entries at all (the paper calls the
+  missing tools coverage "an omission of the instructor");
+* CS13: PD first, then AL, then CN (stencils, numerical integration, and
+  Fundamental Parallel Computing under CN::Processing), then SDF (basic
+  constructs with a parallel twist and unit-test scaffolding); partial
+  OS, PL and AR; zero HCI, SP, IAS, PBD, GV and IS;
+* the early numerical-integration assignment checks
+  CN::Numerical Analysis::Numerical differentiation and integration,
+  the paper's Bloom-level discussion example.
+"""
+
+from __future__ import annotations
+
+from repro.core.material import CourseLevel, MaterialKind
+
+from . import keys as K
+from .base import Spec, check_unique_titles
+
+COLLECTION = "itcs3145"
+
+ADV = CourseLevel.ADVANCED
+SLIDES = MaterialKind.LECTURE_SLIDES
+
+_AUTHOR = ("Erik Saule",)
+
+SPECS: tuple[Spec, ...] = (
+    # ------------------------------ 12 slide decks -------------------------
+    Spec(
+        "Why Parallel Computing?", kind=SLIDES, year=2018, level=ADV,
+        authors=_AUTHOR,
+        description=(
+            "Course opener: the end of Dennard scaling and the power wall, "
+            "why every modern machine is parallel, and what running "
+            "multiple computations simultaneously changes for programmers."
+        ),
+        cs13=(K.PD_MULTI_SIM, K.PD_GOALS, K.AR_POWERWALL, K.CN_PROC_PARALLEL),
+        pdc12=(K.X_WHYPDC, K.X_HISTORY),
+    ),
+    Spec(
+        "Task Graphs, Work and Span", kind=SLIDES, year=2018, level=ADV,
+        authors=_AUTHOR,
+        description=(
+            "Dependency graphs as the course's central model: work, span, "
+            "and asymptotic bounds on parallel time derived from the "
+            "structure of the computation DAG."
+        ),
+        cs13=(K.PD_CPW, K.AL_BIGO, K.AL_RECURRENCES),
+        pdc12=(K.A_TASKGRAPHS, K.A_WORKSPAN, K.A_ASYMPTOTIC),
+    ),
+    Spec(
+        "Scheduling and Load Balancing", kind=SLIDES, year=2018, level=ADV,
+        authors=_AUTHOR,
+        description=(
+            "Mapping a task graph onto processors: makespan, greedy list "
+            "scheduling and Graham's bound, and static versus dynamic load "
+            "balancing."
+        ),
+        cs13=(K.PD_SCHED, K.PD_LOADBAL, K.AL_GREEDY),
+        pdc12=(K.A_MAKESPAN, K.A_LIST_SCHED, K.P_SCHEDMAP, K.P_LOADBAL),
+    ),
+    Spec(
+        "Pthreads I: Threads and Mutual Exclusion", kind=SLIDES, year=2018,
+        level=ADV, authors=_AUTHOR,
+        description=(
+            "Spawning and joining POSIX threads, shared-memory "
+            "communication, and protecting shared state with mutexes and "
+            "critical sections."
+        ),
+        cs13=(K.PD_SHMEM, K.PD_ATOMICITY, K.OS_THREADS, K.OS_MUTEX,
+              K.PL_THREADS),
+        pdc12=(K.P_PTHREADS, K.P_TASKSPAWN, K.P_CRITICAL, K.P_TASKS_THREADS,
+               K.P_SHMEM),
+    ),
+    Spec(
+        "Pthreads II: Condition Variables and Producer-Consumer",
+        kind=SLIDES, year=2018, level=ADV, authors=_AUTHOR,
+        description=(
+            "Coordination beyond locks: condition variables, the "
+            "producer-consumer pattern, and the data races and deadlocks "
+            "that appear when coordination goes wrong."
+        ),
+        cs13=(K.PD_PRODCON, K.PD_RACES, K.PD_DEADLOCK, K.OS_SYNC,
+              K.OS_PRODCON),
+        pdc12=(K.P_PRODCON, K.P_RACES, K.P_DEADLOCK),
+    ),
+    Spec(
+        "OpenMP", kind=SLIDES, year=2018, level=ADV, authors=_AUTHOR,
+        description=(
+            "Directive-based shared-memory programming: parallel regions, "
+            "work-sharing loops, reductions, and data-sharing clauses."
+        ),
+        cs13=(K.PD_LOOPS, K.PD_DATA_DECOMP, K.PL_DATA_PAR),
+        pdc12=(K.P_OPENMP, K.P_PARLOOPS, K.P_DATAPAR, K.P_SHMEM),
+    ),
+    Spec(
+        "Speedup, Efficiency and Amdahl's Law", kind=SLIDES, year=2018,
+        level=ADV, authors=_AUTHOR,
+        description=(
+            "Measuring parallel programs: speedup and efficiency curves, "
+            "Amdahl's law, and how to benchmark honestly on a shared "
+            "machine."
+        ),
+        cs13=(K.PD_SPEEDUP, K.PD_PERF_MEASURE, K.AL_EMPIRICAL,
+              K.CN_PROC_COSTS),
+        pdc12=(K.P_SPEEDUP, K.P_AMDAHL, K.A_SPEEDUP),
+    ),
+    Spec(
+        "Parallel Algorithms: Reductions and Prefix Sums", kind=SLIDES,
+        year=2018, level=ADV, authors=_AUTHOR,
+        description=(
+            "The reduction and scan building blocks: tree-shaped "
+            "divide-and-conquer formulations and their work/span analysis."
+        ),
+        cs13=(K.PD_PATTERNS, K.AL_DNC),
+        pdc12=(K.A_REDUCTION, K.A_SCAN, K.A_DNC),
+    ),
+    Spec(
+        "Parallel Sorting", kind=SLIDES, year=2018, level=ADV,
+        authors=_AUTHOR,
+        description=(
+            "Merge-based and sample-based parallel sorting algorithms and "
+            "the structure of their parallel divide-and-conquer trees."
+        ),
+        cs13=(K.PD_MATRIX_SORT, K.AL_SORT_NLOGN, K.AL_DNC),
+        pdc12=(K.A_SORTING, K.A_DNC),
+    ),
+    Spec(
+        "Distributed Memory and MPI", kind=SLIDES, year=2018, level=ADV,
+        authors=_AUTHOR,
+        description=(
+            "Message passing with MPI: SPMD structure, point-to-point and "
+            "collective operations, and the latency/bandwidth model of "
+            "communication."
+        ),
+        cs13=(K.PD_MSG, K.PD_SHARED_DIST),
+        pdc12=(K.P_MPI, K.P_DISTMEM, K.P_SPMD, K.A_BCAST, K.A_SCATTERGATHER,
+               K.ARCH_LATBW),
+    ),
+    Spec(
+        "Shared Memory Hardware and the Memory Hierarchy", kind=SLIDES,
+        year=2018, level=ADV, authors=_AUTHOR,
+        description=(
+            "What the machine does underneath: multicore chips, caches and "
+            "coherence, data locality, and the false-sharing pitfalls that "
+            "follow."
+        ),
+        cs13=(K.PD_CACHES, K.PD_LOCALITY, K.PD_MULTICORE, K.AR_MULTICORE,
+              K.AR_MEM_LOCALITY, K.AR_CACHE_ORG),
+        pdc12=(K.ARCH_MEMHIER, K.P_LOCALITY, K.P_FALSE_SHARING),
+    ),
+    Spec(
+        "MapReduce with MPI", kind=SLIDES, year=2018, level=ADV,
+        authors=_AUTHOR,
+        description=(
+            "The map-reduce programming model and its expression with the "
+            "MapReduce-MPI library for large distributed datasets."
+        ),
+        cs13=(K.PD_CLOUD_FRAMEWORKS, K.PD_PATTERNS, K.PD_MSG),
+        pdc12=(K.P_DISTMEM, K.A_REDUCTION),
+    ),
+    # ------------------------------ 9 assignments ---------------------------
+    Spec(
+        "Numerical Integration with the Rectangle Method", year=2018,
+        level=ADV, languages=("C",), authors=_AUTHOR,
+        description=(
+            "Implement a sequential numerical integrator using the "
+            "rectangle method from a provided formula — the course "
+            "baseline that later assignments parallelize.  Scaffolded "
+            "with unit tests."
+        ),
+        cs13=(K.CN_NUM_INTEGRATION, K.SDF_FUNCS, K.SDF_CTRL,
+              K.SDF_UNIT_TESTING),
+        pdc12=(K.A_INTEGRATION,),
+    ),
+    Spec(
+        "Parallel Numerical Integration with Pthreads", year=2018,
+        level=ADV, languages=("C", "pthreads"), authors=_AUTHOR,
+        description=(
+            "Parallelize the rectangle-method integrator with threads: "
+            "partial sums per thread, a guarded reduction, and a speedup "
+            "study against the sequential baseline."
+        ),
+        cs13=(K.PD_SHMEM, K.PD_ATOMICITY, K.PD_SPEEDUP,
+              K.CN_NUM_INTEGRATION),
+        pdc12=(K.P_PTHREADS, K.P_TASKSPAWN, K.P_CRITICAL, K.A_INTEGRATION,
+               K.A_REDUCTION, K.P_SPEEDUP),
+    ),
+    Spec(
+        "Producer-Consumer Queue with Pthreads", year=2018, level=ADV,
+        languages=("C", "pthreads"), authors=_AUTHOR,
+        description=(
+            "Build a thread-safe bounded queue with condition variables, "
+            "demonstrate the data race in the unguarded version, and pass "
+            "the provided unit tests under load."
+        ),
+        cs13=(K.PD_PRODCON, K.PD_RACES, K.OS_SYNC, K.SDF_UNIT_TESTING),
+        pdc12=(K.P_PRODCON, K.P_CRITICAL, K.P_RACES, K.P_TASKS_THREADS),
+    ),
+    Spec(
+        "Stencil Heat Propagation with OpenMP", year=2018, level=ADV,
+        languages=("C", "OpenMP"), authors=_AUTHOR,
+        description=(
+            "Iterate a 2D heat stencil with OpenMP parallel loops, "
+            "explore schedule clauses, and relate performance to data "
+            "locality."
+        ),
+        cs13=(K.PD_LOOPS, K.PD_DATA_DECOMP, K.PD_LOCALITY, K.CN_NUM_STENCIL),
+        pdc12=(K.P_OPENMP, K.P_PARLOOPS, K.A_STENCIL, K.P_DATAPAR,
+               K.P_LOCALITY),
+    ),
+    Spec(
+        "Task Graph Scheduling Simulator", year=2018, level=ADV,
+        languages=("C++",), authors=_AUTHOR,
+        description=(
+            "Simulate list scheduling of a task DAG on p processors: "
+            "compute makespan, compare against the work/span bounds, and "
+            "report greedy-policy quality.  Scaffolded with unit tests."
+        ),
+        cs13=(K.PD_CPW, K.PD_SCHED, K.AL_GREEDY, K.AL_BIGO,
+              K.SDF_UNIT_TESTING),
+        pdc12=(K.A_TASKGRAPHS, K.A_WORKSPAN, K.A_MAKESPAN, K.A_LIST_SCHED,
+               K.P_SCHEDMAP),
+    ),
+    Spec(
+        "Parallel Merge Sort with OpenMP Tasks", year=2018, level=ADV,
+        languages=("C", "OpenMP"), authors=_AUTHOR,
+        description=(
+            "Recursive merge sort parallelized with OpenMP task spawning: "
+            "cutoff tuning, recursion depth versus task overhead, and a "
+            "scaling study."
+        ),
+        cs13=(K.PD_TASK_DECOMP, K.PD_PATTERNS, K.AL_DNC, K.AL_SORT_NLOGN,
+              K.SDF_RECURSION),
+        pdc12=(K.P_TASKSPAWN, K.P_OPENMP, K.A_DNC, K.A_RECURSION,
+               K.A_SORTING),
+    ),
+    Spec(
+        "Vector Statistics with MPI Collectives", year=2018, level=ADV,
+        languages=("C", "MPI"), authors=_AUTHOR,
+        description=(
+            "Scatter a large array across ranks, compute local statistics, "
+            "and combine them with gather and reduction collectives.  "
+            "Scaffolded with unit tests."
+        ),
+        cs13=(K.PD_MSG, K.PD_DATA_DECOMP, K.SDF_ARRAYS, K.SDF_UNIT_TESTING),
+        pdc12=(K.P_MPI, K.P_SPMD, K.A_SCATTERGATHER, K.A_BCAST,
+               K.A_REDUCTION),
+    ),
+    Spec(
+        "Distributed Matrix Multiplication with MPI", year=2018, level=ADV,
+        languages=("C", "MPI"), authors=_AUTHOR,
+        description=(
+            "Multiply block-distributed matrices across ranks: choose a "
+            "data distribution, overlap communication where possible, and "
+            "analyze communication cost and speedup."
+        ),
+        cs13=(K.PD_MATRIX_SORT, K.PD_MSG, K.PD_SPEEDUP, K.AL_BIGO,
+              K.CN_PROC_DECOMP),
+        pdc12=(K.P_MPI, K.P_DATADIST, K.A_MATRIX, K.P_LOADBAL, K.P_SPEEDUP),
+    ),
+    Spec(
+        "MapReduce Word Count with MapReduce-MPI", year=2018, level=ADV,
+        languages=("C++", "MPI"), authors=_AUTHOR,
+        description=(
+            "Count words over a distributed text corpus with the "
+            "MapReduce-MPI library, mapping the map/shuffle/reduce phases "
+            "onto message-passing primitives."
+        ),
+        cs13=(K.PD_CLOUD_FRAMEWORKS, K.PD_PATTERNS, K.PD_MSG,
+              K.CN_PROC_PARALLEL),
+        pdc12=(K.P_DISTMEM, K.P_MPI, K.A_REDUCTION),
+    ),
+)
+
+check_unique_titles(SPECS)
+
+_slides = [s for s in SPECS if s.kind is SLIDES]
+_assignments = [s for s in SPECS if s.kind is not SLIDES]
+assert len(_slides) == 12, f"expected 12 slide decks, found {len(_slides)}"
+assert len(_assignments) == 9, f"expected 9 assignments, found {len(_assignments)}"

@@ -1,0 +1,650 @@
+"""The Nifty Assignments corpus (~65 assignments, 2003–2018).
+
+"The Nifty assignments repository is a set of assignments that have been
+collected since 1999 ... usually targeted at early courses (CS0, CS1,
+CS2) ... We included all assignments from 2003 to 2018 and we excluded
+assignments for which links were broken.  The authors ... entered about
+65 Nifty assignments." (Sections II-A, III-B.)
+
+The classifications below are reconstructed (DESIGN.md §2) to satisfy the
+paper's reported distribution:
+
+* no PDC12 entries and no CS13 Parallel-and-Distributed entries at all
+  ("Clearly Nifty Assignments do not cover any PDC topics", IV-C);
+* CS13 area ranking SDF > PL > AL > CN (IV-C);
+* Object-Oriented Programming commonly touched (IV-C);
+* exactly the six assignments the paper names — Hurricane Tracker,
+  2048 in Python, Campus Shuttle, N-body Simulation, Image Editor, Uno —
+  carry both "Arrays" and "Conditional and iterative control structures",
+  the pair that forms the Figure 3 cluster (IV-D).
+"""
+
+from __future__ import annotations
+
+from repro.core.material import CourseLevel, MaterialKind
+
+from . import keys as K
+from .base import Spec, check_unique_titles
+
+COLLECTION = "nifty"
+
+CS1 = CourseLevel.CS1
+CS2 = CourseLevel.CS2
+CS0 = CourseLevel.CS0
+
+#: Titles of the six Figure 3 cluster members (named in Section IV-D).
+CLUSTER_TITLES = (
+    "Hurricane Tracker",
+    "2048 in Python",
+    "Campus Shuttle",
+    "N-body Simulation",
+    "Image Editor",
+    "Uno",
+)
+
+SPECS: tuple[Spec, ...] = (
+    # ----- the six cluster assignments (Arrays + control structures) -----
+    Spec(
+        "Hurricane Tracker", year=2011, level=CS1, languages=("Java",),
+        datasets=("NOAA storm tracks",),
+        description=(
+            "Read historical hurricane track data from a file into parallel "
+            "arrays of latitudes, longitudes and wind speeds, then loop over "
+            "the samples to plot the storm path and classify its category "
+            "at each step."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_IO, K.CN_DATA_REAL, K.CN_VIZ),
+    ),
+    Spec(
+        "2048 in Python", year=2015, level=CS1, languages=("Python",),
+        description=(
+            "Implement the sliding-tile game 2048 on a two-dimensional array: "
+            "conditionals decide merges, nested loops shift tiles, and "
+            "keyboard events drive the turn loop."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_FUNCS, K.PL_GUI_EVENTS),
+    ),
+    Spec(
+        "Campus Shuttle", year=2013, level=CS1, languages=("Java",),
+        description=(
+            "Simulate a campus shuttle line: arrays of stops and waiting "
+            "counts evolve under a time-step loop with conditional boarding "
+            "rules, and statistics are written to a report file."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_IO, K.CN_SIM_TOOL),
+    ),
+    Spec(
+        "N-body Simulation", year=2010, level=CS2, languages=("Java",),
+        description=(
+            "Simulate planetary motion: arrays of positions, velocities and "
+            "masses updated each time step from pairwise gravitational "
+            "forces, animated as the system evolves."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.CN_CONTINUOUS, K.CN_MODELS,
+              K.GV_ANIMATION),
+    ),
+    Spec(
+        "Image Editor", year=2008, level=CS1, languages=("Java",),
+        description=(
+            "Load a photo into a two-dimensional pixel array and implement "
+            "grayscale, negative, blur and flip by looping over rows and "
+            "columns with per-pixel conditionals."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_FUNCS, K.GV_RASTER, K.GV_MEDIA),
+    ),
+    Spec(
+        "Uno", year=2010, level=CS1, languages=("Java",),
+        description=(
+            "Build the card game Uno: an array-backed hand of card objects, "
+            "conditional legality checks in the play loop, and simple "
+            "computer opponents."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.PL_OO_CLASSES, K.PL_OO_INTERACT),
+    ),
+    # ----- games and OOP-heavy assignments ---------------------------------
+    Spec(
+        "Evil Hangman", year=2011, level=CS2, languages=("Java",),
+        description=(
+            "A hangman game that cheats: the computer keeps the largest "
+            "dictionary word family consistent with the guesses so far, "
+            "using maps from letter patterns to word lists."
+        ),
+        cs13=(K.SDF_STRINGS, K.SDF_CTRL, K.SDF_HASH_TABLES, K.AL_BRUTE,
+              K.PL_OO_COLLECTIONS),
+    ),
+    Spec(
+        "Random Writer", year=2003, level=CS2, languages=("C++",),
+        description=(
+            "Generate text in an author's style with an order-k Markov "
+            "model: hash seed strings to their observed successors and walk "
+            "the chain with weighted random choices."
+        ),
+        cs13=(K.SDF_STRINGS, K.SDF_HASH_TABLES, K.CN_RNG, K.AL_PATTERN),
+    ),
+    Spec(
+        "Game of Life", year=2006, level=CS1, languages=("Java",),
+        description=(
+            "Conway's cellular automaton on a 2D grid of cells: compute the "
+            "next generation from neighbor counts and explore gliders and "
+            "oscillators."
+        ),
+        cs13=(K.SDF_ARRAYS, K.CN_CELLULAR, K.CN_MODELS, K.SDF_FUNCS,
+              K.SDF_ABSTRACTION),
+    ),
+    Spec(
+        "Boggle", year=2004, level=CS2, languages=("C++",),
+        description=(
+            "Play Boggle against the computer: recursive backtracking over "
+            "the letter grid finds all dictionary words reachable along "
+            "adjacent-cell paths."
+        ),
+        cs13=(K.SDF_STRINGS, K.AL_BACKTRACK, K.SDF_RECURSION, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Mastermind", year=2005, level=CS1, languages=("Python",),
+        description=(
+            "Guess the secret color code: generate random codes, loop over "
+            "guesses computing exact and partial matches, and optionally "
+            "let the computer solve by exhaustive elimination."
+        ),
+        cs13=(K.SDF_CTRL, K.SDF_FUNCS, K.CN_RNG, K.AL_BRUTE),
+    ),
+    Spec(
+        "Tetris", year=2009, level=CS2, languages=("Java",),
+        description=(
+            "A playable Tetris: piece classes share an inheritance "
+            "hierarchy, the board is a 2D array, and GUI key events rotate "
+            "and drop pieces."
+        ),
+        cs13=(K.SDF_ARRAYS, K.PL_OO_CLASSES, K.PL_OO_INHERIT,
+              K.PL_GUI_EVENTS, K.GV_PRIMITIVES),
+    ),
+    Spec(
+        "Breakout", year=2012, level=CS1, languages=("Java",),
+        description=(
+            "The classic brick-breaking arcade game: an animation loop "
+            "moves the ball, conditionals handle paddle and brick "
+            "collisions, and mouse events steer the paddle."
+        ),
+        cs13=(K.SDF_CTRL, K.PL_GUI_EVENTS, K.PL_OO_CLASSES, K.GV_PRIMITIVES,
+              K.GV_ANIMATION),
+    ),
+    Spec(
+        "Darwin", year=2003, level=CS2, languages=("C++",),
+        description=(
+            "Creatures programmed in a tiny instruction language battle on "
+            "a grid; species subclasses override behavior and the simulator "
+            "interprets each creature's finite program."
+        ),
+        cs13=(K.PL_OO_CLASSES, K.PL_OO_POLY, K.PL_OO_INHERIT, K.AL_FSM),
+    ),
+    Spec(
+        "Critters", year=2007, level=CS2, languages=("Java",),
+        description=(
+            "An ecosystem of animal classes (bears, lions, tigers) that "
+            "each override eat/fight/move policies; the provided engine "
+            "runs the agent world and scores species."
+        ),
+        cs13=(K.PL_OO_CLASSES, K.PL_OO_INHERIT, K.PL_OO_POLY, K.CN_AGENTS),
+    ),
+    Spec(
+        "Blackjack", year=2006, level=CS1, languages=("Python",),
+        description=(
+            "Deal cards from a shuffled deck object and implement the "
+            "hit/stand loop with dealer rules; track wins across rounds."
+        ),
+        cs13=(K.SDF_CTRL, K.CN_RNG, K.PL_OO_CLASSES, K.PL_OO_COLLECTIONS),
+    ),
+    Spec(
+        "Connect Four", year=2011, level=CS2, languages=("Java",),
+        description=(
+            "Build Connect Four with a minimax computer opponent searching "
+            "a few plies ahead over the column-major board array."
+        ),
+        cs13=(K.SDF_ARRAYS, K.IS_MINIMAX, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Ghosts!", year=2010, level=CS2, languages=("Java",),
+        description=(
+            "Program Pac-Man ghost behaviors: each ghost subclass chooses "
+            "moves with a different chase heuristic, including "
+            "shortest-path pursuit through the maze."
+        ),
+        cs13=(K.IS_HEURISTIC, K.AL_SHORTEST, K.PL_OO_POLY, K.PL_OO_INHERIT),
+    ),
+    Spec(
+        "Flappy Bird Clone", year=2015, level=CS0, languages=("JavaScript",),
+        description=(
+            "Recreate Flappy Bird in the browser: an animation loop scrolls "
+            "pipe obstacles, a click handler flaps, and collisions end the "
+            "run."
+        ),
+        cs13=(K.SDF_CTRL, K.PL_GUI_EVENTS, K.GV_ANIMATION, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Text Adventure Game", year=2004, level=CS1, languages=("Python",),
+        description=(
+            "A small interactive fiction engine: room objects linked by "
+            "exits, a parser loop over typed commands, and game state as a "
+            "finite machine."
+        ),
+        cs13=(K.PL_OO_CLASSES, K.SDF_STRINGS, K.AL_FSM, K.SDF_IO),
+    ),
+    # ----- data structures & algorithms ------------------------------------
+    Spec(
+        "DNA Sequence Alignment", year=2008, level=CS2, languages=("Java",),
+        datasets=("GenBank fragments",),
+        description=(
+            "Align two DNA strings with the Needleman-Wunsch dynamic "
+            "program and report the minimal edit script."
+        ),
+        cs13=(K.AL_DP, K.SDF_STRINGS, K.CN_DATA_REAL, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Huffman Coding", year=2005, level=CS2, languages=("C++",),
+        description=(
+            "Compress files by building the Huffman tree with a greedy "
+            "priority-queue merge and recursively emitting prefix codes."
+        ),
+        cs13=(K.AL_GREEDY, K.AL_BST, K.SDF_STACKS_QUEUES, K.SDF_RECURSION,
+              K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Seam Carving", year=2015, level=CS2, languages=("Java",),
+        description=(
+            "Content-aware image resizing: dynamic programming finds the "
+            "minimum-energy pixel seam, which is removed column by column "
+            "from the raster."
+        ),
+        cs13=(K.AL_DP, K.GV_RASTER, K.GV_MEDIA, K.SDF_ARRAYS),
+    ),
+    Spec(
+        "Sudoku Solver", year=2009, level=CS2, languages=("Python",),
+        description=(
+            "Solve Sudoku with recursive backtracking over the 9x9 grid, "
+            "framed explicitly as a constraint-satisfaction search."
+        ),
+        cs13=(K.AL_BACKTRACK, K.SDF_RECURSION, K.IS_CSP, K.SDF_ARRAYS),
+    ),
+    Spec(
+        "Maze Solver", year=2006, level=CS2, languages=("Java",),
+        description=(
+            "Escape ASCII mazes using explicit stack (depth-first) and "
+            "queue (breadth-first) searches, comparing the paths each "
+            "strategy discovers."
+        ),
+        cs13=(K.AL_GRAPH_TRAV, K.SDF_STACKS_QUEUES, K.SDF_RECURSION,
+              K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Word Ladder", year=2009, level=CS2, languages=("C++",),
+        description=(
+            "Connect two words through a chain of one-letter changes: "
+            "breadth-first search over the implicit word graph with a "
+            "queue of partial ladders."
+        ),
+        cs13=(K.AL_GRAPH_TRAV, K.AL_GRAPH_REPR, K.SDF_STRINGS,
+              K.SDF_STACKS_QUEUES, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Six Degrees of Kevin Bacon", year=2012, level=CS2, languages=("Java",),
+        datasets=("IMDb actor-film graph",),
+        description=(
+            "Build the actor collaboration graph from a film dataset and "
+            "answer shortest-path queries to Kevin Bacon with BFS."
+        ),
+        cs13=(K.AL_GRAPH_TRAV, K.AL_SHORTEST, K.AL_GRAPH_REPR, K.CN_DATA_REAL,
+              K.DS_GRAPHS),
+    ),
+    Spec(
+        "Anagram Solver", year=2007, level=CS1, languages=("Python",),
+        description=(
+            "Find all anagrams in a dictionary by mapping each word's "
+            "sorted letter signature to its anagram class."
+        ),
+        cs13=(K.SDF_STRINGS, K.SDF_HASH_TABLES, K.AL_SORT_NLOGN),
+    ),
+    Spec(
+        "Phone Book with Hashing", year=2010, level=CS2, languages=("C",),
+        description=(
+            "Implement a chained hash table from scratch to store contact "
+            "records, and measure how load factor affects lookups."
+        ),
+        cs13=(K.SDF_HASH_TABLES, K.AL_HASHING, K.SDF_ADT, K.SDF_STRINGS),
+    ),
+    Spec(
+        "Spell Checker", year=2011, level=CS2, languages=("C",),
+        description=(
+            "A dictionary-backed spell checker: hash the word list, stream "
+            "a document, and suggest near-miss corrections by edit "
+            "candidates."
+        ),
+        cs13=(K.SDF_HASH_TABLES, K.AL_HASHING, K.SDF_STRINGS, K.AL_SEARCH),
+    ),
+    Spec(
+        "Autocomplete", year=2016, level=CS2, languages=("Java",),
+        datasets=("city and query term weights",),
+        description=(
+            "Rank completions of a typed prefix: binary search the sorted "
+            "term list for the prefix range, then return the heaviest "
+            "matches."
+        ),
+        cs13=(K.AL_SEARCH, K.AL_SORT_NLOGN, K.SDF_STRINGS, K.AL_BST,
+              K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Sorting Detective", year=2004, level=CS2, languages=("Java",),
+        description=(
+            "Identify mystery sorting implementations from the outside: "
+            "time them on crafted inputs and match observed behavior to "
+            "quadratic and n-log-n algorithms."
+        ),
+        cs13=(K.AL_SORT_QUAD, K.AL_SORT_NLOGN, K.AL_EMPIRICAL, K.AL_CASES,
+              K.AL_BIGO, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Big-O Mystery Functions", year=2013, level=CS2, languages=("Python",),
+        description=(
+            "Measure opaque library functions over growing inputs, plot "
+            "the timings, and argue the asymptotic class of each."
+        ),
+        cs13=(K.AL_BIGO, K.AL_EMPIRICAL, K.AL_CASES, K.SDF_FUNCS),
+    ),
+    Spec(
+        "Fibonacci and Memoization", year=2005, level=CS1, languages=("Python",),
+        description=(
+            "From exponential recursive Fibonacci to linear memoized and "
+            "iterative versions, with a recurrence-based explanation of "
+            "the blowup."
+        ),
+        cs13=(K.SDF_RECURSION, K.AL_DP, K.AL_RECURRENCES, K.SDF_FUNCS),
+    ),
+    Spec(
+        "Eight Queens", year=2006, level=CS1, languages=("Java",),
+        description=(
+            "Place eight non-attacking queens by recursive backtracking and "
+            "count all solutions of the classic puzzle."
+        ),
+        cs13=(K.AL_BACKTRACK, K.SDF_RECURSION, K.AL_BRUTE),
+    ),
+    Spec(
+        "Road Trip!", year=2018, level=CS2, languages=("Java",),
+        description=(
+            "Plan a sightseeing route under a budget: compare a greedy "
+            "heuristic with a dynamic program over stop subsets."
+        ),
+        cs13=(K.AL_DP, K.AL_GREEDY, K.AL_HEURISTICS, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "TSP Art", year=2015, level=CS2, languages=("Python",),
+        description=(
+            "Draw continuous-line portraits by solving a traveling-"
+            "salesperson tour over stippled image points with greedy and "
+            "2-opt heuristics."
+        ),
+        cs13=(K.AL_HEURISTICS, K.AL_GREEDY, K.GV_PRIMITIVES),
+    ),
+    Spec(
+        "8 Puzzle Solver", year=2014, level=CS2, languages=("Python",),
+        description=(
+            "Solve the sliding 8-puzzle with breadth-first and A* search, "
+            "counting explored states under each heuristic."
+        ),
+        cs13=(K.IS_UNINFORMED, K.IS_HEURISTIC, K.AL_GRAPH_TRAV,
+              K.SDF_STACKS_QUEUES),
+    ),
+    Spec(
+        "Music Playlist Manager", year=2012, level=CS2, languages=("Java",),
+        description=(
+            "A doubly linked playlist supporting insert, skip, and shuffle "
+            "behind a clean abstract-data-type interface."
+        ),
+        cs13=(K.SDF_LINKED_LISTS, K.SDF_ADT, K.PL_OO_CLASSES,
+              K.PL_OO_COLLECTIONS),
+    ),
+    Spec(
+        "Undo/Redo Text Buffer", year=2014, level=CS2, languages=("C++",),
+        description=(
+            "Implement editor undo/redo with two stacks over a linked "
+            "character buffer, packaged as an ADT with invariants."
+        ),
+        cs13=(K.SDF_STACKS_QUEUES, K.SDF_LINKED_LISTS, K.SDF_ADT,
+              K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Expression Evaluator", year=2008, level=CS2, languages=("Java",),
+        description=(
+            "Evaluate infix arithmetic with the two-stack shunting "
+            "algorithm, tokenizing the input string and honoring "
+            "precedence."
+        ),
+        cs13=(K.SDF_STACKS_QUEUES, K.SDF_EXPR, K.SDF_STRINGS),
+    ),
+    # ----- simulations, data, and media ---------------------------------------
+    Spec(
+        "Grocery Store Simulation", year=2009, level=CS2, languages=("Java",),
+        description=(
+            "Discrete-event simulation of checkout lines: random customer "
+            "arrivals queue up, and the run compares single-line and "
+            "multi-line service times."
+        ),
+        cs13=(K.SDF_STACKS_QUEUES, K.CN_DISCRETE_EVENT, K.PL_OO_CLASSES,
+              K.CN_RNG),
+    ),
+    Spec(
+        "Elevator Simulator", year=2016, level=CS2, languages=("Java",),
+        description=(
+            "Simulate an elevator bank driven by a request queue; the "
+            "controller is a small state machine whose policy students "
+            "tune."
+        ),
+        cs13=(K.CN_DISCRETE_EVENT, K.PL_OO_CLASSES, K.AL_FSM, K.SDF_CTRL),
+    ),
+    Spec(
+        "Schelling's Segregation Model", year=2014, level=CS1,
+        languages=("Python",),
+        description=(
+            "Agent-based model of neighborhood segregation: unhappy agents "
+            "relocate on a grid, and mild preferences produce strong "
+            "segregation — a springboard for discussing social impact."
+        ),
+        cs13=(K.CN_AGENTS, K.CN_MODELS, K.SDF_ARRAYS, K.SP_SOCIAL),
+    ),
+    Spec(
+        "Falling Sand", year=2017, level=CS0, languages=("JavaScript",),
+        description=(
+            "A particle sandbox where sand, water and walls interact via "
+            "local cellular rules painted and stepped on a pixel canvas."
+        ),
+        cs13=(K.CN_CELLULAR, K.GV_RASTER, K.PL_GUI_EVENTS),
+    ),
+    Spec(
+        "Baby Names", year=2006, level=CS1, languages=("Java",),
+        datasets=("US Social Security baby names",),
+        description=(
+            "Parse a century of baby-name popularity data and graph a "
+            "name's rank over time in a simple GUI."
+        ),
+        cs13=(K.CN_DATA_REAL, K.SDF_IO, K.SDF_STRINGS, K.CN_VIZ),
+    ),
+    Spec(
+        "Earthquake Monitoring", year=2014, level=CS1, languages=("Python",),
+        datasets=("USGS live earthquake feed",),
+        description=(
+            "Fetch the USGS earthquake feed over HTTP, filter events by "
+            "magnitude in a loop, and map the strongest quakes."
+        ),
+        cs13=(K.CN_DATA_REAL, K.SDF_IO, K.NC_HTTP, K.CN_VIZ),
+    ),
+    Spec(
+        "Twitter Sentiment Map", year=2013, level=CS1, languages=("Python",),
+        datasets=("geotagged tweet sample",),
+        description=(
+            "Score tweets with a word-sentiment lexicon and color US "
+            "states by average mood, introducing text classification on "
+            "real social data."
+        ),
+        cs13=(K.CN_DATA_REAL, K.SDF_STRINGS, K.SDF_HASH_TABLES, K.IS_NB_KNN),
+    ),
+    Spec(
+        "Movie Recommendations", year=2016, level=CS2, languages=("Python",),
+        datasets=("MovieLens ratings",),
+        description=(
+            "Recommend films by nearest-neighbor similarity over user "
+            "rating vectors and evaluate suggestions on held-out likes."
+        ),
+        cs13=(K.IS_NB_KNN, K.IS_ACCURACY, K.CN_DATA_REAL, K.SDF_HASH_TABLES),
+    ),
+    Spec(
+        "Spam Filter", year=2010, level=CS2, languages=("Python",),
+        datasets=("labeled email corpus",),
+        description=(
+            "Train a naive Bayes spam classifier on labeled email, then "
+            "measure accuracy, false positives and false negatives on a "
+            "test split."
+        ),
+        cs13=(K.IS_NB_KNN, K.IS_ACCURACY, K.SDF_STRINGS, K.SDF_HASH_TABLES),
+    ),
+    Spec(
+        "Authorship Detective", year=2017, level=CS1, languages=("Python",),
+        datasets=("Federalist Papers",),
+        description=(
+            "Attribute disputed Federalist Papers by comparing word-"
+            "frequency signatures of candidate authors."
+        ),
+        cs13=(K.SDF_STRINGS, K.SDF_HASH_TABLES, K.IS_NB_KNN, K.CN_DATA_REAL),
+    ),
+    Spec(
+        "Benford's Law", year=2018, level=CS1, languages=("Python",),
+        datasets=("county populations and river lengths",),
+        description=(
+            "Tally leading digits across real datasets and compare the "
+            "observed distribution against Benford's logarithmic law."
+        ),
+        cs13=(K.CN_DATA_REAL, K.DS_PROBABILITY, K.SDF_IO, K.SDF_EXPR),
+    ),
+    Spec(
+        "Monty Hall Simulation", year=2008, level=CS0, languages=("Python",),
+        description=(
+            "Settle the famous paradox empirically: simulate thousands of "
+            "switch/stay games and compare win rates with the analytic "
+            "answer."
+        ),
+        cs13=(K.CN_RNG, K.DS_PROBABILITY, K.SDF_CTRL, K.SDF_FUNCS),
+    ),
+    Spec(
+        "Estimating Pi", year=2011, level=CS1, languages=("Python",),
+        description=(
+            "Approximate pi two ways: random darts in the unit square and "
+            "a midpoint-rule area sum, comparing convergence of the two "
+            "estimates."
+        ),
+        cs13=(K.CN_RNG, K.CN_NUM_INTEGRATION, K.DS_PROBABILITY, K.SDF_CTRL),
+    ),
+    Spec(
+        "Bouncing Balls Physics", year=2009, level=CS1, languages=("Java",),
+        description=(
+            "Animate elastic balls under gravity: velocity integration per "
+            "frame, wall bounces, and object-per-ball design."
+        ),
+        cs13=(K.GV_ANIMATION, K.CN_CONTINUOUS, K.PL_OO_CLASSES,
+              K.GV_PRIMITIVES),
+    ),
+    # ----- graphics and media ----------------------------------------------------
+    Spec(
+        "Recursive Graphics", year=2008, level=CS1, languages=("Java",),
+        description=(
+            "Draw Sierpinski triangles and recursive trees, connecting the "
+            "drawing depth to the recurrence behind the picture."
+        ),
+        cs13=(K.SDF_RECURSION, K.GV_PRIMITIVES, K.SDF_FUNCS,
+              K.AL_RECURRENCES),
+    ),
+    Spec(
+        "Photo Mosaic", year=2014, level=CS2, languages=("Java",),
+        description=(
+            "Rebuild a target photo from a library of thumbnails by "
+            "matching average tile color with a nearest-color search."
+        ),
+        cs13=(K.GV_RASTER, K.GV_COLOR, K.GV_MEDIA, K.AL_SEARCH),
+    ),
+    Spec(
+        "Steganography", year=2018, level=CS2, languages=("Python",),
+        description=(
+            "Hide a message in an image's low-order bits and recover it, "
+            "practicing bitwise expressions over pixel rasters."
+        ),
+        cs13=(K.GV_RASTER, K.GV_MEDIA, K.SDF_EXPR, K.SDF_FUNCS),
+    ),
+    Spec(
+        "Picobot", year=2012, level=CS0, languages=("Picobot",),
+        description=(
+            "Program a wall-following robot with pure state-and-rule "
+            "tables, meeting abstraction and finite-state thinking before "
+            "any syntax."
+        ),
+        cs13=(K.AL_FSM, K.SDF_ABSTRACTION, K.SDF_CTRL),
+    ),
+    # ----- web / networking / information ----------------------------------------
+    Spec(
+        "Simple Web Server", year=2015, level=CS2, languages=("Python",),
+        description=(
+            "Serve static pages over a socket: parse GET requests, map "
+            "paths to files, and speak just enough HTTP for a browser."
+        ),
+        cs13=(K.NC_SOCKETS, K.NC_HTTP, K.NC_CLIENTSERVER, K.SDF_STRINGS),
+    ),
+    Spec(
+        "Personal Library Database", year=2011, level=CS2,
+        languages=("Java",),
+        description=(
+            "Design relational tables for books, members and loans, and "
+            "implement the checkout workflows against them."
+        ),
+        cs13=(K.IM_RELATIONAL, K.IM_CAPTURE, K.PL_OO_CLASSES, K.SDF_IO),
+    ),
+    # ----- GUI / HCI / SE flavored --------------------------------------------------
+    Spec(
+        "GUI Calculator", year=2010, level=CS1, languages=("Java",),
+        description=(
+            "A desktop calculator with button events and expression state, "
+            "reviewed against basic usability heuristics."
+        ),
+        cs13=(K.PL_GUI_EVENTS, K.HCI_USABILITY, K.HCI_CONTEXTS, K.SDF_EXPR),
+    ),
+    Spec(
+        "Unit-Test Kata: Bank Account", year=2018, level=CS1,
+        languages=("Java",),
+        description=(
+            "Grow a bank-account class strictly test-first, practicing "
+            "unit-test design, specifications and red-green refactoring."
+        ),
+        cs13=(K.SDF_UNIT_TESTING, K.SDF_CORRECTNESS, K.SE_TDD,
+              K.SE_TEST_LEVELS, K.PL_OO_CLASSES),
+    ),
+    Spec(
+        "Refactoring Gilded Rose", year=2017, level=CS2, languages=("Java",),
+        description=(
+            "Untangle a legacy pricing routine: add characterization unit "
+            "tests, then refactor toward polymorphic item classes guided "
+            "by design principles."
+        ),
+        cs13=(K.SDF_UNIT_TESTING, K.SE_DESIGN_PRINCIPLES, K.SE_PATTERNS,
+              K.PL_OO_POLY, K.SDF_DEBUGGING),
+    ),
+    Spec(
+        "Election Analysis", year=2016, level=CS1, languages=("Python",),
+        datasets=("county-level election returns",),
+        description=(
+            "Aggregate county election returns, compute turnout summaries, "
+            "and discuss how data presentation shapes civic conclusions."
+        ),
+        cs13=(K.CN_DATA_REAL, K.SP_SOCIAL, K.SDF_IO, K.SDF_CTRL),
+    ),
+)
+
+# DS-area keys used above are defined late in keys.py; import-time check
+# that the corpus is internally consistent.
+check_unique_titles(SPECS)
+
+assert len(SPECS) == 65, f"expected 65 Nifty specs, found {len(SPECS)}"

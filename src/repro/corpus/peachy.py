@@ -1,0 +1,195 @@
+"""The Peachy Parallel Assignments corpus (11 assignments).
+
+"The Peachy Parallel Assignments are a recent effort of the EduPar and
+EduHPC workshops to publicize well designed, exciting, and interesting
+assignments that include some parallel and distributed computing aspects
+... so far 11 Peachy Parallel Assignments have been presented."
+(Section II-A.)
+
+Classification constraints reconstructed from the paper (DESIGN.md §2/§5):
+
+* every assignment carries PDC12 entries and CS13
+  Parallel-and-Distributed entries (PD is Peachy's top CS13 area, IV-C);
+* the "following" CS13 areas are Systems Fundamentals and Architecture;
+* SDF is low, and Peachy's SDF coverage sits in Fundamental Programming
+  Concepts (variables, loops) plus the single Fundamental Data Structures
+  entry "Arrays" — no OOP anywhere (IV-C);
+* the four simulation-flavored assignments named in Section IV-D carry
+  both "Arrays" and "Conditional and iterative control structures" and
+  therefore pair with the six named Nifty assignments in Figure 3;
+* the systems-oriented assignments ("dealing with middleware, or data
+  races") share fewer than two items with every Nifty assignment and are
+  isolated in Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.core.material import CourseLevel, MaterialKind
+
+from . import keys as K
+from .base import Spec, check_unique_titles
+
+COLLECTION = "peachy"
+
+CS1 = CourseLevel.CS1
+CS2 = CourseLevel.CS2
+INTER = CourseLevel.INTERMEDIATE
+
+#: Titles of the four Figure 3 cluster members (named in Section IV-D).
+CLUSTER_TITLES = (
+    "Computing a Movie of Zooming into a Fractal",
+    "Fire Simulator and Fractal",
+    "Using a Monte Carlo Pattern to Simulate a Forest Fire",
+    "Storm of High-Energy Particles",
+)
+
+SPECS: tuple[Spec, ...] = (
+    # ----- the four cluster assignments (Arrays + control structures) ------
+    Spec(
+        "Computing a Movie of Zooming into a Fractal", year=2018, level=CS2,
+        languages=("C", "OpenMP"),
+        description=(
+            "Render successive frames of a Mandelbrot zoom into pixel "
+            "arrays: per-pixel iteration loops are embarrassingly parallel, "
+            "and uneven frame costs motivate dynamic loop scheduling and "
+            "speedup measurement."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_VARS, K.GV_FRACTAL,
+              K.PD_EMBARRASS, K.PD_LOOPS, K.PD_SPEEDUP, K.CN_PROC_PARALLEL),
+        pdc12=(K.P_PARLOOPS, K.P_OPENMP, K.P_SPEEDUP, K.P_LOADBAL,
+               K.P_DATAPAR),
+    ),
+    Spec(
+        "Fire Simulator and Fractal", year=2018, level=CS2,
+        languages=("C", "OpenMP"),
+        description=(
+            "Simulate fire spreading through a forest grid with stochastic "
+            "ignition rules, then measure the fractal dimension of the "
+            "burned region; the per-cell update loops parallelize with a "
+            "data decomposition."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_VARS, K.CN_MONTE_CARLO,
+              K.CN_PROC_PARALLEL, K.PD_DATA_DECOMP, K.PD_SPEEDUP),
+        pdc12=(K.P_SHMEM, K.P_OPENMP, K.P_DATAPAR, K.A_MONTECARLO,
+               K.P_SPEEDUP),
+    ),
+    Spec(
+        "Using a Monte Carlo Pattern to Simulate a Forest Fire", year=2019,
+        level=CS1, languages=("C", "OpenMP"),
+        description=(
+            "Estimate how fire-spread probability affects forest survival: "
+            "loop over many randomized trials on a tree array, average the "
+            "outcomes, and parallelize the independent trials."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_VARS, K.CN_MONTE_CARLO,
+              K.PD_EMBARRASS, K.PD_DATA_DECOMP),
+        pdc12=(K.A_MONTECARLO, K.P_PARLOOPS, K.P_OPENMP, K.P_SPEEDUP,
+               K.P_NONDET),
+    ),
+    Spec(
+        "Storm of High-Energy Particles", year=2018, level=CS2,
+        languages=("C", "MPI", "OpenMP"),
+        description=(
+            "Simulate waves of high-energy particles bombarding an exposed "
+            "surface: accumulate impact energies into a cell array inside "
+            "conditional update loops, then distribute the storm across "
+            "processes and balance the work."
+        ),
+        cs13=(K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_VARS, K.PD_DATA_DECOMP,
+              K.PD_LOADBAL, K.PD_SPEEDUP, K.CN_PROC_PARALLEL),
+        pdc12=(K.P_OPENMP, K.P_MPI, K.P_LOADBAL, K.P_SPEEDUP, K.A_REDUCTION),
+    ),
+    # ----- systems-oriented assignments (isolated in Figure 3) --------------
+    Spec(
+        "Heat Diffusion Stencil with MPI", year=2018, level=INTER,
+        languages=("C", "MPI"),
+        description=(
+            "Solve a heat-diffusion problem with a distributed stencil: "
+            "halo exchange between neighbor ranks, data distribution "
+            "choices, and the latency/bandwidth cost of communication."
+        ),
+        cs13=(K.PD_MSG, K.PD_SHARED_DIST, K.PD_LOCALITY, K.SF_SEQPAR,
+              K.AR_MEM_LOCALITY),
+        pdc12=(K.P_MPI, K.P_DISTMEM, K.A_STENCIL, K.P_DATADIST,
+               K.ARCH_LATBW),
+    ),
+    Spec(
+        "Hunting Data Races in a Parallel Histogram", year=2019, level=INTER,
+        languages=("C", "pthreads"),
+        description=(
+            "A deliberately racy shared-counter histogram: students observe "
+            "nondeterministic results on a multicore machine, locate the "
+            "race with a race detector, and repair it with critical "
+            "sections."
+        ),
+        cs13=(K.PD_RACES, K.PD_ATOMICITY, K.OS_MUTEX, K.SF_PVC,
+              K.AR_MULTICORE),
+        pdc12=(K.P_RACES, K.P_CRITICAL, K.P_PTHREADS, K.P_TOOLS_DEBUG,
+               K.P_NONDET),
+    ),
+    Spec(
+        "Publish-Subscribe Middleware", year=2019, level=INTER,
+        languages=("Java",),
+        description=(
+            "Build a small topic-based publish/subscribe middleware: "
+            "brokers forward messages to remote subscribers, and the design "
+            "must tolerate subscriber failures."
+        ),
+        cs13=(K.PD_RPC, K.PD_MSG, K.PD_DIST_FAULTS),
+        pdc12=(K.P_DISTMEM, K.X_CONCURRENCY),
+    ),
+    Spec(
+        "Bounded Buffer Band", year=2018, level=INTER,
+        languages=("C", "pthreads"),
+        description=(
+            "Producer and consumer threads stream audio chunks through a "
+            "bounded buffer; missing synchronization audibly garbles the "
+            "music until condition variables and locks are added."
+        ),
+        cs13=(K.PD_PRODCON, K.PD_ATOMICITY, K.OS_SYNC, K.OS_PRODCON,
+              K.SF_MULTI),
+        pdc12=(K.P_PTHREADS, K.P_PRODCON, K.P_CRITICAL, K.P_DEADLOCK,
+               K.P_TASKS_THREADS),
+    ),
+    Spec(
+        "False Sharing Detective", year=2019, level=INTER,
+        languages=("C", "OpenMP"),
+        description=(
+            "Two per-thread counters that should scale perfectly but do "
+            "not: students profile the cache behavior, diagnose false "
+            "sharing of a cache line, and fix it with padding."
+        ),
+        cs13=(K.PD_FALSE_SHARING, K.PD_CACHES, K.AR_COHERENCE,
+              K.AR_MEM_LOCALITY, K.SF_HW),
+        pdc12=(K.P_FALSE_SHARING, K.P_LOCALITY, K.ARCH_MEMHIER,
+               K.ARCH_COHERENCE, K.P_TOOLS_PERF),
+    ),
+    Spec(
+        "Benchmarking Matrix Multiply Across the Memory Hierarchy",
+        year=2018, level=INTER, languages=("C",),
+        description=(
+            "Measure naive, transposed and blocked matrix multiplication "
+            "across sizes that straddle the cache levels, relating the "
+            "performance cliffs to the memory hierarchy."
+        ),
+        cs13=(K.AR_MEM_LOCALITY, K.AR_CACHE_ORG, K.SF_BENCH, K.SF_MERIT,
+              K.PD_LOCALITY),
+        pdc12=(K.ARCH_MEMHIER, K.P_LOCALITY, K.A_MATRIX, K.P_TOOLS_PERF,
+               K.P_SPEEDUP),
+    ),
+    Spec(
+        "A First CUDA Kernel", year=2019, level=INTER,
+        languages=("CUDA", "C"),
+        description=(
+            "Port a vector operation to the GPU: map threads to data "
+            "elements, reason about SIMD execution, and compare device and "
+            "host throughput."
+        ),
+        cs13=(K.PD_GPU, K.PD_SIMD, K.AR_GPU, K.AR_FLYNN, K.SF_HW),
+        pdc12=(K.P_GPU, K.P_SIMD, K.P_DATAPAR, K.ARCH_MULTICORE),
+    ),
+)
+
+check_unique_titles(SPECS)
+
+assert len(SPECS) == 11, f"expected 11 Peachy specs, found {len(SPECS)}"

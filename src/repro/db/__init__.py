@@ -1,0 +1,41 @@
+"""In-process relational engine — the storage substrate for CAR-CS.
+
+Replaces the paper's Django + PostgreSQL stack with a dependency-free
+relational store: typed schemas, primary/unique/foreign-key constraints,
+hash indexes, many-to-many link tables, lazy queries, and transactions.
+"""
+
+from .engine import Database
+from .errors import (
+    DatabaseError,
+    ForeignKeyError,
+    IntegrityError,
+    NotNullViolation,
+    RowNotFound,
+    SchemaError,
+    TransactionError,
+    UniqueViolation,
+)
+from .query import Query, query
+from .relations import ManyToMany
+from .schema import Column, ForeignKey, TableSchema
+from .table import Table
+
+__all__ = [
+    "Column",
+    "Database",
+    "DatabaseError",
+    "ForeignKey",
+    "ForeignKeyError",
+    "IntegrityError",
+    "ManyToMany",
+    "NotNullViolation",
+    "Query",
+    "RowNotFound",
+    "SchemaError",
+    "Table",
+    "TableSchema",
+    "TransactionError",
+    "UniqueViolation",
+    "query",
+]

@@ -1,0 +1,179 @@
+"""The Database: table registry, foreign-key enforcement, transactions.
+
+This is the drop-in substrate for the paper's PostgreSQL instance.  It is
+deliberately small but honest: foreign keys are enforced on insert, update
+and delete (with RESTRICT/CASCADE semantics), and transactions provide
+all-or-nothing rollback via copy-on-begin snapshots — sufficient for the
+editorial workflows CAR-CS describes (editors fixing classifications,
+rejecting submissions, bulk seeding).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .errors import (
+    ForeignKeyError,
+    SchemaError,
+    TransactionError,
+)
+from .schema import Column, ForeignKey, TableSchema
+from .table import Table
+
+
+class Database:
+    """A named collection of tables with cross-table integrity."""
+
+    def __init__(self, name: str = "carcs") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._tx_depth = 0
+        self._tx_snapshots: list[dict[str, dict[str, Any]]] = []
+
+    # -- DDL ----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            if fk.ref_table not in self._tables and fk.ref_table != schema.name:
+                raise SchemaError(
+                    f"foreign key in {schema.name!r} references unknown table "
+                    f"{fk.ref_table!r} (create referenced tables first)"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        # Index FK columns automatically: reverse lookups (who references
+        # this row?) dominate delete checks and join traversals.
+        for fk in schema.foreign_keys:
+            table.create_index(fk.column)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"no table {name!r}")
+        for other in self._tables.values():
+            if other.name == name:
+                continue
+            for fk in other.schema.foreign_keys:
+                if fk.ref_table == name:
+                    raise SchemaError(
+                        f"cannot drop {name!r}: referenced by {other.name!r}"
+                    )
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- DML with FK enforcement ---------------------------------------------
+
+    def _check_fks_outbound(self, table: Table, row: dict[str, Any]) -> None:
+        for fk in table.schema.foreign_keys:
+            value = row.get(fk.column)
+            if value is None:
+                continue
+            ref = self.table(fk.ref_table)
+            if ref.find_one(**{fk.ref_column: value}) is None:
+                raise ForeignKeyError(
+                    f"{table.name}.{fk.column}={value!r} references missing "
+                    f"{fk.ref_table}.{fk.ref_column}"
+                )
+
+    def insert(self, table_name: str, **values: Any) -> dict[str, Any]:
+        table = self.table(table_name)
+        # Validate FKs against a completed candidate row before committing.
+        candidate = table._complete_row(values)
+        self._check_fks_outbound(table, candidate)
+        return table.insert(**candidate)
+
+    def update(self, table_name: str, pk: Any, **changes: Any) -> dict[str, Any]:
+        table = self.table(table_name)
+        fk_cols = {fk.column: fk for fk in table.schema.foreign_keys}
+        for name, value in changes.items():
+            fk = fk_cols.get(name)
+            if fk is not None and value is not None:
+                ref = self.table(fk.ref_table)
+                if ref.find_one(**{fk.ref_column: value}) is None:
+                    raise ForeignKeyError(
+                        f"{table_name}.{name}={value!r} references missing "
+                        f"{fk.ref_table}.{fk.ref_column}"
+                    )
+        return table.update(pk, **changes)
+
+    def delete(self, table_name: str, pk: Any) -> dict[str, Any]:
+        """Delete honoring inbound foreign keys (restrict or cascade)."""
+        table = self.table(table_name)
+        row = table.get(pk)
+        for other in self._tables.values():
+            for fk in other.schema.foreign_keys:
+                if fk.ref_table != table_name:
+                    continue
+                ref_value = row[fk.ref_column]
+                referencing = other.find(**{fk.column: ref_value})
+                if not referencing:
+                    continue
+                if fk.on_delete == "restrict":
+                    raise ForeignKeyError(
+                        f"cannot delete {table_name} pk={pk!r}: referenced by "
+                        f"{len(referencing)} row(s) of {other.name!r}"
+                    )
+                for r in referencing:
+                    self.delete(other.name, r[other.schema.primary_key])
+        return table.delete(pk)
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator["Database"]:
+        """All-or-nothing scope; nested transactions roll back to their own
+        begin point (savepoint semantics)."""
+        self._begin()
+        try:
+            yield self
+        except BaseException:
+            self._rollback()
+            raise
+        else:
+            self._commit()
+
+    def _begin(self) -> None:
+        self._tx_snapshots.append(
+            {name: t._snapshot() for name, t in self._tables.items()}
+        )
+        self._tx_depth += 1
+
+    def _commit(self) -> None:
+        if self._tx_depth == 0:
+            raise TransactionError("commit without begin")
+        self._tx_depth -= 1
+        self._tx_snapshots.pop()
+
+    def _rollback(self) -> None:
+        if self._tx_depth == 0:
+            raise TransactionError("rollback without begin")
+        snap = self._tx_snapshots.pop()
+        self._tx_depth -= 1
+        # Tables created inside the transaction vanish on rollback.
+        self._tables = {name: self._tables[name] for name in snap}
+        for name, table_snap in snap.items():
+            self._tables[name]._restore(table_snap)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._tx_depth > 0
+
+    # -- stats ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Row count per table (handy in reports and benchmarks)."""
+        return {name: len(t) for name, t in sorted(self._tables.items())}

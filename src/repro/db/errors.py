@@ -1,0 +1,43 @@
+"""Exception hierarchy for the in-process relational engine.
+
+The CAR-CS prototype stored its data "modeled relationally ... in a
+postgreSQL database" (paper, Section III-B).  This package replaces that
+substrate with a small in-process relational engine; the exception names
+mirror the DB-API 2.0 taxonomy so code written against it reads like code
+written against a conventional driver.
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all errors raised by :mod:`repro.db`."""
+
+
+class SchemaError(DatabaseError):
+    """A table or column definition is invalid or referenced incorrectly."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (primary key, unique, not-null, foreign key) was violated."""
+
+
+class ForeignKeyError(IntegrityError):
+    """A foreign key points at a row that does not exist (or a delete would
+    orphan referencing rows under RESTRICT semantics)."""
+
+
+class UniqueViolation(IntegrityError):
+    """An insert or update would duplicate a unique or primary key value."""
+
+
+class NotNullViolation(IntegrityError):
+    """A required (non-nullable) column received ``None``."""
+
+
+class RowNotFound(DatabaseError):
+    """A lookup by primary key matched no row."""
+
+
+class TransactionError(DatabaseError):
+    """Transaction misuse, e.g. commit without an open transaction."""

@@ -1,0 +1,172 @@
+"""A small composable query builder over :class:`repro.db.table.Table`.
+
+Provides the subset of SQL the CAR-CS service actually needs: equality and
+predicate filters, ordering, projection, limit/offset, inner joins through
+link tables, and group-by aggregation.  Queries are lazy: nothing runs
+until :meth:`Query.all`, :meth:`Query.first`, :meth:`Query.count` or
+iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from .engine import Database
+from .errors import SchemaError
+
+
+Predicate = Callable[[dict[str, Any]], bool]
+
+
+class Query:
+    """Lazy pipeline of operations over one table's rows."""
+
+    def __init__(self, db: Database, table_name: str) -> None:
+        self._db = db
+        self._table = table_name
+        self._equals: dict[str, Any] = {}
+        self._predicates: list[Predicate] = []
+        self._order: tuple[str, bool] | None = None  # (column, descending)
+        self._limit: int | None = None
+        self._offset: int = 0
+        self._projection: tuple[str, ...] | None = None
+
+    # -- builders (each returns a new Query so partial pipelines can be reused)
+
+    def _clone(self) -> "Query":
+        q = Query(self._db, self._table)
+        q._equals = dict(self._equals)
+        q._predicates = list(self._predicates)
+        q._order = self._order
+        q._limit = self._limit
+        q._offset = self._offset
+        q._projection = self._projection
+        return q
+
+    def filter(self, **equals: Any) -> "Query":
+        q = self._clone()
+        q._equals.update(equals)
+        return q
+
+    def where(self, predicate: Predicate) -> "Query":
+        q = self._clone()
+        q._predicates.append(predicate)
+        return q
+
+    def where_in(self, column: str, values: Iterable[Any]) -> "Query":
+        allowed = set(values)
+        return self.where(lambda row: row[column] in allowed)
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        q = self._clone()
+        q._order = (column, descending)
+        return q
+
+    def limit(self, n: int) -> "Query":
+        q = self._clone()
+        q._limit = n
+        return q
+
+    def offset(self, n: int) -> "Query":
+        q = self._clone()
+        q._offset = n
+        return q
+
+    def select(self, *columns: str) -> "Query":
+        q = self._clone()
+        q._projection = columns
+        return q
+
+    # -- execution ---------------------------------------------------------
+
+    def _run(self) -> list[dict[str, Any]]:
+        table = self._db.table(self._table)
+        rows = table.find(**self._equals)
+        for pred in self._predicates:
+            rows = [r for r in rows if pred(r)]
+        if self._order is not None:
+            column, desc = self._order
+            # None sorts last regardless of direction, mirroring NULLS LAST.
+            rows.sort(
+                key=lambda r: (r[column] is None, r[column]),
+                reverse=desc,
+            )
+        if self._offset:
+            rows = rows[self._offset :]
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            for name in self._projection:
+                table.schema.column(name)
+            rows = [{c: r[c] for c in self._projection} for r in rows]
+        return rows
+
+    def all(self) -> list[dict[str, Any]]:
+        return self._run()
+
+    def first(self) -> dict[str, Any] | None:
+        rows = self.limit(1)._run()
+        return rows[0] if rows else None
+
+    def count(self) -> int:
+        return len(self._run())
+
+    def exists(self) -> bool:
+        return self.first() is not None
+
+    def values(self, column: str) -> list[Any]:
+        return [r[column] for r in self.select(column)._run()]
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._run())
+
+    # -- joins & aggregation -------------------------------------------------
+
+    def join_via(
+        self,
+        link_table: str,
+        *,
+        local_column: str,
+        remote_column: str,
+        remote_table: str,
+    ) -> list[dict[str, Any]]:
+        """Inner join: rows of ``remote_table`` linked to any row of this
+        query's result through ``link_table``.
+
+        ``link_table`` rows must carry ``local_column`` (FK to this table's
+        pk) and ``remote_column`` (FK to the remote table's pk).  Results
+        are deduplicated, ordered by remote primary key.
+        """
+        local = self._db.table(self._table)
+        link = self._db.table(link_table)
+        remote = self._db.table(remote_table)
+        local_pks = {r[local.schema.primary_key] for r in self._run()}
+        remote_pks: set[Any] = set()
+        for row in link:
+            if row[local_column] in local_pks:
+                remote_pks.add(row[remote_column])
+        out = []
+        for pk in sorted(remote_pks):
+            row = remote.get_or_none(pk)
+            if row is not None:
+                out.append(row)
+        return out
+
+    def group_count(self, column: str) -> dict[Any, int]:
+        """``SELECT column, COUNT(*) GROUP BY column`` over this query."""
+        counts: dict[Any, int] = {}
+        for row in self._run():
+            counts[row[column]] = counts.get(row[column], 0) + 1
+        return counts
+
+    def aggregate(
+        self, column: str, fn: Callable[[list[Any]], Any]
+    ) -> Any:
+        return fn([r[column] for r in self._run()])
+
+
+def query(db: Database, table_name: str) -> Query:
+    """Entry point: ``query(db, "materials").filter(...)...``"""
+    if table_name not in db:
+        raise SchemaError(f"no table {table_name!r}")
+    return Query(db, table_name)

@@ -1,0 +1,232 @@
+"""Row storage with constraint enforcement and secondary indexes.
+
+Rows are stored as immutable-by-convention dicts keyed by primary key.
+Secondary indexes are ordinary hash indexes (``value -> set of pks``)
+maintained incrementally on every write, which keeps equality lookups O(1)
+for the hot paths in CAR-CS (all the many-to-many join traversals behind
+coverage and similarity computations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from .errors import (
+    IntegrityError,
+    RowNotFound,
+    SchemaError,
+    UniqueViolation,
+)
+from .schema import Column, TableSchema
+
+
+class Table:
+    """One table: schema + rows + indexes.
+
+    Not constructed directly in application code — use
+    :meth:`repro.db.engine.Database.create_table`.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[Any, dict[str, Any]] = {}
+        self._next_id = 1
+        # unique indexes: constraint columns -> {key tuple: pk}
+        self._unique: dict[tuple[str, ...], dict[tuple, Any]] = {
+            tuple(group): {} for group in schema.unique
+        }
+        # secondary hash indexes: column -> {value: set(pk)}
+        self._indexes: dict[str, dict[Any, set]] = {}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(list(self._rows.values()))
+
+    def __contains__(self, pk: Any) -> bool:
+        return pk in self._rows
+
+    def pks(self) -> list[Any]:
+        return list(self._rows.keys())
+
+    # -- indexes ----------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Build (idempotently) a hash index on ``column``."""
+        if column in self._indexes:
+            return
+        self.schema.column(column)  # validates existence
+        index: dict[Any, set] = {}
+        for pk, row in self._rows.items():
+            index.setdefault(row[column], set()).add(pk)
+        self._indexes[column] = index
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexes
+
+    # -- writes -----------------------------------------------------------
+
+    def _complete_row(self, values: dict[str, Any]) -> dict[str, Any]:
+        row: dict[str, Any] = {}
+        unknown = set(values) - set(self.schema.column_names())
+        if unknown:
+            raise SchemaError(
+                f"unknown column(s) {sorted(unknown)} for table {self.name!r}"
+            )
+        for col in self.schema.columns:
+            if col.name in values:
+                row[col.name] = col.validate(values[col.name])
+            elif col.name == self.schema.primary_key and self.schema.auto_increment:
+                row[col.name] = self._next_id
+            elif col.has_default():
+                row[col.name] = col.validate(col.resolve_default())
+            else:
+                row[col.name] = col.validate(None)
+        return row
+
+    def _unique_key(self, group: tuple[str, ...], row: dict[str, Any]) -> tuple:
+        return tuple(row[c] for c in group)
+
+    def insert(self, **values: Any) -> dict[str, Any]:
+        """Insert a row; returns the stored row dict (with assigned pk)."""
+        row = self._complete_row(values)
+        pk = row[self.schema.primary_key]
+        if pk in self._rows:
+            raise UniqueViolation(
+                f"duplicate primary key {pk!r} in table {self.name!r}"
+            )
+        for group, index in self._unique.items():
+            key = self._unique_key(group, row)
+            if key in index:
+                raise UniqueViolation(
+                    f"unique constraint {group} violated in {self.name!r}: {key!r}"
+                )
+        # All checks passed: commit to storage and indexes.
+        self._rows[pk] = row
+        if isinstance(pk, int) and pk >= self._next_id:
+            self._next_id = pk + 1
+        for group, index in self._unique.items():
+            index[self._unique_key(group, row)] = pk
+        for column, index2 in self._indexes.items():
+            index2.setdefault(row[column], set()).add(pk)
+        return dict(row)
+
+    def update(self, pk: Any, **changes: Any) -> dict[str, Any]:
+        """Update columns of the row with primary key ``pk``."""
+        if pk not in self._rows:
+            raise RowNotFound(f"{self.name!r} has no row with pk {pk!r}")
+        if self.schema.primary_key in changes:
+            raise IntegrityError("primary key columns cannot be updated")
+        old = self._rows[pk]
+        new = dict(old)
+        for name, value in changes.items():
+            col = self.schema.column(name)
+            new[name] = col.validate(value)
+        for group, index in self._unique.items():
+            key = self._unique_key(group, new)
+            holder = index.get(key)
+            if holder is not None and holder != pk:
+                raise UniqueViolation(
+                    f"unique constraint {group} violated in {self.name!r}: {key!r}"
+                )
+        for group, index in self._unique.items():
+            del index[self._unique_key(group, old)]
+            index[self._unique_key(group, new)] = pk
+        for column, index2 in self._indexes.items():
+            if old[column] != new[column]:
+                index2[old[column]].discard(pk)
+                if not index2[old[column]]:
+                    del index2[old[column]]
+                index2.setdefault(new[column], set()).add(pk)
+        self._rows[pk] = new
+        return dict(new)
+
+    def delete(self, pk: Any) -> dict[str, Any]:
+        """Remove and return the row with primary key ``pk``."""
+        if pk not in self._rows:
+            raise RowNotFound(f"{self.name!r} has no row with pk {pk!r}")
+        row = self._rows.pop(pk)
+        for group, index in self._unique.items():
+            index.pop(self._unique_key(group, row), None)
+        for column, index2 in self._indexes.items():
+            bucket = index2.get(row[column])
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del index2[row[column]]
+        return row
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, pk: Any) -> dict[str, Any]:
+        try:
+            return dict(self._rows[pk])
+        except KeyError:
+            raise RowNotFound(f"{self.name!r} has no row with pk {pk!r}") from None
+
+    def get_or_none(self, pk: Any) -> dict[str, Any] | None:
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def find(self, **equals: Any) -> list[dict[str, Any]]:
+        """All rows matching the conjunction of column=value equalities.
+
+        Uses a hash index for the most selective indexed column when one
+        exists, then filters the remainder.
+        """
+        if not equals:
+            return [dict(r) for r in self._rows.values()]
+        for name in equals:
+            self.schema.column(name)
+        indexed = [c for c in equals if c in self._indexes]
+        if indexed:
+            # Seed from the smallest index bucket.
+            seed_col = min(
+                indexed,
+                key=lambda c: len(self._indexes[c].get(equals[c], ())),
+            )
+            pks: Iterable[Any] = self._indexes[seed_col].get(equals[seed_col], set())
+            candidates = (self._rows[pk] for pk in pks)
+        else:
+            candidates = iter(self._rows.values())
+        out = []
+        for row in candidates:
+            if all(row[c] == v for c, v in equals.items()):
+                out.append(dict(row))
+        return out
+
+    def find_one(self, **equals: Any) -> dict[str, Any] | None:
+        rows = self.find(**equals)
+        return rows[0] if rows else None
+
+    def count(self, **equals: Any) -> int:
+        if not equals:
+            return len(self._rows)
+        return len(self.find(**equals))
+
+    def column_values(self, column: str) -> list[Any]:
+        self.schema.column(column)
+        return [row[column] for row in self._rows.values()]
+
+    # -- snapshot / restore (transaction support) ---------------------------
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {
+            "rows": {pk: dict(r) for pk, r in self._rows.items()},
+            "next_id": self._next_id,
+            "unique": {g: dict(ix) for g, ix in self._unique.items()},
+            "indexes": {c: {v: set(s) for v, s in ix.items()} for c, ix in self._indexes.items()},
+        }
+
+    def _restore(self, snap: dict[str, Any]) -> None:
+        self._rows = {pk: dict(r) for pk, r in snap["rows"].items()}
+        self._next_id = snap["next_id"]
+        self._unique = {g: dict(ix) for g, ix in snap["unique"].items()}
+        self._indexes = {c: {v: set(s) for v, s in ix.items()} for c, ix in snap["indexes"].items()}

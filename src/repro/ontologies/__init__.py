@@ -1,0 +1,20 @@
+"""Curriculum ontology data: ACM CS2013, NSF/IEEE-TCPP PDC2012, and the
+projected PDC2019 revision, plus edition-diff tooling."""
+
+from . import cs2013, pdc12, pdc2019
+from .diff import DiffEntry, OntologyDiff, diff_ontologies
+from .registry import available, load, load_all, register, unregister
+
+__all__ = [
+    "DiffEntry",
+    "OntologyDiff",
+    "available",
+    "cs2013",
+    "diff_ontologies",
+    "load",
+    "load_all",
+    "pdc12",
+    "pdc2019",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,189 @@
+"""Structural diff between two editions of an ontology.
+
+The paper notes both curricula are revised over time ("a new iteration of
+these guidelines are expected to be finalized in 2019") and CAR-CS must
+keep classifications meaningful across editions.  :func:`diff_ontologies`
+compares two trees by *label within path context* (keys are namespaced
+per edition, so key equality is useless) and reports added, removed,
+relabelled and moved entries — the input the classification migrator
+consumes and the report a curriculum committee would read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ontology import NodeKind, Ontology
+
+
+def _strip_ns(key: str) -> str:
+    """Drop the edition namespace (first path segment) from a key."""
+    return key.split("/", 1)[1] if "/" in key else ""
+
+
+@dataclass
+class DiffEntry:
+    kind: str              # "added" | "removed" | "moved" | "relabelled"
+    label: str
+    old_path: str = ""
+    new_path: str = ""
+
+
+@dataclass
+class OntologyDiff:
+    old_name: str
+    new_name: str
+    added: list[DiffEntry] = field(default_factory=list)
+    removed: list[DiffEntry] = field(default_factory=list)
+    moved: list[DiffEntry] = field(default_factory=list)
+    relabelled: list[DiffEntry] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.moved or self.relabelled)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "added": len(self.added),
+            "removed": len(self.removed),
+            "moved": len(self.moved),
+            "relabelled": len(self.relabelled),
+        }
+
+    def format(self) -> str:
+        lines = [f"Diff {self.old_name} -> {self.new_name}"]
+        for title, entries in (
+            ("Added", self.added),
+            ("Removed", self.removed),
+            ("Moved", self.moved),
+            ("Relabelled", self.relabelled),
+        ):
+            if not entries:
+                continue
+            lines.append(f"  {title}:")
+            for entry in entries:
+                if entry.kind == "moved":
+                    lines.append(f"    {entry.label}")
+                    lines.append(f"      from {entry.old_path}")
+                    lines.append(f"      to   {entry.new_path}")
+                elif entry.kind == "relabelled":
+                    lines.append(f"    {entry.old_path}")
+                    lines.append(f"      now: {entry.label}")
+                else:
+                    path = entry.new_path or entry.old_path
+                    lines.append(f"    {path}")
+        return "\n".join(lines)
+
+
+def _index(onto: Ontology) -> dict[str, tuple[str, str]]:
+    """label -> (namespace-stripped parent key, full path) for all entries."""
+    out = {}
+    for node in onto.nodes():
+        if node.kind is NodeKind.ROOT:
+            continue
+        parent = node.parent or ""
+        out[node.label] = (_strip_ns(parent), onto.path_string(node.key))
+    return out
+
+
+def diff_ontologies(old: Ontology, new: Ontology) -> OntologyDiff:
+    """Label-based structural diff (see module docstring).
+
+    An entry present in both editions under a different parent is
+    "moved"; present only in the new edition "added"; only in the old
+    "removed".  Entries whose namespace-stripped key matches but whose
+    label changed are "relabelled" (counted once, not also as
+    added+removed).
+    """
+    diff = OntologyDiff(old_name=old.name, new_name=new.name)
+
+    old_by_label = _index(old)
+    new_by_label = _index(new)
+    old_by_key = {_strip_ns(n.key): n for n in old.nodes()}
+    new_by_key = {_strip_ns(n.key): n for n in new.nodes()}
+
+    relabelled_old_labels: set[str] = set()
+    relabelled_new_labels: set[str] = set()
+    for stripped, old_node in old_by_key.items():
+        new_node = new_by_key.get(stripped)
+        if new_node is not None and new_node.label != old_node.label:
+            diff.relabelled.append(
+                DiffEntry(
+                    kind="relabelled",
+                    label=new_node.label,
+                    old_path=old.path_string(old_node.key),
+                    new_path=new.path_string(new_node.key),
+                )
+            )
+            relabelled_old_labels.add(old_node.label)
+            relabelled_new_labels.add(new_node.label)
+
+    for label, (new_parent, new_path) in new_by_label.items():
+        if label in relabelled_new_labels:
+            continue
+        if label not in old_by_label:
+            diff.added.append(
+                DiffEntry(kind="added", label=label, new_path=new_path)
+            )
+        else:
+            old_parent, old_path = old_by_label[label]
+            if old_parent != new_parent:
+                diff.moved.append(
+                    DiffEntry(
+                        kind="moved", label=label,
+                        old_path=old_path, new_path=new_path,
+                    )
+                )
+
+    for label, (_, old_path) in old_by_label.items():
+        if label in relabelled_old_labels:
+            continue
+        if label not in new_by_label:
+            diff.removed.append(
+                DiffEntry(kind="removed", label=label, old_path=old_path)
+            )
+
+    _pair_renamed_moves(diff)
+    for bucket in (diff.added, diff.removed, diff.moved, diff.relabelled):
+        bucket.sort(key=lambda e: e.label)
+    return diff
+
+
+def _normalize(label: str) -> str:
+    """Label minus its 'Category: ' prefix — used to recognize entries
+    that moved *and* had their prefix renamed (e.g. PDC19's
+    'Data: Amdahl's Law…' -> 'Costs of computation: Amdahl's Law…')."""
+    if ": " in label:
+        return label.split(": ", 1)[1].lower()
+    return label.lower()
+
+
+def _pair_renamed_moves(diff: OntologyDiff) -> None:
+    """Convert added+removed pairs with matching normalized labels into
+    single 'moved' entries."""
+    removed_by_norm: dict[str, DiffEntry] = {}
+    for entry in diff.removed:
+        norm = _normalize(entry.label)
+        # Ambiguity (two removed entries normalizing alike) disables the
+        # pairing for that norm — better noisy than wrong.
+        removed_by_norm[norm] = (
+            None if norm in removed_by_norm else entry  # type: ignore[assignment]
+        )
+
+    still_added: list[DiffEntry] = []
+    matched_removed: set[int] = set()
+    for entry in diff.added:
+        partner = removed_by_norm.get(_normalize(entry.label))
+        if partner is None:
+            still_added.append(entry)
+            continue
+        diff.moved.append(
+            DiffEntry(
+                kind="moved",
+                label=entry.label,
+                old_path=partner.old_path,
+                new_path=entry.new_path,
+            )
+        )
+        matched_removed.add(id(partner))
+    diff.added = still_added
+    diff.removed = [e for e in diff.removed if id(e) not in matched_removed]

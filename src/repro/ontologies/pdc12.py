@@ -1,0 +1,292 @@
+"""The NSF/IEEE-TCPP PDC 2012 curriculum ontology ("PDC12").
+
+"The 2012 NSF/IEEE-TCPP curriculum for Parallel Distributed Computing is
+... divided in four areas: Algorithm, Architecture, Programming, and
+Cross-Cutting and Advanced topics ... The PDC guidelines also associate
+Bloom levels (Know, Comprehend, and Apply) with the topics ... the PDC
+curriculum only exposes two levels: core and elective." (Section II-B.)
+
+The tree below is a faithful hand-encoding of the published topic list,
+*including* the classification oddities the paper reports in Section IV-A,
+because the gap-analysis code is expected to rediscover them:
+
+* Amdahl's Law (and related speedup topics) sits under
+  ``Programming :: Performance issues :: Data`` — not under Algorithms;
+* ``BSP/CILK`` is a single bundled entry ("BSP; which is oddly bundled
+  with Cilk");
+* there is **no** Map-Reduce entry (only BSP/CILK and Cloud Computing come
+  close);
+* ``Algorithm :: Parallel and Distributed Models and Complexity :: Notions
+  from scheduling`` lists makespan-related notions but **misses Critical
+  Path**;
+* middleware design/implementation topics are absent.
+
+Keys are hierarchical: ``PDC12/<AreaCode>/<unit-slug>/<topic-slug>``.
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import BloomLevel, NodeKind, Ontology, Tier
+
+NAME = "PDC12"
+
+K = BloomLevel.KNOW
+C = BloomLevel.COMPREHEND
+A = BloomLevel.APPLY
+
+CORE = Tier.CORE
+ELEC = Tier.ELECTIVE
+
+# (area code, area label, [(unit label, [(topic label, bloom, tier), ...]), ...])
+_AREAS: list[tuple[str, str, list[tuple[str, list[tuple[str, BloomLevel, Tier]]]]]] = [
+    (
+        "ARCH",
+        "Architecture",
+        [
+            (
+                "Classes of architecture",
+                [
+                    ("Taxonomy: Flynn's taxonomy (SISD, SIMD, MIMD)", K, CORE),
+                    ("Data versus control parallelism: SIMD and vector units", K, CORE),
+                    ("Data versus control parallelism: pipelines and streams", K, CORE),
+                    ("Data versus control parallelism: MIMD and simultaneous multithreading", K, CORE),
+                    ("Data versus control parallelism: dataflow architectures", K, ELEC),
+                    ("Shared versus distributed memory: SMP and buses", C, CORE),
+                    ("Shared versus distributed memory: NUMA organizations", K, ELEC),
+                    ("Shared versus distributed memory: message passing interconnects and topologies", K, CORE),
+                    ("Shared versus distributed memory: latency and bandwidth", C, CORE),
+                    ("Multicore processors and heterogeneity (GPU, accelerators)", K, CORE),
+                ],
+            ),
+            (
+                "Memory hierarchy",
+                [
+                    ("Cache organization in multiprocessors", K, CORE),
+                    ("Atomicity of memory operations", K, CORE),
+                    ("Memory consistency models", K, ELEC),
+                    ("Cache coherence protocols", K, ELEC),
+                    ("Impact of memory hierarchy on parallel performance", C, CORE),
+                ],
+            ),
+            (
+                "Performance metrics of architecture",
+                [
+                    ("Cycles per instruction and instruction-level metrics", C, CORE),
+                    ("Benchmarks and benchmark suites (SPEC, LINPACK)", K, CORE),
+                    ("Peak performance and its limits", C, CORE),
+                    ("MIPS and FLOPS as rate measures", K, CORE),
+                    ("Sustained versus peak performance", C, CORE),
+                ],
+            ),
+            (
+                "Floating point representation",
+                [
+                    ("Floating point range and precision in parallel codes", K, CORE),
+                    ("Error propagation and non-associativity of floating point", K, ELEC),
+                ],
+            ),
+        ],
+    ),
+    (
+        "PROG",
+        "Programming",
+        [
+            (
+                "Parallel programming paradigms and notations",
+                [
+                    ("By target machine model: SIMD programming", K, CORE),
+                    ("By target machine model: shared memory programming", A, CORE),
+                    ("By target machine model: distributed memory programming", C, CORE),
+                    ("By target machine model: hybrid programming models", K, ELEC),
+                    ("By control statement: task and thread spawning", A, CORE),
+                    ("By control statement: SPMD programming", C, CORE),
+                    ("By control statement: data parallel constructs", A, CORE),
+                    ("By control statement: parallel loops (e.g., OpenMP for)", A, CORE),
+                    ("Programming notations: threads (e.g., pthreads)", A, CORE),
+                    ("Programming notations: compiler directives and pragmas (e.g., OpenMP)", A, CORE),
+                    ("Programming notations: message passing libraries (e.g., MPI)", C, CORE),
+                    ("Programming notations: client-server and RPC frameworks", K, ELEC),
+                    ("Programming notations: GPU kernels (e.g., CUDA, OpenCL)", K, ELEC),
+                ],
+            ),
+            (
+                "Semantics and correctness issues",
+                [
+                    ("Tasks and threads as units of execution", C, CORE),
+                    ("Synchronization: critical regions and mutual exclusion", A, CORE),
+                    ("Synchronization: producer-consumer coordination", A, CORE),
+                    ("Synchronization: monitors and condition synchronization", K, ELEC),
+                    ("Concurrency defects: data races", C, CORE),
+                    ("Concurrency defects: deadlocks and livelocks", C, CORE),
+                    ("Memory models and sequential consistency for programmers", K, ELEC),
+                    ("Determinism and nondeterminism of parallel programs", C, CORE),
+                ],
+            ),
+            (
+                "Performance issues",
+                [
+                    # The PDC12 document files computation- and data-centric
+                    # performance topics under these two sub-headings; the
+                    # paper notes the oddity that Amdahl's Law lands under
+                    # "Data".  Faithfully reproduced.
+                    ("Computation: decomposition into atomic tasks", A, CORE),
+                    ("Computation: work stealing and dynamic task scheduling", K, ELEC),
+                    ("Computation: load balancing strategies", C, CORE),
+                    ("Computation: static and dynamic scheduling and mapping", C, CORE),
+                    ("Data: data distribution across memories", C, CORE),
+                    ("Data: data locality and its performance impact", C, CORE),
+                    ("Data: false sharing", K, ELEC),
+                    ("Data: performance metrics, speedup and efficiency", C, CORE),
+                    ("Data: Amdahl's Law and its consequences", C, CORE),
+                    ("Data: Gustafson's Law and scaled speedup", K, ELEC),
+                ],
+            ),
+            (
+                "Tools",
+                [
+                    ("Performance monitoring and profiling tools", K, CORE),
+                    ("Parallel debuggers and race detectors", K, ELEC),
+                ],
+            ),
+        ],
+    ),
+    (
+        "ALGO",
+        "Algorithm",
+        [
+            (
+                "Parallel and Distributed Models and Complexity",
+                [
+                    ("Costs of computation: asymptotic analysis of parallel time", C, CORE),
+                    ("Costs of computation: space and communication costs", C, CORE),
+                    ("Costs of computation: speedup, efficiency, and scalability", C, CORE),
+                    ("Cost reduction through parallelism: work optimality", K, ELEC),
+                    ("Model-based notions: PRAM model", K, ELEC),
+                    # "BSP; which is oddly bundled with Cilk" — one entry.
+                    ("Model-based notions: BSP/CILK multithreaded models", K, ELEC),
+                    ("Model-based notions: dependencies and task graphs", C, CORE),
+                    ("Model-based notions: work and span of a computation", C, CORE),
+                    # "Notions from scheduling" — Critical Path deliberately
+                    # absent, as the paper observes.
+                    ("Notions from scheduling: makespan minimization", K, ELEC),
+                    ("Notions from scheduling: list scheduling and Graham's bound", K, ELEC),
+                    ("Notions from scheduling: processor allocation", K, ELEC),
+                ],
+            ),
+            (
+                "Algorithmic Paradigms",
+                [
+                    ("Divide and conquer in parallel", A, CORE),
+                    ("Recursion and parallel recursive decomposition", A, CORE),
+                    ("Reduction operations", A, CORE),
+                    ("Prefix sums and scan", C, CORE),
+                    ("Stencil-based iteration", C, CORE),
+                    ("Blocking and tiling for parallelism", K, ELEC),
+                    ("Out-of-core and streaming paradigms", K, ELEC),
+                ],
+            ),
+            (
+                "Algorithmic problems",
+                [
+                    ("Communication operations: broadcast and multicast", C, CORE),
+                    ("Communication operations: scatter and gather", C, CORE),
+                    ("Asynchrony and synchronization in algorithms", K, CORE),
+                    ("Parallel sorting algorithms", C, CORE),
+                    ("Parallel selection and searching", K, ELEC),
+                    ("Parallel matrix computations", C, CORE),
+                    ("Parallel graph search (BFS, DFS)", K, ELEC),
+                    ("Parallel numerical integration and quadrature", C, CORE),
+                    ("Monte Carlo methods and parallel random sampling", K, ELEC),
+                ],
+            ),
+        ],
+    ),
+    (
+        "CROSS",
+        "Cross Cutting and Advanced",
+        [
+            (
+                "High level themes",
+                [
+                    ("Why and what is parallel and distributed computing", K, CORE),
+                    ("History and trends: end of Dennard scaling, multicore era", K, CORE),
+                ],
+            ),
+            (
+                "Crosscutting topics",
+                [
+                    ("Concurrency as a pervasive concept", C, CORE),
+                    ("Nondeterminism as a crosscutting concern", K, CORE),
+                    ("Power consumption and energy efficiency", K, ELEC),
+                    ("Locality as a unifying principle", C, CORE),
+                ],
+            ),
+            (
+                "Advanced topics: distributed systems",
+                [
+                    ("Cluster computing", K, ELEC),
+                    ("Cloud and grid computing", K, ELEC),
+                    ("Consistency in distributed transactions", K, ELEC),
+                    ("Fault tolerance and resilience", K, ELEC),
+                    ("Security in distributed systems", K, ELEC),
+                    ("Web services and distributed search", K, ELEC),
+                    ("Peer-to-peer and social networking systems", K, ELEC),
+                ],
+            ),
+            (
+                "Advanced topics: performance modeling",
+                [
+                    ("Analytical performance modeling of parallel systems", K, ELEC),
+                    ("Simulation-based performance evaluation", K, ELEC),
+                ],
+            ),
+        ],
+    ),
+]
+
+
+def _slug(label: str) -> str:
+    out = []
+    for ch in label.lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif out and out[-1] != "-":
+            out.append("-")
+    return "".join(out).strip("-")[:48]
+
+
+def build() -> Ontology:
+    """Construct and validate the PDC12 ontology tree."""
+    onto = Ontology(
+        NAME,
+        "NSF/IEEE-TCPP Curriculum Initiative on Parallel and Distributed "
+        "Computing — Core Topics for Undergraduates (2012)",
+    )
+    for code, area_label, units in _AREAS:
+        area_key = f"{NAME}/{code}"
+        onto.add(area_key, area_label, NodeKind.AREA, code=code)
+        for unit_label, topics in units:
+            unit_key = f"{area_key}/{_slug(unit_label)}"
+            onto.add(unit_key, unit_label, NodeKind.UNIT, area_key)
+            for topic_label, bloom, tier in topics:
+                topic_key = f"{unit_key}/{_slug(topic_label)}"
+                onto.add(
+                    topic_key,
+                    topic_label,
+                    NodeKind.TOPIC,
+                    unit_key,
+                    bloom=bloom,
+                    tier=tier,
+                )
+    onto.validate()
+    return onto
+
+
+# Keys referenced from corpus construction and tests; computed here once so
+# refactors of the table above fail loudly rather than silently.
+def key_of(area_code: str, unit_label: str, topic_label: str | None = None) -> str:
+    """Resolve a PDC12 key from human-readable labels."""
+    base = f"{NAME}/{area_code}/{_slug(unit_label)}"
+    if topic_label is None:
+        return base
+    return f"{base}/{_slug(topic_label)}"

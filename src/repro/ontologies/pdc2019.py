@@ -1,0 +1,257 @@
+"""A projected NSF/IEEE-TCPP PDC *2019* revision ("PDC19").
+
+The paper (Sections I, IV-A) anticipates the 2019 update of the PDC
+curriculum and lists the 2012 edition's oddities it expects to be fixed:
+
+* "Amdhal's law (and related topics) falls under
+  Programming::Performance Issue::Data" — speedup/efficiency/Amdahl/
+  Gustafson move to ``Algorithm :: Parallel and Distributed Models and
+  Complexity :: Costs of computation``;
+* "Notions from scheduling misses Critical Path" — a Critical Path topic
+  is added;
+* "The Map-Reduce programming model seems mostly missing" — a Map-Reduce
+  entry is added under programming notations;
+* "BSP; which is oddly bundled with Cilk" — the bundled entry is split
+  into separate BSP and CILK model topics;
+* "topics related to middleware (design and implementation) seem to be
+  mostly missing" — a small middleware unit is added under Cross-Cutting.
+
+PDC19 is built *from* the PDC12 tree by applying a declarative list of
+:class:`Revision` operations, so the diff between the two editions is
+first-class data: :func:`revisions` feeds the ontology-diff tooling in
+:mod:`repro.ontologies.diff` and the classification migration in
+:mod:`repro.core.migrate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ontology import BloomLevel, NodeKind, Ontology, Tier
+
+from . import pdc12
+from .pdc12 import _slug  # reuse the key-slug convention
+
+NAME = "PDC19"
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One declarative change from PDC12 to PDC19.
+
+    ``op`` is one of:
+
+    * ``"move"``   — topic ``old_key`` re-parents under unit ``new_parent``
+      (keeping label/bloom/tier unless overridden);
+    * ``"add"``    — new topic ``label`` under unit ``new_parent``;
+    * ``"split"``  — topic ``old_key`` is removed and replaced by topics
+      ``labels`` under the same parent;
+    * ``"add_unit"`` — new unit ``label`` under area ``new_parent``.
+    """
+
+    op: str
+    old_key: str | None = None
+    new_parent: str | None = None
+    label: str | None = None
+    labels: tuple[str, ...] = ()
+    bloom: BloomLevel | None = None
+    tier: Tier | None = None
+    rationale: str = ""
+
+
+def _k(area: str, unit: str, topic: str | None = None) -> str:
+    return pdc12.key_of(area, unit, topic)
+
+
+_COSTS_UNIT = _k("ALGO", "Parallel and Distributed Models and Complexity")
+_NOTATIONS_UNIT = _k("PROG", "Parallel programming paradigms and notations")
+_SCHED_PARENT = _COSTS_UNIT  # scheduling notions live in the same unit
+
+
+def revisions() -> tuple[Revision, ...]:
+    """The declarative PDC12 → PDC19 change list (paper's IV-A fixes)."""
+    return (
+        Revision(
+            op="move",
+            old_key=_k("PROG", "Performance issues",
+                       "Data: performance metrics, speedup and efficiency"),
+            new_parent=_COSTS_UNIT,
+            label="Costs of computation: performance metrics, speedup and efficiency",
+            rationale="speedup metrics belong with complexity, not data layout",
+        ),
+        Revision(
+            op="move",
+            old_key=_k("PROG", "Performance issues",
+                       "Data: Amdahl's Law and its consequences"),
+            new_parent=_COSTS_UNIT,
+            label="Costs of computation: Amdahl's Law and its consequences",
+            rationale="the paper: Amdahl oddly filed under Programming::Performance Issue::Data",
+        ),
+        Revision(
+            op="move",
+            old_key=_k("PROG", "Performance issues",
+                       "Data: Gustafson's Law and scaled speedup"),
+            new_parent=_COSTS_UNIT,
+            label="Costs of computation: Gustafson's Law and scaled speedup",
+            rationale="same relocation as Amdahl",
+        ),
+        Revision(
+            op="add",
+            new_parent=_SCHED_PARENT,
+            label="Notions from scheduling: critical path and its length",
+            bloom=BloomLevel.COMPREHEND,
+            tier=Tier.CORE,
+            rationale="the paper: 'Notions from scheduling misses Critical Path'",
+        ),
+        Revision(
+            op="add",
+            new_parent=_NOTATIONS_UNIT,
+            label="Programming notations: Map-Reduce frameworks",
+            bloom=BloomLevel.COMPREHEND,
+            tier=Tier.CORE,
+            rationale="the paper: 'The Map-Reduce programming model seems mostly missing'",
+        ),
+        Revision(
+            op="split",
+            old_key=_k("ALGO", "Parallel and Distributed Models and Complexity",
+                       "Model-based notions: BSP/CILK multithreaded models"),
+            labels=(
+                "Model-based notions: Bulk Synchronous Parallel (BSP) model",
+                "Model-based notions: CILK-style multithreaded model",
+            ),
+            rationale="the paper: 'BSP; which is oddly bundled with Cilk'",
+        ),
+        Revision(
+            op="add_unit",
+            new_parent=f"{pdc12.NAME}/CROSS",
+            label="Middleware design and implementation",
+            rationale="the paper: middleware 'seem to be mostly missing' from both ontologies",
+        ),
+        Revision(
+            op="add",
+            new_parent=f"{pdc12.NAME}/CROSS/{_slug('Middleware design and implementation')}",
+            label="Message brokers and publish-subscribe systems",
+            bloom=BloomLevel.KNOW,
+            tier=Tier.ELECTIVE,
+        ),
+        Revision(
+            op="add",
+            new_parent=f"{pdc12.NAME}/CROSS/{_slug('Middleware design and implementation')}",
+            label="Run-time systems for task and data distribution",
+            bloom=BloomLevel.KNOW,
+            tier=Tier.ELECTIVE,
+        ),
+    )
+
+
+def _translate(key: str) -> str:
+    """Rewrite a PDC12 key into the PDC19 namespace."""
+    assert key.startswith(pdc12.NAME + "/") or key == pdc12.NAME
+    return NAME + key[len(pdc12.NAME):]
+
+
+def build() -> Ontology:
+    """Construct PDC19 = PDC12 + :func:`revisions` (validated)."""
+    base = pdc12.build()
+    revs = revisions()
+    moved: dict[str, tuple[str, str | None]] = {}   # old key -> (parent, label)
+    removed: set[str] = set()
+    for rev in revs:
+        if rev.op == "move":
+            assert rev.old_key and rev.new_parent
+            moved[rev.old_key] = (rev.new_parent, rev.label)
+        elif rev.op == "split":
+            assert rev.old_key
+            removed.add(rev.old_key)
+
+    onto = Ontology(
+        NAME,
+        "NSF/IEEE-TCPP PDC curriculum, projected 2019 revision "
+        "(PDC12 plus the fixes anticipated in the paper's Section IV-A)",
+    )
+
+    # Phase 1: copy the PDC12 tree minus removed/moved nodes (pre-order,
+    # so parents always precede children).
+    for node in base.nodes():
+        if node.key in removed or node.key in moved:
+            continue
+        assert node.parent is not None
+        new_parent = (
+            _translate(node.parent) if node.parent != base.root.key else None
+        )
+        onto.add(
+            _translate(node.key), node.label, node.kind, new_parent,
+            code=node.code, tier=node.tier, bloom=node.bloom, hours=node.hours,
+        )
+
+    # Phase 2: re-insert moved nodes under their new (now existing) parents.
+    for old_key, (parent, relabel) in moved.items():
+        node = base.node(old_key)
+        label = relabel or node.label
+        onto.add(
+            _translate(f"{parent}/{_slug(label)}"), label, node.kind,
+            _translate(parent),
+            code=node.code, tier=node.tier, bloom=node.bloom, hours=node.hours,
+        )
+
+    # Apply additions and splits.
+    for rev in revs:
+        if rev.op == "add_unit":
+            assert rev.new_parent and rev.label
+            onto.add(
+                _translate(f"{rev.new_parent}/{_slug(rev.label)}"),
+                rev.label, NodeKind.UNIT, _translate(rev.new_parent),
+            )
+        elif rev.op == "add":
+            assert rev.new_parent and rev.label
+            onto.add(
+                _translate(f"{rev.new_parent}/{_slug(rev.label)}"),
+                rev.label, NodeKind.TOPIC, _translate(rev.new_parent),
+                bloom=rev.bloom,
+                tier=rev.tier if rev.tier is not None else Tier.ELECTIVE,
+            )
+        elif rev.op == "split":
+            assert rev.old_key
+            parent = _translate(rev.old_key.rsplit("/", 1)[0])
+            old_node = pdc12.build().node(rev.old_key)
+            for label in rev.labels:
+                onto.add(
+                    _translate(f"{rev.old_key.rsplit('/', 1)[0]}/{_slug(label)}"),
+                    label, NodeKind.TOPIC, parent,
+                    bloom=old_node.bloom, tier=old_node.tier,
+                )
+
+    onto.validate()
+    return onto
+
+
+def key_map() -> dict[str, tuple[str, ...]]:
+    """PDC12 key -> PDC19 key(s) for every key changed by the revision.
+
+    Unlisted keys translate 1:1 by namespace rewrite.  Split topics map
+    to all of their replacements (a material classified under the bundle
+    is conservatively classified under both halves).
+    """
+    mapping: dict[str, tuple[str, ...]] = {}
+    for rev in revisions():
+        if rev.op == "move":
+            assert rev.old_key and rev.new_parent
+            label = rev.label or pdc12.build().node(rev.old_key).label
+            mapping[rev.old_key] = (
+                _translate(f"{rev.new_parent}/{_slug(label)}"),
+            )
+        elif rev.op == "split":
+            assert rev.old_key
+            parent = rev.old_key.rsplit("/", 1)[0]
+            mapping[rev.old_key] = tuple(
+                _translate(f"{parent}/{_slug(label)}") for label in rev.labels
+            )
+    return mapping
+
+
+def translate_key(key: str) -> tuple[str, ...]:
+    """Where a PDC12 classification lands in PDC19 (1 or 2 keys)."""
+    mapped = key_map().get(key)
+    if mapped is not None:
+        return mapped
+    return (_translate(key),)

@@ -1,0 +1,48 @@
+"""From-scratch NLP substrate (tokenize/stem/TF-IDF/cosine/kNN/NB).
+
+Replaces the scikit-learn / NLP tooling the paper's auto-classification
+feature would lean on; only NumPy is used underneath.
+"""
+
+from .keywords import Keyword, KeywordExtractor, suggest_tags
+from .knn import KnnClassifier, KnnSuggestion
+from .naive_bayes import NaiveBayesClassifier, NbSuggestion
+from .similarity import cosine, cosine_matrix, top_k_neighbors
+from .stem import stem, stem_tokens
+from .stopwords import STOPWORDS, is_stopword, remove_stopwords
+from .tokenize import ngrams, sentence_split, tokenize
+from .vectorize import (
+    TfidfVectorizer,
+    Vocabulary,
+    count_matrix,
+    l2_normalize,
+    preprocess,
+    tfidf_weights,
+)
+
+__all__ = [
+    "Keyword",
+    "KeywordExtractor",
+    "KnnClassifier",
+    "suggest_tags",
+    "KnnSuggestion",
+    "NaiveBayesClassifier",
+    "NbSuggestion",
+    "STOPWORDS",
+    "TfidfVectorizer",
+    "Vocabulary",
+    "cosine",
+    "cosine_matrix",
+    "count_matrix",
+    "is_stopword",
+    "l2_normalize",
+    "ngrams",
+    "preprocess",
+    "remove_stopwords",
+    "sentence_split",
+    "stem",
+    "stem_tokens",
+    "tfidf_weights",
+    "tokenize",
+    "top_k_neighbors",
+]

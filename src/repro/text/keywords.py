@@ -1,0 +1,89 @@
+"""TF-IDF keyword extraction — metadata assist for the Figure 1a form.
+
+CAR-CS "pairs materials with properly curated metadata"; extracting the
+most distinctive terms of a description gives the curator tag candidates
+for free (the same economy argument as the classification recommender).
+Scores are corpus-relative TF-IDF, so generic course words rank low even
+before the stopword list removes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .vectorize import TfidfVectorizer, preprocess
+
+
+@dataclass(frozen=True)
+class Keyword:
+    term: str            # the stemmed vocabulary term
+    surface: str         # a representative un-stemmed form from the text
+    score: float
+
+
+class KeywordExtractor:
+    """Fit on a corpus; extract per-document distinctive terms."""
+
+    def __init__(self, *, max_keywords: int = 8, min_score: float = 0.05):
+        self.max_keywords = max_keywords
+        self.min_score = min_score
+        self._vectorizer = TfidfVectorizer(min_df=1, sublinear_tf=True)
+        self._fitted = False
+
+    def fit(self, corpus: Sequence[str]) -> "KeywordExtractor":
+        if not corpus:
+            raise ValueError("cannot fit on an empty corpus")
+        self._vectorizer.fit(corpus)
+        self._fitted = True
+        return self
+
+    def _surface_forms(self, text: str) -> dict[str, str]:
+        """Map stem -> first un-stemmed surface form seen in the text."""
+        from .stem import stem_tokens
+        from .stopwords import remove_stopwords
+        from .tokenize import tokenize
+
+        raw = remove_stopwords(tokenize(text))
+        stems = stem_tokens(raw)
+        surfaces: dict[str, str] = {}
+        for stemmed, surface in zip(stems, raw):
+            surfaces.setdefault(stemmed, surface)
+        return surfaces
+
+    def extract(self, text: str) -> list[Keyword]:
+        """Keywords of one document, highest TF-IDF first."""
+        if not self._fitted:
+            raise RuntimeError("extractor is not fitted")
+        vocabulary = self._vectorizer.vocabulary
+        assert vocabulary is not None
+        row = self._vectorizer.transform([text])[0]
+        surfaces = self._surface_forms(text)
+        terms = vocabulary.tokens()
+        order = np.argsort(-row, kind="stable")
+        out: list[Keyword] = []
+        for idx in order[: self.max_keywords * 3]:
+            score = float(row[idx])
+            if score < self.min_score:
+                break
+            term = terms[int(idx)]
+            out.append(
+                Keyword(
+                    term=term,
+                    surface=surfaces.get(term, term),
+                    score=score,
+                )
+            )
+            if len(out) >= self.max_keywords:
+                break
+        return out
+
+
+def suggest_tags(
+    corpus: Sequence[str], text: str, *, top: int = 5
+) -> list[str]:
+    """One-call convenience: tag candidates for ``text`` given a corpus."""
+    extractor = KeywordExtractor(max_keywords=top).fit(list(corpus) + [text])
+    return [kw.surface.lower() for kw in extractor.extract(text)]

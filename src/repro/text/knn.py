@@ -1,0 +1,103 @@
+"""k-nearest-neighbour multi-label classifier over TF-IDF vectors.
+
+Backs the paper's envisioned recommendation feature: "once more material
+is classified using the system, we should be able to suggest
+classifications to save time for the user" (Conclusion).  Labels here are
+ontology entry keys; a material can carry many, so prediction is
+multi-label: each neighbour votes, with votes weighted by cosine
+similarity, and labels above a score threshold are suggested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .similarity import cosine_matrix, top_k_neighbors
+
+
+@dataclass
+class KnnSuggestion:
+    """One suggested label with its accumulated evidence."""
+
+    label: str
+    score: float
+    supporters: tuple[int, ...]  # training-row indices that voted
+
+
+class KnnClassifier:
+    """Multi-label weighted kNN.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours consulted per query.
+    threshold:
+        Minimum normalized vote score (0..1) for a label to be suggested.
+    """
+
+    def __init__(self, k: int = 5, threshold: float = 0.25) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.k = k
+        self.threshold = threshold
+        self._X: np.ndarray | None = None
+        self._labels: list[frozenset[str]] = []
+
+    def fit(
+        self, X: np.ndarray, labels: Sequence[Sequence[str]]
+    ) -> "KnnClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[0] != len(labels):
+            raise ValueError("X rows and labels length differ")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._X = X
+        self._labels = [frozenset(ls) for ls in labels]
+        return self
+
+    def suggest(self, queries: np.ndarray) -> list[list[KnnSuggestion]]:
+        """Per query row: suggestions sorted by descending score."""
+        if self._X is None:
+            raise RuntimeError("classifier is not fitted")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        sims = cosine_matrix(queries, self._X)
+        neighbor_lists = top_k_neighbors(sims, self.k)
+        out: list[list[KnnSuggestion]] = []
+        for neighbors in neighbor_lists:
+            votes: dict[str, float] = {}
+            supporters: dict[str, list[int]] = {}
+            total = sum(max(s, 0.0) for _, s in neighbors)
+            for idx, sim in neighbors:
+                weight = max(sim, 0.0)
+                if weight == 0.0:
+                    continue
+                for label in self._labels[idx]:
+                    votes[label] = votes.get(label, 0.0) + weight
+                    supporters.setdefault(label, []).append(idx)
+            suggestions = []
+            if total > 0:
+                for label, score in votes.items():
+                    norm = score / total
+                    if norm >= self.threshold:
+                        suggestions.append(
+                            KnnSuggestion(
+                                label=label,
+                                score=norm,
+                                supporters=tuple(supporters[label]),
+                            )
+                        )
+            suggestions.sort(key=lambda s: (-s.score, s.label))
+            out.append(suggestions)
+        return out
+
+    def predict_labels(self, queries: np.ndarray) -> list[frozenset[str]]:
+        """Suggested label sets only (scores dropped)."""
+        return [
+            frozenset(s.label for s in suggestions)
+            for suggestions in self.suggest(queries)
+        ]

@@ -1,0 +1,118 @@
+"""Multinomial naive Bayes for one-vs-rest multi-label suggestion.
+
+The second of the two from-scratch learners behind the classification
+recommender (the other is :mod:`repro.text.knn`).  One binary multinomial
+NB model is trained per label over raw term counts; log-space throughout,
+Laplace smoothing, fully vectorised across labels: the per-label
+log-likelihood matrix is a single (labels × vocabulary) array and scoring
+a batch of documents is one matrix multiply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class NbSuggestion:
+    label: str
+    log_odds: float
+
+
+class NaiveBayesClassifier:
+    """One-vs-rest multinomial naive Bayes over count vectors.
+
+    Parameters
+    ----------
+    alpha:
+        Laplace/Lidstone smoothing constant.
+    min_label_count:
+        Labels seen on fewer than this many training documents are not
+        modelled (too little evidence to suggest responsibly).
+    """
+
+    def __init__(self, alpha: float = 1.0, min_label_count: int = 2) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be > 0")
+        self.alpha = alpha
+        self.min_label_count = min_label_count
+        self.labels_: list[str] = []
+        self._log_like_pos: np.ndarray | None = None  # (L, V)
+        self._log_like_neg: np.ndarray | None = None  # (L, V)
+        self._log_prior: np.ndarray | None = None  # (L, 2) [neg, pos]
+
+    def fit(
+        self, counts: np.ndarray, labels: Sequence[Sequence[str]]
+    ) -> "NaiveBayesClassifier":
+        counts = np.asarray(counts, dtype=np.float64)
+        n_docs, vocab = counts.shape
+        if n_docs != len(labels):
+            raise ValueError("counts rows and labels length differ")
+        label_sets = [frozenset(ls) for ls in labels]
+        tally: dict[str, int] = {}
+        for ls in label_sets:
+            for label in ls:
+                tally[label] = tally.get(label, 0) + 1
+        self.labels_ = sorted(
+            l for l, c in tally.items() if c >= self.min_label_count
+        )
+        L = len(self.labels_)
+        if L == 0:
+            raise ValueError(
+                "no label meets min_label_count; lower the threshold"
+            )
+        membership = np.zeros((L, n_docs), dtype=bool)
+        for li, label in enumerate(self.labels_):
+            membership[li] = [label in ls for ls in label_sets]
+
+        # Vectorised over labels: positive/negative class term totals.
+        pos_counts = membership.astype(np.float64) @ counts       # (L, V)
+        total = counts.sum(axis=0)                                # (V,)
+        neg_counts = total[None, :] - pos_counts                  # (L, V)
+
+        def _log_like(c: np.ndarray) -> np.ndarray:
+            smoothed = c + self.alpha
+            return np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+
+        self._log_like_pos = _log_like(pos_counts)
+        self._log_like_neg = _log_like(neg_counts)
+
+        n_pos = membership.sum(axis=1).astype(np.float64)
+        prior_pos = (n_pos + self.alpha) / (n_docs + 2 * self.alpha)
+        self._log_prior = np.stack(
+            [np.log(1.0 - prior_pos), np.log(prior_pos)], axis=1
+        )
+        return self
+
+    def log_odds(self, counts: np.ndarray) -> np.ndarray:
+        """(n_docs, n_labels) log P(pos|doc) - log P(neg|doc)."""
+        if self._log_like_pos is None:
+            raise RuntimeError("classifier is not fitted")
+        counts = np.atleast_2d(np.asarray(counts, dtype=np.float64))
+        pos = counts @ self._log_like_pos.T + self._log_prior[:, 1]
+        neg = counts @ self._log_like_neg.T + self._log_prior[:, 0]
+        return pos - neg
+
+    def suggest(
+        self, counts: np.ndarray, *, top: int = 10
+    ) -> list[list[NbSuggestion]]:
+        """Per document: the labels with positive log-odds, best first."""
+        odds = self.log_odds(counts)
+        out: list[list[NbSuggestion]] = []
+        for row in odds:
+            pairs = [
+                NbSuggestion(self.labels_[i], float(row[i]))
+                for i in np.argsort(-row)[:top]
+                if row[i] > 0.0
+            ]
+            out.append(pairs)
+        return out
+
+    def predict_labels(self, counts: np.ndarray) -> list[frozenset[str]]:
+        return [
+            frozenset(s.label for s in suggestions)
+            for suggestions in self.suggest(counts, top=len(self.labels_))
+        ]

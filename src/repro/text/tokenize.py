@@ -1,0 +1,41 @@
+"""Tokenization for material descriptions and ontology labels.
+
+The search and recommendation paths of CAR-CS work over short technical
+English: assignment titles/descriptions and curriculum entry labels.  The
+tokenizer therefore keeps embedded hyphens and apostrophes (``divide-and-
+conquer``, ``Amdahl's``) and splits on everything else.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+# Words: letters/digits, with internal hyphens or apostrophes kept intact.
+_WORD = re.compile(r"[A-Za-z0-9]+(?:['\-][A-Za-z0-9]+)*")
+
+
+def tokenize(text: str, *, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word tokens.
+
+    >>> tokenize("Amdahl's Law & divide-and-conquer (MPI)!")
+    ["amdahl's", 'law', 'divide-and-conquer', 'mpi']
+    """
+    tokens = _WORD.findall(text)
+    if lowercase:
+        tokens = [t.lower() for t in tokens]
+    return tokens
+
+
+def ngrams(tokens: list[str], n: int) -> Iterator[tuple[str, ...]]:
+    """Sliding n-grams over a token list (n >= 1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    for i in range(len(tokens) - n + 1):
+        yield tuple(tokens[i : i + n])
+
+
+def sentence_split(text: str) -> list[str]:
+    """Very light sentence splitter for description snippets."""
+    parts = re.split(r"(?<=[.!?])\s+", text.strip())
+    return [p for p in parts if p]

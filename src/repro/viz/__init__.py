@@ -1,0 +1,12 @@
+"""Figure rendering substrate (replaces the prototype's D3 front end)."""
+
+from . import graph_render, tree_render
+from .color import group_color, intensity_char, intensity_color
+
+__all__ = [
+    "graph_render",
+    "group_color",
+    "intensity_char",
+    "intensity_color",
+    "tree_render",
+]

@@ -1,0 +1,78 @@
+"""Color ramps for the coverage trees of Figure 2.
+
+"The color intensity of the node is proportional to the number of
+material that matches that entry of the ontology.  The color palette is
+different for zeroth, first, and more-than-first level nodes.  Ontology
+entry absent from the materials are transparent." (Figure 2 caption.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Base hues per depth bucket, as (r, g, b) at full intensity.
+_DEPTH_BASES: tuple[tuple[int, int, int], ...] = (
+    (66, 66, 66),     # depth 0: the ontology root — neutral gray
+    (31, 119, 180),   # depth 1: areas — blue
+    (44, 160, 44),    # depth >= 2: units/topics/outcomes — green
+)
+
+TRANSPARENT = "none"
+
+
+@dataclass(frozen=True)
+class Rgb:
+    r: int
+    g: int
+    b: int
+
+    def hex(self) -> str:
+        return f"#{self.r:02x}{self.g:02x}{self.b:02x}"
+
+
+def _lerp(a: int, b: int, t: float) -> int:
+    return int(round(a + (b - a) * t))
+
+
+def intensity_color(depth: int, count: int, max_count: int) -> str:
+    """Fill color for a coverage node.
+
+    Zero-count entries are transparent; otherwise the depth bucket's hue
+    is interpolated from a near-white tint (count 1) to the full base
+    color (count == max_count).
+    """
+    if count <= 0:
+        return TRANSPARENT
+    base = _DEPTH_BASES[min(depth, len(_DEPTH_BASES) - 1)]
+    top = max(max_count, 1)
+    t = min(count / top, 1.0)
+    # start at a pale tint rather than pure white so count=1 is visible
+    start = (235, 238, 242)
+    return Rgb(
+        _lerp(start[0], base[0], t),
+        _lerp(start[1], base[1], t),
+        _lerp(start[2], base[2], t),
+    ).hex()
+
+
+def intensity_char(count: int, max_count: int) -> str:
+    """Unicode shade character for text renderings of the same ramp."""
+    if count <= 0:
+        return "·"
+    ramp = "░▒▓█"
+    top = max(max_count, 1)
+    index = min(int(count / top * len(ramp)), len(ramp) - 1)
+    return ramp[index]
+
+
+def group_color(group: str) -> str:
+    """Node colors for the Figure 3 similarity graph: "Blue circles
+    represent Nifty assignments while red circles represent Peachy
+    assignments"."""
+    palette = {
+        "nifty": "#1f77b4",   # blue
+        "peachy": "#d62728",  # red
+        "left": "#1f77b4",
+        "right": "#d62728",
+    }
+    return palette.get(group, "#7f7f7f")

@@ -1,0 +1,103 @@
+"""Tabular and graph exports of the analyses.
+
+CAR-CS data feeds downstream tools — spreadsheets for curriculum
+committees (CSV) and graph tools like Gephi for the similarity structure
+(GraphML via networkx).  All writers are pure functions over the analysis
+results; nothing re-queries the repository.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import networkx as nx
+
+from repro.core.coverage import CoverageReport
+from repro.core.ontology import Ontology
+
+
+def coverage_to_csv(
+    report: CoverageReport,
+    ontology: Ontology,
+    *,
+    include_uncovered: bool = False,
+) -> str:
+    """Coverage as CSV: key, path, kind, direct count, rollup count."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["key", "path", "kind", "direct", "rollup"])
+    for node in ontology.nodes():
+        rollup = report.rollup_counts.get(node.key, 0)
+        if rollup == 0 and not include_uncovered:
+            continue
+        writer.writerow([
+            node.key,
+            ontology.path_string(node.key),
+            node.kind.value,
+            report.direct_counts.get(node.key, 0),
+            rollup,
+        ])
+    return buffer.getvalue()
+
+
+def write_coverage_csv(
+    report: CoverageReport, ontology: Ontology, path: str | Path, **kwargs
+) -> Path:
+    path = Path(path)
+    path.write_text(coverage_to_csv(report, ontology, **kwargs))
+    return path
+
+
+def similarity_to_graphml(graph: nx.Graph) -> str:
+    """Similarity graph as GraphML (Gephi/yEd-loadable).
+
+    Tuple attributes (``shared_keys``) are joined into a ``|``-separated
+    string: GraphML supports scalar attribute types only.
+    """
+    export = nx.Graph()
+    for node, data in graph.nodes(data=True):
+        export.add_node(
+            node,
+            title=str(data.get("title", node)),
+            group=str(data.get("group", "")),
+        )
+    for u, v, data in graph.edges(data=True):
+        export.add_edge(
+            u, v,
+            shared=int(data.get("shared", 0)),
+            shared_keys="|".join(data.get("shared_keys", ())),
+        )
+    buffer = io.BytesIO()
+    nx.write_graphml(export, buffer)
+    return buffer.getvalue().decode("utf-8")
+
+
+def write_similarity_graphml(graph: nx.Graph, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(similarity_to_graphml(graph))
+    return path
+
+
+def materials_to_csv(repo, collection: str | None = None) -> str:
+    """Material metadata as CSV (one row per material)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "id", "title", "kind", "collection", "year", "course_level",
+        "languages", "datasets", "n_classifications",
+    ])
+    for material in repo.materials(collection):
+        writer.writerow([
+            material.id,
+            material.title,
+            material.kind.value,
+            material.collection,
+            material.year if material.year is not None else "",
+            material.course_level.value if material.course_level else "",
+            "|".join(material.languages),
+            "|".join(material.datasets),
+            len(repo.classification_of(material.id)),
+        ])
+    return buffer.getvalue()

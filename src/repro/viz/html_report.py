@@ -1,0 +1,134 @@
+"""Self-contained HTML report: the prototype's read-only pages.
+
+The paper's system serves read-only views at
+``cs-materials.herokuapp.com/coverage`` and ``.../similarity``; this
+module renders the equivalent as one dependency-free HTML file embedding
+the six Figure 2 SVG panels, the Figure 3 SVG, and the summary tables —
+suitable for artifacts/ or attaching to a report.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.core.coverage import compute_coverage
+from repro.core.repository import Repository
+from repro.core.similarity import isolated_materials, similarity_graph
+
+from . import graph_render, tree_render
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 1100px;
+       color: #222; }
+h1 { border-bottom: 2px solid #1f77b4; padding-bottom: 0.3em; }
+h2 { margin-top: 2em; color: #1f77b4; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #ccc; padding: 0.3em 0.8em; text-align: left; }
+th { background: #f0f4f8; }
+.panel { display: inline-block; margin: 1em; vertical-align: top; }
+.panel svg { border: 1px solid #eee; }
+figcaption { font-size: 0.9em; color: #555; text-align: center; }
+"""
+
+
+def _coverage_table(repo: Repository, collections: list[str],
+                    ontology_name: str) -> str:
+    onto = repo.ontology(ontology_name)
+    reports = {
+        c: compute_coverage(repo, ontology_name, collection=c)
+        for c in collections
+    }
+    rows = []
+    header = "".join(f"<th>{html.escape(c)}</th>" for c in collections)
+    rows.append(f"<tr><th>{html.escape(ontology_name)} area</th>{header}</tr>")
+    for area in onto.areas():
+        counts = [reports[c].count(area.key) for c in collections]
+        if not any(counts):
+            continue
+        cells = "".join(f"<td>{n}</td>" for n in counts)
+        rows.append(
+            f"<tr><td>{html.escape(area.label)}</td>{cells}</tr>"
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def render_report(
+    repo: Repository,
+    *,
+    collections: list[str] | None = None,
+    ontologies: list[str] | None = None,
+    similarity_pair: tuple[str, str] = ("nifty", "peachy"),
+    threshold: int = 2,
+    title: str = "CAR-CS coverage and similarity report",
+) -> str:
+    """Full HTML report as a string."""
+    collections = collections or repo.collections()
+    ontologies = ontologies or sorted(repo.ontologies)
+
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>{repo.material_count()} materials in "
+        f"{len(collections)} collections; ontologies: "
+        f"{', '.join(html.escape(o) for o in ontologies)}.</p>",
+    ]
+
+    for onto_name in ontologies:
+        parts.append(f"<h2>Coverage against {html.escape(onto_name)}</h2>")
+        parts.append(_coverage_table(repo, collections, onto_name))
+        for collection in collections:
+            coverage = compute_coverage(
+                repo, onto_name, collection=collection
+            )
+            if not coverage.rollup_counts:
+                parts.append(
+                    f"<p><em>{html.escape(collection)}: no coverage "
+                    f"(empty panel).</em></p>"
+                )
+                continue
+            tree = coverage.tree(repo.ontology(onto_name))
+            svg = tree_render.render_svg(tree, size=460)
+            parts.append(
+                "<figure class='panel'>"
+                + svg
+                + f"<figcaption>{html.escape(collection)} / "
+                  f"{html.escape(onto_name)}</figcaption></figure>"
+            )
+
+    left, right = similarity_pair
+    left_ids = sorted(
+        r["id"] for r in repo.db.table("materials").find(collection=left)
+    )
+    right_ids = sorted(
+        r["id"] for r in repo.db.table("materials").find(collection=right)
+    )
+    if left_ids and right_ids:
+        graph = similarity_graph(
+            repo, left_ids, right_ids, threshold=threshold,
+            left_group=left, right_group=right,
+        )
+        parts.append(
+            f"<h2>Similarity: {html.escape(left)} (blue) vs "
+            f"{html.escape(right)} (red), &ge; {threshold} shared items</h2>"
+        )
+        parts.append(
+            f"<p>{graph.number_of_edges()} edges; "
+            f"{len(isolated_materials(graph, left))}/{len(left_ids)} "
+            f"{html.escape(left)} and "
+            f"{len(isolated_materials(graph, right))}/{len(right_ids)} "
+            f"{html.escape(right)} materials have no counterpart.</p>"
+        )
+        parts.append(graph_render.render_svg(graph, size=640))
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report(repo: Repository, path: str | Path, **kwargs) -> Path:
+    """Render and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(render_report(repo, **kwargs))
+    return path

@@ -1,0 +1,160 @@
+"""Coverage-tree rendering (the Figure 2 panels) as text and SVG.
+
+The paper's prototype draws each classification "as a tree where the root
+is the name of the ontology.  First level nodes are tagged with the 2 or
+3 letter code ... color intensity of the node is proportional to the
+number of material that matches that entry" (Figure 2 caption).  The SVG
+renderer lays the pruned coverage tree out radially (a tidy-tree variant
+of D3's layout); the text renderer produces the same structure for
+terminals and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.core.coverage import CoverageNode
+
+from .color import intensity_char, intensity_color
+
+
+def _max_count(root: CoverageNode) -> int:
+    best = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.depth >= 1:
+            best = max(best, node.count)
+        stack.extend(node.children)
+    return best
+
+
+def render_text(
+    root: CoverageNode, *, max_depth: int | None = 3, width: int = 72
+) -> str:
+    """Indented text tree with shade glyphs proportional to counts."""
+    top = _max_count(root)
+    lines = [f"{root.label}  ({root.count} materials)"]
+
+    def walk(node: CoverageNode) -> None:
+        if max_depth is not None and node.depth > max_depth:
+            return
+        indent = "  " * node.depth
+        glyph = intensity_char(node.count, top)
+        tag = f"[{node.code}] " if node.code else ""
+        label = node.label
+        budget = width - len(indent) - len(tag) - 8
+        if len(label) > budget > 4:
+            label = label[: budget - 1] + "…"
+        lines.append(f"{indent}{glyph} {tag}{label} ({node.count})")
+        for child in node.children:
+            walk(child)
+
+    for child in root.children:
+        walk(child)
+    return "\n".join(lines)
+
+
+def _assign_angles(root: CoverageNode) -> dict[int, tuple[float, float]]:
+    """Leaf-weighted angular spans per node id, for the radial layout."""
+    spans: dict[int, tuple[float, float]] = {}
+
+    def leaf_count(node: CoverageNode) -> int:
+        if not node.children:
+            return 1
+        return sum(leaf_count(c) for c in node.children)
+
+    def assign(node: CoverageNode, start: float, end: float) -> None:
+        spans[id(node)] = (start, end)
+        if not node.children:
+            return
+        total = sum(leaf_count(c) for c in node.children)
+        cursor = start
+        for child in node.children:
+            fraction = leaf_count(child) / total
+            child_end = cursor + (end - start) * fraction
+            assign(child, cursor, child_end)
+            cursor = child_end
+
+    assign(root, 0.0, 2.0 * math.pi)
+    return spans
+
+
+def render_svg(
+    root: CoverageNode,
+    *,
+    size: int = 720,
+    ring: float = 80.0,
+    title: str | None = None,
+) -> str:
+    """Radial tidy-tree SVG of a pruned coverage tree.
+
+    Nodes are circles colored by the Figure 2 intensity ramp; first-level
+    nodes carry their area code as a label.
+    """
+    top = _max_count(root)
+    spans = _assign_angles(root)
+    cx = cy = size / 2.0
+
+    def position(node: CoverageNode) -> tuple[float, float]:
+        start, end = spans[id(node)]
+        angle = (start + end) / 2.0
+        radius = node.depth * ring
+        return (cx + radius * math.cos(angle), cy + radius * math.sin(angle))
+
+    edges: list[str] = []
+    circles: list[str] = []
+    labels: list[str] = []
+
+    def walk(node: CoverageNode, parent_xy: tuple[float, float] | None) -> None:
+        xy = position(node)
+        if parent_xy is not None:
+            edges.append(
+                f'<line x1="{parent_xy[0]:.1f}" y1="{parent_xy[1]:.1f}" '
+                f'x2="{xy[0]:.1f}" y2="{xy[1]:.1f}" '
+                f'stroke="#cccccc" stroke-width="1"/>'
+            )
+        fill = intensity_color(node.depth, node.count, top)
+        r = max(3.0, 14.0 - 3.0 * node.depth)
+        stroke = "#888888" if fill == "none" else "#444444"
+        escaped = (
+            node.label.replace("&", "&amp;").replace("<", "&lt;")
+            .replace('"', "&quot;")
+        )
+        circles.append(
+            f'<circle cx="{xy[0]:.1f}" cy="{xy[1]:.1f}" r="{r:.1f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="0.8">'
+            f"<title>{escaped} ({node.count})</title></circle>"
+        )
+        if node.depth == 1 and node.code:
+            labels.append(
+                f'<text x="{xy[0]:.1f}" y="{xy[1] - 16:.1f}" '
+                f'font-size="11" text-anchor="middle" '
+                f'font-family="sans-serif">{node.code}</text>'
+            )
+        for child in node.children:
+            walk(child, xy)
+
+    walk(root, None)
+
+    header = ""
+    if title:
+        escaped_title = title.replace("&", "&amp;").replace("<", "&lt;")
+        header = (
+            f'<text x="{cx:.1f}" y="18" font-size="14" text-anchor="middle" '
+            f'font-family="sans-serif">{escaped_title}</text>'
+        )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">'
+        f"{header}{''.join(edges)}{''.join(circles)}{''.join(labels)}</svg>"
+    )
+
+
+def iter_nodes(root: CoverageNode) -> Iterator[CoverageNode]:
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)

@@ -1,0 +1,19 @@
+"""In-process REST substrate (replaces the paper's Django/Heroku stack)."""
+
+from .api import CarCsApi
+from .client import Client
+from .http import HttpError, Request, Response, error_response, json_response
+from .router import Router
+from .server import ApiServer
+
+__all__ = [
+    "ApiServer",
+    "CarCsApi",
+    "Client",
+    "HttpError",
+    "Request",
+    "Response",
+    "Router",
+    "error_response",
+    "json_response",
+]

@@ -1,0 +1,425 @@
+"""The CAR-CS RESTful API surface.
+
+Mirrors the resources the paper's prototype exposes at
+``cs-materials.herokuapp.com``: assignment CRUD + classification editing
+(Figure 1), ontology browsing with phrase search (Figure 1b), the
+coverage resource behind Figure 2, and the similarity resource behind
+Figure 3 — plus gap analysis and classification recommendation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.classification import ClassificationSet
+from repro.core.coverage import compute_coverage
+from repro.core.gaps import find_gaps
+from repro.core.material import CourseLevel, Material, MaterialKind
+from repro.core.ontology import BloomLevel
+from repro.core.recommend import HybridRecommender
+from repro.core.repository import Repository
+from repro.core.search import SearchEngine, SearchFilters
+from repro.core.similarity import similarity_graph
+
+from .http import HttpError, Request, Response, json_response
+from .router import Router
+
+
+def _material_payload(repo: Repository, material: Material) -> dict[str, Any]:
+    assert material.id is not None
+    cs = repo.classification_of(material.id)
+    return {
+        "id": material.id,
+        "title": material.title,
+        "description": material.description,
+        "kind": material.kind.value,
+        "authors": list(material.authors),
+        "url": material.url,
+        "course_level": material.course_level.value if material.course_level else None,
+        "languages": list(material.languages),
+        "datasets": list(material.datasets),
+        "tags": list(material.tags),
+        "collection": material.collection,
+        "year": material.year,
+        "classifications": [
+            {"ontology": item.ontology, "key": item.key,
+             "bloom": item.bloom.value if item.bloom else None}
+            for item in cs.items()
+        ],
+    }
+
+
+class CarCsApi:
+    """Application object: a router bound to one repository."""
+
+    def __init__(self, repo: Repository) -> None:
+        self.repo = repo
+        self.router = Router()
+        self._search = SearchEngine(repo)
+        self._register()
+
+    def __call__(self, request: Request) -> Response:
+        return self.router.dispatch(request)
+
+    # ------------------------------------------------------------ helpers
+
+    def _material_or_404(self, request: Request) -> Material:
+        mid = int(request.params["id"])
+        try:
+            return self.repo.get_material(mid)
+        except Exception:
+            raise HttpError(404, f"no material with id {mid}")
+
+    def _parse_classification(self, raw: list[dict]) -> ClassificationSet:
+        cs = ClassificationSet()
+        for entry in raw:
+            try:
+                ontology = entry["ontology"]
+                key = entry["key"]
+            except (TypeError, KeyError):
+                raise HttpError(400, "classification entries need 'ontology' and 'key'")
+            bloom = None
+            if entry.get("bloom"):
+                try:
+                    bloom = BloomLevel(entry["bloom"])
+                except ValueError:
+                    raise HttpError(400, f"unknown bloom level {entry['bloom']!r}")
+            cs.add(ontology, key, bloom)
+        return cs
+
+    def _collection_ids(self, collection: str) -> list[int]:
+        rows = self.repo.db.table("materials").find(collection=collection)
+        if not rows:
+            raise HttpError(404, f"no materials in collection {collection!r}")
+        return sorted(r["id"] for r in rows)
+
+    # ------------------------------------------------------------ routes
+
+    def _register(self) -> None:
+        router = self.router
+
+        @router.route("GET", "/assignments")
+        def list_assignments(request: Request) -> Response:
+            from dataclasses import replace
+
+            from .. core.query_language import QuerySyntaxError, parse_query
+
+            collection = request.query_one("collection")
+            raw_query = request.query_one("q", "") or ""
+            under = request.query_one("under")
+            # `q` accepts the facet query language, e.g.
+            # "language:python under:PDC12/PROG monte carlo".
+            try:
+                parsed = parse_query(raw_query)
+            except QuerySyntaxError as exc:
+                raise HttpError(400, str(exc))
+            filters = parsed.filters
+            if collection:
+                filters = replace(
+                    filters, collections=filters.collections + (collection,)
+                )
+            if under:
+                filters = replace(filters, under=filters.under + (under,))
+            text = parsed.text
+            limit = request.query_int("limit", 100) or 100
+            hits = self._search.search(text, filters, limit=limit)
+            return json_response({
+                "count": len(hits),
+                "results": [
+                    {"id": h.material.id, "title": h.material.title,
+                     "collection": h.material.collection, "score": h.score}
+                    for h in hits
+                ],
+            })
+
+        @router.route("POST", "/assignments")
+        def create_assignment(request: Request) -> Response:
+            body = request.json()
+            if "title" not in body:
+                raise HttpError(400, "'title' is required")
+            try:
+                material = Material(
+                    title=body["title"],
+                    description=body.get("description", ""),
+                    kind=MaterialKind(body.get("kind", "assignment")),
+                    authors=tuple(body.get("authors", ())),
+                    url=body.get("url", ""),
+                    course_level=(
+                        CourseLevel(body["course_level"])
+                        if body.get("course_level") else None
+                    ),
+                    languages=tuple(body.get("languages", ())),
+                    datasets=tuple(body.get("datasets", ())),
+                    tags=tuple(body.get("tags", ())),
+                    collection=body.get("collection", ""),
+                    year=body.get("year"),
+                )
+            except ValueError as exc:
+                raise HttpError(400, str(exc))
+            cs = self._parse_classification(body.get("classifications", []))
+            try:
+                stored = self.repo.add_material(material, cs)
+            except (ValueError, KeyError) as exc:
+                raise HttpError(400, str(exc))
+            self._search.refresh()
+            return json_response(_material_payload(self.repo, stored), status=201)
+
+        @router.route("GET", "/assignments/<int:id>")
+        def get_assignment(request: Request) -> Response:
+            material = self._material_or_404(request)
+            return json_response(_material_payload(self.repo, material))
+
+        @router.route("PATCH", "/assignments/<int:id>")
+        def update_assignment(request: Request) -> Response:
+            material = self._material_or_404(request)
+            body = request.json()
+            allowed = {"title", "description", "url", "collection", "year"}
+            changes = {k: v for k, v in body.items() if k in allowed}
+            if not changes:
+                raise HttpError(400, f"nothing to update; allowed: {sorted(allowed)}")
+            assert material.id is not None
+            updated = self.repo.update_material(material.id, **changes)
+            self._search.refresh()
+            return json_response(_material_payload(self.repo, updated))
+
+        @router.route("DELETE", "/assignments/<int:id>")
+        def delete_assignment(request: Request) -> Response:
+            material = self._material_or_404(request)
+            assert material.id is not None
+            self.repo.delete_material(material.id)
+            self._search.refresh()
+            return json_response({"deleted": material.id})
+
+        @router.route("POST", "/assignments/<int:id>/classifications")
+        def add_classification(request: Request) -> Response:
+            material = self._material_or_404(request)
+            body = request.json()
+            cs = self._parse_classification([body])
+            assert material.id is not None
+            for item in cs.items():
+                try:
+                    self.repo.classify(
+                        material.id, item.ontology, item.key, bloom=item.bloom
+                    )
+                except KeyError as exc:
+                    raise HttpError(400, str(exc))
+            return json_response(
+                _material_payload(self.repo, self.repo.get_material(material.id)),
+                status=201,
+            )
+
+        @router.route("DELETE", "/assignments/<int:id>/classifications")
+        def remove_classification(request: Request) -> Response:
+            material = self._material_or_404(request)
+            key = request.query_one("key")
+            if not key:
+                raise HttpError(400, "query parameter 'key' is required")
+            assert material.id is not None
+            removed = self.repo.declassify(material.id, key)
+            if not removed:
+                raise HttpError(404, f"material not classified under {key!r}")
+            return json_response({"removed": key})
+
+        @router.route("GET", "/ontologies")
+        def list_ontologies(request: Request) -> Response:
+            return json_response({
+                "ontologies": [
+                    {"name": name, "entries": len(onto),
+                     "areas": [a.label for a in onto.areas()]}
+                    for name, onto in sorted(self.repo.ontologies.items())
+                ]
+            })
+
+        @router.route("GET", "/ontologies/<name>/entries")
+        def search_entries(request: Request) -> Response:
+            name = request.params["name"]
+            try:
+                onto = self.repo.ontology(name)
+            except KeyError as exc:
+                raise HttpError(404, str(exc))
+            phrase = request.query_one("search", "") or ""
+            limit = request.query_int("limit", 50) or 50
+            if phrase:
+                nodes = onto.search(phrase, limit=limit)
+            else:
+                nodes = onto.nodes()[:limit]
+            return json_response({
+                "count": len(nodes),
+                "results": [
+                    {"key": n.key, "label": n.label, "kind": n.kind.value,
+                     "path": onto.path_string(n.key)}
+                    for n in nodes
+                ],
+            })
+
+        @router.route("GET", "/coverage")
+        def coverage(request: Request) -> Response:
+            collection = request.query_one("collection")
+            ontology = request.query_one("ontology")
+            if not collection or not ontology:
+                raise HttpError(400, "'collection' and 'ontology' are required")
+            try:
+                onto = self.repo.ontology(ontology)
+            except KeyError as exc:
+                raise HttpError(404, str(exc))
+            self._collection_ids(collection)  # 404 on unknown collection
+            report = compute_coverage(self.repo, ontology, collection=collection)
+            return json_response({
+                "collection": collection,
+                "ontology": ontology,
+                "n_materials": report.n_materials,
+                "areas": [
+                    {"code": area.code, "label": area.label, "count": count}
+                    for area, count in report.area_ranking(onto)
+                ],
+                "entries_touched": len(report.rollup_counts),
+            })
+
+        @router.route("GET", "/similarity")
+        def similarity(request: Request) -> Response:
+            left = request.query_one("left")
+            right = request.query_one("right")
+            if not left or not right:
+                raise HttpError(400, "'left' and 'right' collections are required")
+            threshold = request.query_int("threshold", 2) or 2
+            graph = similarity_graph(
+                self.repo,
+                self._collection_ids(left),
+                self._collection_ids(right),
+                threshold=threshold,
+                left_group=left,
+                right_group=right,
+            )
+            return json_response({
+                "threshold": threshold,
+                "nodes": [
+                    {"id": n, "group": d["group"], "title": d["title"],
+                     "degree": graph.degree(n)}
+                    for n, d in graph.nodes(data=True)
+                ],
+                "edges": [
+                    {"left": u, "right": v, "shared": d["shared"],
+                     "shared_keys": list(d["shared_keys"])}
+                    for u, v, d in graph.edges(data=True)
+                ],
+            })
+
+        @router.route("GET", "/gaps")
+        def gaps(request: Request) -> Response:
+            reference = request.query_one("reference")
+            candidate = request.query_one("candidate")
+            ontology = request.query_one("ontology", "CS13") or "CS13"
+            if not reference or not candidate:
+                raise HttpError(400, "'reference' and 'candidate' are required")
+            try:
+                onto = self.repo.ontology(ontology)
+            except KeyError as exc:
+                raise HttpError(404, str(exc))
+            self._collection_ids(reference)
+            self._collection_ids(candidate)
+            ref = compute_coverage(self.repo, ontology, collection=reference)
+            cand = compute_coverage(self.repo, ontology, collection=candidate)
+            report = find_gaps(
+                onto, ref, cand,
+                reference_name=reference, candidate_name=candidate,
+            )
+            return json_response({
+                "ontology": ontology,
+                "alignment": report.alignment,
+                "missing_in_candidate": [
+                    {"key": e.key, "path": e.path,
+                     "reference_count": e.reference_count}
+                    for e in report.top_development_targets(20)
+                ],
+                "unique_to_candidate": [
+                    {"key": e.key, "path": e.path,
+                     "candidate_count": e.candidate_count}
+                    for e in report.unique_to_candidate[:20]
+                ],
+            })
+
+        @router.route("POST", "/recommend")
+        def recommend(request: Request) -> Response:
+            body = request.json()
+            text = body.get("text", "")
+            selected = body.get("selected", [])
+            if not text and not selected:
+                raise HttpError(400, "'text' or 'selected' is required")
+            recommender = HybridRecommender(self.repo).fit()
+            recs = recommender.recommend(text, selected, top=body.get("top", 10))
+            return json_response({
+                "suggestions": [
+                    {"key": r.key, "score": r.score, "source": r.source}
+                    for r in recs
+                ]
+            })
+
+        @router.route("GET", "/assignments/<int:id>/variants")
+        def variants(request: Request) -> Response:
+            from repro.analysis.variants import find_variants
+
+            material = self._material_or_404(request)
+            assert material.id is not None
+            hits = find_variants(
+                self.repo, material.id,
+                min_overlap=request.query_int("min_overlap", 2) or 2,
+                limit=request.query_int("limit", 10) or 10,
+            )
+            return json_response({
+                "material": material.title,
+                "variants": [
+                    {
+                        "id": h.material.id,
+                        "title": h.material.title,
+                        "overlap": h.overlap,
+                        "jaccard": h.jaccard,
+                        "differing_facets": list(h.differing_facets),
+                    }
+                    for h in hits
+                ],
+            })
+
+        @router.route("GET", "/assignments/<int:id>/lint")
+        def lint(request: Request) -> Response:
+            from repro.analysis.consistency import lint_material
+
+            material = self._material_or_404(request)
+            assert material.id is not None
+            findings = lint_material(self.repo, material.id)
+            return json_response({
+                "material": material.title,
+                "findings": [
+                    {"rule": f.rule, "detail": f.detail} for f in findings
+                ],
+            })
+
+        @router.route("GET", "/plan")
+        def plan(request: Request) -> Response:
+            from repro.analysis.planner import core_targets, plan_course
+            from repro.core.ontology import Tier
+
+            ontology = request.query_one("ontology", "PDC12") or "PDC12"
+            try:
+                onto = self.repo.ontology(ontology)
+            except KeyError as exc:
+                raise HttpError(404, str(exc))
+            tiers = (Tier.CORE, Tier.CORE1)
+            max_materials = request.query_int("max_materials")
+            course = plan_course(
+                self.repo, ontology, core_targets(onto, tiers),
+                max_materials=max_materials,
+            )
+            return json_response({
+                "ontology": ontology,
+                "coverage_ratio": course.coverage_ratio,
+                "picks": [
+                    {"id": p.material_id, "title": p.title,
+                     "newly_covered": list(p.newly_covered)}
+                    for p in course.picks
+                ],
+                "uncovered": sorted(course.uncovered),
+            })
+
+        @router.route("GET", "/stats")
+        def stats(request: Request) -> Response:
+            return json_response(self.repo.stats())

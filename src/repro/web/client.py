@@ -1,0 +1,34 @@
+"""In-process test client for the CAR-CS API.
+
+Plays the role of the jQuery front end's asynchronous calls: build a
+:class:`~repro.web.http.Request`, dispatch it through the application,
+return the :class:`~repro.web.http.Response` — no network involved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .http import Request, Response
+
+
+class Client:
+    """Convenience wrapper over an application callable."""
+
+    def __init__(self, app: Callable[[Request], Response]) -> None:
+        self.app = app
+
+    def request(self, method: str, url: str, body: Any = None) -> Response:
+        return self.app(Request.build(method, url, body=body))
+
+    def get(self, url: str) -> Response:
+        return self.request("GET", url)
+
+    def post(self, url: str, body: Any = None) -> Response:
+        return self.request("POST", url, body=body)
+
+    def patch(self, url: str, body: Any = None) -> Response:
+        return self.request("PATCH", url, body=body)
+
+    def delete(self, url: str) -> Response:
+        return self.request("DELETE", url)

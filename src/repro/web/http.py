@@ -1,0 +1,109 @@
+"""In-process HTTP request/response model.
+
+The CAR-CS prototype is "a web service hosted on Heroku ... A Django web
+server provides a RESTful API" (Section III-B).  This package replaces
+that substrate with an in-process equivalent: the request/response types,
+router and handlers mirror a conventional web framework, but no sockets
+are involved — the test client calls the application object directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+
+class HttpError(Exception):
+    """Raise inside a handler to short-circuit with an error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One in-process HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    body: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
+    # Filled by the router when the route matches:
+    params: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, method: str, url: str, body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> "Request":
+        parts = urlsplit(url)
+        return cls(
+            method=method.upper(),
+            path=parts.path or "/",
+            query=parse_qs(parts.query),
+            body=body,
+            headers=headers or {},
+        )
+
+    def query_one(self, name: str, default: str | None = None) -> str | None:
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def query_int(self, name: str, default: int | None = None) -> int | None:
+        raw = self.query_one(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise HttpError(400, f"query parameter {name!r} must be an integer")
+
+    def json(self) -> dict[str, Any]:
+        """The request body as a JSON object; 400 on malformed input."""
+        body = self.body
+        if body is None:
+            raise HttpError(400, "request body required")
+        if isinstance(body, (bytes, str)):
+            try:
+                body = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise HttpError(400, f"malformed JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise HttpError(400, "JSON object body required")
+        return body
+
+
+@dataclass
+class Response:
+    """One in-process HTTP response carrying a JSON-serializable payload."""
+
+    status: int = 200
+    payload: Any = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> Any:
+        return self.payload
+
+    def text(self) -> str:
+        return json.dumps(self.payload, indent=2, sort_keys=True, default=str)
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    # Round-trip through json to guarantee the payload is serializable now
+    # rather than when a caller eventually dumps it.
+    encoded = json.loads(json.dumps(payload, default=str))
+    return Response(status=status, payload=encoded,
+                    headers={"content-type": "application/json"})
+
+
+def error_response(status: int, message: str) -> Response:
+    return json_response({"error": message, "status": status}, status=status)

@@ -1,0 +1,76 @@
+"""URL routing with typed path parameters.
+
+Routes are declared as ``"/assignments/<int:id>"``-style patterns; the
+router dispatches (method, path) to the first matching handler, filling
+``request.params``.  Unknown paths yield 404, known paths with the wrong
+method yield 405 — the behaviours REST clients depend on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from .http import HttpError, Request, Response, error_response
+
+Handler = Callable[[Request], Response]
+
+_PARAM = re.compile(r"<(?:(int|str):)?([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+def _compile(pattern: str) -> tuple[re.Pattern, dict[str, str]]:
+    """Translate a route pattern into a regex + param-type map."""
+    types: dict[str, str] = {}
+
+    def replace(match: re.Match) -> str:
+        kind = match.group(1) or "str"
+        name = match.group(2)
+        types[name] = kind
+        if kind == "int":
+            return f"(?P<{name}>\\d+)"
+        return f"(?P<{name}>[^/]+)"
+
+    regex = _PARAM.sub(replace, pattern.rstrip("/") or "/")
+    return re.compile(f"^{regex}/?$"), types
+
+
+class Router:
+    """Ordered route table."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, dict[str, str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        regex, types = _compile(pattern)
+        self._routes.append((method.upper(), regex, types, handler))
+
+    def route(self, method: str, pattern: str):
+        """Decorator form: ``@router.route("GET", "/things/<int:id>")``."""
+
+        def register(handler: Handler) -> Handler:
+            self.add(method, pattern, handler)
+            return handler
+
+        return register
+
+    def dispatch(self, request: Request) -> Response:
+        path_matched = False
+        for method, regex, types, handler in self._routes:
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            path_matched = True
+            if method != request.method:
+                continue
+            request.params = dict(match.groupdict())
+            try:
+                return handler(request)
+            except HttpError as exc:
+                return error_response(exc.status, exc.message)
+        if path_matched:
+            return error_response(405, f"method {request.method} not allowed")
+        return error_response(404, f"no route for {request.path}")
+
+    def routes(self) -> list[tuple[str, str]]:
+        """(method, pattern source) pairs — the API index."""
+        return [(m, r.pattern) for m, r, _, _ in self._routes]

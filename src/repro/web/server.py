@@ -1,0 +1,110 @@
+"""Serve the CAR-CS API over real HTTP (stdlib ``http.server``).
+
+The in-process application object is transport-agnostic; this adapter
+binds it to a TCP socket so the prototype can actually be browsed or
+curl'ed, standing in for the paper's Heroku deployment.  Intended for
+local use and tests — single-threaded by default, threaded on request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
+from typing import Callable
+
+from .http import Request, Response
+
+
+def _make_handler(app: Callable[[Request], Response]):
+    class Handler(BaseHTTPRequestHandler):
+        # Keep test logs quiet; real deployments would override this.
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass
+
+        def _dispatch(self, method: str) -> None:
+            length = int(self.headers.get("content-length", 0) or 0)
+            body = self.rfile.read(length).decode("utf-8") if length else None
+            request = Request.build(
+                method, self.path, body=body,
+                headers={k.lower(): v for k, v in self.headers.items()},
+            )
+            response = app(request)
+            payload = json.dumps(response.payload, default=str).encode("utf-8")
+            self.send_response(response.status)
+            self.send_header("content-type", "application/json")
+            self.send_header("content-length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+        def do_PATCH(self) -> None:  # noqa: N802
+            self._dispatch("PATCH")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._dispatch("DELETE")
+
+    return Handler
+
+
+class ApiServer:
+    """A CAR-CS API bound to ``host:port``.
+
+    Use as a context manager in tests::
+
+        with ApiServer(app, port=0) as server:
+            urllib.request.urlopen(f"http://127.0.0.1:{server.port}/stats")
+    """
+
+    def __init__(
+        self,
+        app: Callable[[Request], Response],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        threaded: bool = False,
+    ) -> None:
+        server_cls = ThreadingHTTPServer if threaded else HTTPServer
+        self._httpd = server_cls((host, port), _make_handler(app))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ApiServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Blocking serve (Ctrl-C to stop) — the ``carcs``-style dev server."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "ApiServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,76 @@
+"""Design-choice ablations."""
+
+import pytest
+
+from repro.analysis import (
+    ancestor_expansion_effect,
+    count_vs_jaccard,
+    threshold_sweep,
+)
+from repro.corpus import collection_ids
+
+
+@pytest.fixture(scope="module")
+def ids(seeded_repo):
+    return (
+        collection_ids(seeded_repo, "nifty"),
+        collection_ids(seeded_repo, "peachy"),
+    )
+
+
+class TestThresholdSweep:
+    def test_edges_monotone_decreasing(self, seeded_repo, ids):
+        nifty, peachy = ids
+        sweep = threshold_sweep(seeded_repo, nifty, peachy)
+        edges = [p.edges for p in sweep]
+        assert edges == sorted(edges, reverse=True)
+
+    def test_threshold_two_is_the_knee(self, seeded_repo, ids):
+        """Threshold 1 floods the graph; 3 dissolves the paper's cluster."""
+        nifty, peachy = ids
+        sweep = {p.threshold: p for p in threshold_sweep(seeded_repo, nifty, peachy)}
+        assert sweep[1].edges > 2 * sweep[2].edges
+        assert sweep[2].edges == 24
+        assert sweep[3].edges == 0
+
+    def test_isolation_grows_with_threshold(self, seeded_repo, ids):
+        nifty, peachy = ids
+        sweep = threshold_sweep(seeded_repo, nifty, peachy, thresholds=(1, 2, 3))
+        iso = [p.isolated_left + p.isolated_right for p in sweep]
+        assert iso == sorted(iso)
+
+    def test_component_stats(self, seeded_repo, ids):
+        nifty, peachy = ids
+        point = threshold_sweep(seeded_repo, nifty, peachy, thresholds=(2,))[0]
+        assert point.components == 1
+        assert point.largest_component == 10
+
+
+class TestCountVsJaccard:
+    def test_agreement_in_unit_interval(self, seeded_repo, ids):
+        nifty, peachy = ids
+        cmp = count_vs_jaccard(seeded_repo, nifty, peachy)
+        assert 0.0 <= cmp.agreement <= 1.0
+
+    def test_edge_counts_comparable(self, seeded_repo, ids):
+        nifty, peachy = ids
+        cmp = count_vs_jaccard(seeded_repo, nifty, peachy)
+        assert cmp.count_edges == 24
+        assert cmp.jaccard_edges >= 1
+
+
+class TestAncestorExpansion:
+    def test_expansion_never_loses_edges(self, seeded_repo, ids):
+        nifty, peachy = ids
+        effect = ancestor_expansion_effect(
+            seeded_repo, nifty[:20], peachy, threshold=2
+        )
+        assert effect["expanded_edges"] >= effect["base_edges"]
+
+    def test_expansion_inflates_similarity(self, seeded_repo, ids):
+        """Counting shared units/areas as items makes materials in the
+        same knowledge area look similar — the paper's direct-selection
+        rule avoids this inflation."""
+        nifty, peachy = ids
+        effect = ancestor_expansion_effect(seeded_repo, nifty, peachy, threshold=2)
+        assert effect["expanded_edges"] > effect["base_edges"]

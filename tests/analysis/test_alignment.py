@@ -1,0 +1,65 @@
+"""Community alignment analysis (Section IV-C quantified)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_communities, coverage_vector
+from repro.core.coverage import compute_coverage
+
+
+@pytest.fixture(scope="module")
+def nifty_vs_peachy(seeded_repo):
+    return compare_communities(seeded_repo, "nifty", "peachy", "CS13")
+
+
+class TestCompareCommunities:
+    def test_alignment_is_low_but_nonzero(self, nifty_vs_peachy):
+        # "while Nifty Assignments and Peachy Assignments may have some
+        # commonalities" — the cluster keeps alignment above zero, but the
+        # communities are far apart.
+        assert 0.0 < nifty_vs_peachy.alignment < 0.5
+
+    def test_per_area_sorted_by_reference(self, nifty_vs_peachy):
+        counts = [a.reference_count for a in nifty_vs_peachy.per_area]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_pd_misaligned_toward_candidate(self, nifty_vs_peachy):
+        pd = next(a for a in nifty_vs_peachy.per_area if a.code == "PD")
+        assert pd.reference_count == 0
+        assert pd.candidate_count == 11
+        assert not pd.balanced
+
+    def test_sdf_is_balanced(self, nifty_vs_peachy):
+        sdf = next(a for a in nifty_vs_peachy.per_area if a.code == "SDF")
+        assert sdf.balanced
+        assert sdf.overlap_entries >= 2  # Arrays + control structures
+
+    def test_oop_misalignment_visible(self, nifty_vs_peachy):
+        pl = next(a for a in nifty_vs_peachy.per_area if a.code == "PL")
+        assert pl.reference_count > 0
+        assert pl.candidate_count == 0
+
+    def test_development_targets_are_nifty_staples(self, nifty_vs_peachy):
+        targets = {
+            e.label
+            for e in nifty_vs_peachy.gap_report.top_development_targets(30)
+        }
+        # OOP staples of early CS that Peachy lacks
+        assert any("classes and objects" in t for t in targets)
+
+    def test_format_renders(self, nifty_vs_peachy):
+        text = nifty_vs_peachy.format()
+        assert "Alignment of 'peachy' with 'nifty'" in text
+        assert "Top development targets" in text
+
+
+class TestCoverageVector:
+    def test_vector_length_matches_areas(self, seeded_repo, cs13):
+        cov = compute_coverage(seeded_repo, "CS13", collection="nifty")
+        vec = coverage_vector(cov, cs13)
+        assert vec.shape == (18,)
+        assert vec.max() == 55  # SDF
+
+    def test_empty_collection_vector_is_zero(self, seeded_repo, cs13):
+        cov = compute_coverage(seeded_repo, "CS13", collection="ghost")
+        assert np.allclose(coverage_vector(cov, cs13), 0.0)

@@ -1,0 +1,123 @@
+"""The classification consistency linter."""
+
+import pytest
+
+from repro.analysis import lint_material, lint_repository
+from repro.core.classification import ClassificationSet
+from repro.core.material import Material
+from repro.core.ontology import BloomLevel
+from repro.corpus import keys as K
+
+
+def add(repo, title, items):
+    """items: iterable of (ontology, key, bloom-or-None)."""
+    cs = ClassificationSet()
+    for onto, key, bloom in items:
+        cs.add(onto, key, bloom)
+    return repo.add_material(
+        Material(title=title, description="d", collection="c"), cs
+    )
+
+
+class TestCrossOntology:
+    def test_cs13_pd_without_pdc12_flagged(self, fresh_repo):
+        m = add(fresh_repo, "A", [("CS13", K.PD_LOOPS, None)])
+        findings = lint_material(fresh_repo, m.id)
+        assert [f.rule for f in findings] == ["cross-ontology"]
+
+    def test_pdc12_without_cs13_pd_flagged(self, fresh_repo):
+        m = add(fresh_repo, "A", [("PDC12", K.P_OPENMP, None)])
+        findings = lint_material(fresh_repo, m.id)
+        assert [f.rule for f in findings] == ["cross-ontology"]
+
+    def test_consistent_pair_clean(self, fresh_repo):
+        m = add(fresh_repo, "A", [
+            ("CS13", K.PD_LOOPS, None),
+            ("PDC12", K.P_PARLOOPS, None),
+        ])
+        assert lint_material(fresh_repo, m.id) == []
+
+    def test_non_pd_material_clean(self, fresh_repo):
+        m = add(fresh_repo, "A", [("CS13", K.SDF_ARRAYS, None)])
+        assert lint_material(fresh_repo, m.id) == []
+
+
+class TestOrphanInterior:
+    def test_unit_without_topics_flagged(self, fresh_repo):
+        from repro.ontologies.cs2013 import unit_key
+        unit = unit_key("SDF", "Fundamental Data Structures")
+        m = add(fresh_repo, "A", [("CS13", unit, None)])
+        findings = lint_material(fresh_repo, m.id)
+        assert any(f.rule == "orphan-interior" for f in findings)
+
+    def test_unit_with_topic_clean(self, fresh_repo):
+        from repro.ontologies.cs2013 import unit_key
+        unit = unit_key("SDF", "Fundamental Data Structures")
+        m = add(fresh_repo, "A", [
+            ("CS13", unit, None),
+            ("CS13", K.SDF_ARRAYS, None),
+        ])
+        assert not any(
+            f.rule == "orphan-interior"
+            for f in lint_material(fresh_repo, m.id)
+        )
+
+
+class TestOverBroad:
+    def test_too_many_entries_flagged(self, fresh_repo):
+        keys = [
+            K.SDF_ARRAYS, K.SDF_CTRL, K.SDF_VARS, K.SDF_FUNCS, K.SDF_IO,
+            K.SDF_EXPR, K.SDF_STRINGS, K.SDF_RECURSION, K.AL_BIGO,
+            K.AL_DNC, K.AL_GREEDY, K.AL_DP,
+        ]
+        m = add(fresh_repo, "A", [("CS13", k, None) for k in keys])
+        findings = lint_material(fresh_repo, m.id, max_entries=10)
+        assert any(f.rule == "over-broad" for f in findings)
+
+    def test_threshold_respected(self, fresh_repo):
+        m = add(fresh_repo, "A", [
+            ("CS13", K.SDF_ARRAYS, None), ("CS13", K.SDF_CTRL, None),
+        ])
+        assert not any(
+            f.rule == "over-broad"
+            for f in lint_material(fresh_repo, m.id, max_entries=2)
+        )
+
+
+class TestBloom:
+    def test_demonstrated_above_expected_flagged(self, fresh_repo):
+        # P_MPI expects COMPREHEND in PDC12; APPLY exceeds it
+        m = add(fresh_repo, "A", [
+            ("PDC12", K.P_MPI, BloomLevel.APPLY),
+            ("CS13", K.PD_MSG, None),
+        ])
+        findings = lint_material(fresh_repo, m.id)
+        assert any(f.rule == "bloom" for f in findings)
+
+    def test_matching_level_clean(self, fresh_repo):
+        m = add(fresh_repo, "A", [
+            ("PDC12", K.P_MPI, BloomLevel.COMPREHEND),
+            ("CS13", K.PD_MSG, None),
+        ])
+        assert not any(
+            f.rule == "bloom" for f in lint_material(fresh_repo, m.id)
+        )
+
+
+class TestRepositoryLint:
+    def test_seeded_corpus_has_exactly_one_known_finding(self, seeded_repo):
+        """The only lint hit on the reconstructed corpus is the paper's
+        own IV-A example: the *sequential* integration assignment carries
+        a PDC12 algorithm entry but (correctly) no CS13 PD entries."""
+        findings = lint_repository(seeded_repo)
+        assert len(findings) == 1
+        assert findings[0].title == (
+            "Numerical Integration with the Rectangle Method"
+        )
+        assert findings[0].rule == "cross-ontology"
+
+    def test_rule_filter(self, seeded_repo):
+        assert lint_repository(seeded_repo, rules=["over-broad"]) == []
+
+    def test_collection_filter(self, seeded_repo):
+        assert lint_repository(seeded_repo, collection="nifty") == []

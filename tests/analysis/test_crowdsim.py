@@ -1,0 +1,95 @@
+"""The crowdsourced-curation queue simulation."""
+
+import pytest
+
+from repro.analysis.crowdsim import (
+    CurationConfig,
+    editors_needed,
+    simulate,
+    sweep_editor_pool,
+)
+
+
+class TestSimulate:
+    def test_deterministic_per_seed(self):
+        a = simulate(CurationConfig(seed=7))
+        b = simulate(CurationConfig(seed=7))
+        assert a.published == b.published
+        assert a.mean_sojourn_minutes == b.mean_sojourn_minutes
+
+    def test_different_seeds_differ(self):
+        a = simulate(CurationConfig(seed=1))
+        b = simulate(CurationConfig(seed=2))
+        assert a.published != b.published or (
+            a.mean_sojourn_minutes != b.mean_sojourn_minutes
+        )
+
+    def test_published_bounded_by_arrivals(self):
+        config = CurationConfig(submissions_per_day=10, horizon_days=10)
+        result = simulate(config)
+        assert 0 < result.published <= 10 * 10 + 1
+
+    def test_sojourn_at_least_review_time(self):
+        result = simulate(CurationConfig(n_editors=10))
+        # with autosuggest off, nobody publishes faster than review_min
+        assert result.mean_sojourn_minutes >= 15.0
+
+    def test_utilization_in_unit_interval(self):
+        result = simulate(CurationConfig())
+        assert 0.0 <= result.editor_utilization <= 1.0
+
+    def test_overloaded_pool_is_unstable(self):
+        # ~20 items/day x ~20 min each = 400 min/day of work, but one
+        # editor at 8h/day can absorb it; 200/day cannot be absorbed.
+        result = simulate(CurationConfig(
+            n_editors=1, submissions_per_day=200, horizon_days=10
+        ))
+        assert not result.stable()
+        assert result.backlog_at_end > 10
+        assert result.editor_utilization > 0.99
+
+    def test_autosuggest_reduces_sojourn(self):
+        base = simulate(CurationConfig(n_editors=2, submissions_per_day=40))
+        assisted = simulate(CurationConfig(
+            n_editors=2, submissions_per_day=40, autosuggest=True
+        ))
+        assert assisted.mean_sojourn_minutes < base.mean_sojourn_minutes
+
+    def test_rework_increases_load(self):
+        clean = simulate(CurationConfig(rework_probability=0.0))
+        bouncy = simulate(CurationConfig(rework_probability=0.4))
+        assert bouncy.editor_utilization > clean.editor_utilization
+
+
+class TestSizing:
+    def test_editors_needed_monotone_in_load(self):
+        light = editors_needed(20, horizon_days=15)
+        heavy = editors_needed(150, horizon_days=15)
+        assert light <= heavy
+
+    def test_autosuggest_never_needs_more_editors(self):
+        for load in (50, 100):
+            plain = editors_needed(load, horizon_days=15)
+            assisted = editors_needed(load, autosuggest=True, horizon_days=15)
+            assert assisted <= plain
+
+    def test_autosuggest_saves_editors_at_high_load(self):
+        plain = editors_needed(100, horizon_days=15)
+        assisted = editors_needed(100, autosuggest=True, horizon_days=15)
+        assert assisted < plain
+
+
+class TestSweep:
+    def test_sojourn_decreases_with_pool_size(self):
+        results = sweep_editor_pool(
+            pool_sizes=(1, 3, 8), submissions_per_day=50, horizon_days=15
+        )
+        sojourns = [r.mean_sojourn_minutes for r in results]
+        assert sojourns[0] > sojourns[1] > sojourns[2]
+
+    def test_utilization_decreases_with_pool_size(self):
+        results = sweep_editor_pool(
+            pool_sizes=(2, 4, 8), submissions_per_day=50, horizon_days=15
+        )
+        utils = [r.editor_utilization for r in results]
+        assert utils == sorted(utils, reverse=True)

@@ -1,0 +1,120 @@
+"""Greedy course planning over classified materials."""
+
+import pytest
+
+from repro.analysis import core_targets, plan_course
+from repro.core.classification import ClassificationSet
+from repro.core.material import Material
+from repro.core.ontology import NodeKind, Tier
+from repro.corpus import keys as K
+
+
+def add(repo, title, keys, collection="c"):
+    cs = ClassificationSet()
+    for key in keys:
+        cs.add(key.split("/", 1)[0], key)
+    return repo.add_material(
+        Material(title=title, description="d", collection=collection), cs
+    )
+
+
+class TestCoreTargets:
+    def test_core_targets_are_core_topics(self, pdc12):
+        targets = core_targets(pdc12, [Tier.CORE])
+        assert targets
+        for key in targets:
+            node = pdc12.node(key)
+            assert node.kind is NodeKind.TOPIC
+            assert node.tier is Tier.CORE
+
+    def test_wider_tiers_superset(self, pdc12):
+        core = core_targets(pdc12, [Tier.CORE])
+        everything = core_targets(pdc12, list(Tier))
+        assert core < everything
+
+
+class TestPlanCourse:
+    def test_greedy_picks_largest_gain_first(self, fresh_repo):
+        big = add(fresh_repo, "Big", [K.P_OPENMP, K.P_PARLOOPS, K.P_SHMEM])
+        add(fresh_repo, "Small", [K.P_OPENMP])
+        plan = plan_course(
+            fresh_repo, "PDC12", [K.P_OPENMP, K.P_PARLOOPS, K.P_SHMEM]
+        )
+        assert plan.picks[0].material_id == big.id
+        assert len(plan.picks) == 1
+        assert plan.coverage_ratio == 1.0
+
+    def test_uncovered_targets_reported(self, fresh_repo):
+        add(fresh_repo, "A", [K.P_OPENMP])
+        plan = plan_course(fresh_repo, "PDC12", [K.P_OPENMP, K.P_MPI])
+        assert plan.uncovered == frozenset({K.P_MPI})
+        assert plan.coverage_ratio == 0.5
+
+    def test_each_pick_adds_new_coverage(self, seeded_repo, pdc12):
+        plan = plan_course(
+            seeded_repo, "PDC12", core_targets(pdc12, [Tier.CORE])
+        )
+        seen: set[str] = set()
+        for pick in plan.picks:
+            gained = set(pick.newly_covered)
+            assert gained, pick.title
+            assert not (gained & seen)
+            seen |= gained
+
+    def test_max_materials_cap(self, seeded_repo, pdc12):
+        capped = plan_course(
+            seeded_repo, "PDC12", core_targets(pdc12, [Tier.CORE]),
+            max_materials=3,
+        )
+        assert len(capped.picks) == 3
+
+    def test_collection_restriction(self, seeded_repo, pdc12):
+        targets = core_targets(pdc12, [Tier.CORE])
+        itcs_only = plan_course(
+            seeded_repo, "PDC12", targets, collections=["itcs3145"]
+        )
+        assert all(
+            seeded_repo.get_material(p.material_id).collection == "itcs3145"
+            for p in itcs_only.picks
+        )
+
+    def test_unknown_target_rejected(self, seeded_repo):
+        with pytest.raises(KeyError):
+            plan_course(seeded_repo, "PDC12", ["PDC12/NOT/REAL"])
+
+    def test_empty_targets_trivially_complete(self, seeded_repo):
+        plan = plan_course(seeded_repo, "PDC12", [])
+        assert plan.picks == []
+        assert plan.coverage_ratio == 1.0
+
+    def test_format_renders(self, seeded_repo, pdc12):
+        plan = plan_course(
+            seeded_repo, "PDC12", core_targets(pdc12, [Tier.CORE]),
+            max_materials=2,
+        )
+        text = plan.format(pdc12)
+        assert "Course plan over PDC12" in text
+        assert "covers" in text
+
+    def test_greedy_is_deterministic(self, seeded_repo, pdc12):
+        targets = core_targets(pdc12, [Tier.CORE])
+        a = plan_course(seeded_repo, "PDC12", targets)
+        b = plan_course(seeded_repo, "PDC12", targets)
+        assert [p.material_id for p in a.picks] == [
+            p.material_id for p in b.picks
+        ]
+
+    def test_plan_exposes_remaining_gaps(self, seeded_repo, pdc12):
+        """What the greedy cover cannot reach is exactly what the gap
+        analysis should flag as missing materials."""
+        from repro.core.coverage import compute_coverage
+        from repro.core.gaps import curriculum_holes
+
+        plan = plan_course(
+            seeded_repo, "PDC12", core_targets(pdc12, [Tier.CORE])
+        )
+        coverage = compute_coverage(seeded_repo, "PDC12")
+        holes = {
+            n.key for n in curriculum_holes(pdc12, coverage, tiers=(Tier.CORE,))
+        }
+        assert plan.uncovered == holes

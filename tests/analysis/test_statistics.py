@@ -1,0 +1,87 @@
+"""Descriptive corpus statistics."""
+
+import pytest
+
+from repro.analysis import (
+    DistributionSummary,
+    classification_sizes,
+    collection_profile,
+    entry_popularity,
+    top_cooccurring_pairs,
+)
+from repro.corpus import keys as K
+
+
+class TestDistributionSummary:
+    def test_of_values(self):
+        summary = DistributionSummary.of([1, 2, 3, 4, 10])
+        assert summary.count == 5
+        assert summary.mean == 4.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1 and summary.maximum == 10
+
+    def test_of_empty(self):
+        summary = DistributionSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+
+class TestClassificationSizes:
+    def test_seeded_materials_all_classified(self, seeded_repo):
+        summary = classification_sizes(seeded_repo)
+        assert summary.count == 97
+        assert summary.minimum >= 3
+        assert summary.maximum <= 15
+
+    def test_itcs_is_richest(self, seeded_repo):
+        # ITCS materials carry CS13 + PDC12 entries
+        itcs = classification_sizes(seeded_repo, "itcs3145")
+        nifty = classification_sizes(seeded_repo, "nifty")
+        assert itcs.mean > nifty.mean
+
+
+class TestEntryPopularity:
+    def test_arrays_and_ctrl_are_cs13_hot_spots(self, seeded_repo):
+        top = dict(entry_popularity(seeded_repo, "CS13", top=10))
+        assert K.SDF_ARRAYS in top
+        assert K.SDF_CTRL in top
+        assert top[K.SDF_ARRAYS] >= 10
+
+    def test_descending_order(self, seeded_repo):
+        counts = [n for _, n in entry_popularity(seeded_repo, "PDC12", top=20)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_unknown_ontology_is_empty(self, seeded_repo):
+        assert entry_popularity(seeded_repo, "NOPE") == []
+
+
+class TestCooccurrence:
+    def test_cluster_pair_is_the_strongest(self, seeded_repo):
+        pairs = top_cooccurring_pairs(seeded_repo, top=5)
+        keys = {(a, b) for a, b, _ in pairs}
+        expected = tuple(sorted((K.SDF_ARRAYS, K.SDF_CTRL)))
+        assert expected in keys
+
+    def test_min_count_filter(self, seeded_repo):
+        pairs = top_cooccurring_pairs(seeded_repo, top=100, min_count=5)
+        assert all(n >= 5 for _, _, n in pairs)
+
+
+class TestCollectionProfile:
+    def test_itcs_profile(self, seeded_repo):
+        profile = collection_profile(seeded_repo, "itcs3145")
+        assert profile["materials"] == 21
+        assert profile["kinds"] == {"assignment": 9, "lecture_slides": 12}
+        assert profile["year_range"] == (2018, 2018)
+        assert "MPI" in profile["languages"]
+
+    def test_nifty_profile(self, seeded_repo):
+        profile = collection_profile(seeded_repo, "nifty")
+        assert profile["materials"] == 65
+        assert profile["year_range"] == (2003, 2018)
+        assert profile["with_datasets"] >= 8
+
+    def test_empty_collection(self, seeded_repo):
+        profile = collection_profile(seeded_repo, "ghost")
+        assert profile["materials"] == 0
+        assert profile["year_range"] is None

@@ -1,0 +1,97 @@
+"""Variant discovery."""
+
+import pytest
+
+from repro.analysis import find_variants, variant_matrix
+from repro.core.classification import ClassificationSet
+from repro.core.material import CourseLevel, Material, MaterialKind
+from repro.corpus import keys as K
+
+
+@pytest.fixture()
+def repo(fresh_repo):
+    def add(title, keys, **mat):
+        cs = ClassificationSet()
+        for key in keys:
+            cs.add(key.split("/", 1)[0], key)
+        return fresh_repo.add_material(
+            Material(title=title, description="d", collection="c", **mat), cs
+        )
+
+    base = add("Java Life", [K.CN_CELLULAR, K.CN_MODELS, K.SDF_ARRAYS],
+               languages=("Java",), course_level=CourseLevel.CS1)
+    python_variant = add(
+        "Python Life", [K.CN_CELLULAR, K.CN_MODELS, K.SDF_ARRAYS],
+        languages=("Python",), course_level=CourseLevel.CS1,
+    )
+    clone = add("Java Life Again", [K.CN_CELLULAR, K.CN_MODELS, K.SDF_ARRAYS],
+                languages=("Java",), course_level=CourseLevel.CS1)
+    unrelated = add("Sorting", [K.AL_SORT_NLOGN, K.AL_DNC],
+                    languages=("Java",))
+    weak = add("Grid Art", [K.CN_CELLULAR, K.GV_RASTER, K.GV_COLOR,
+                            K.GV_MEDIA, K.GV_PRIMITIVES],
+               languages=("Python",))
+    return fresh_repo, base, python_variant, clone, unrelated, weak
+
+
+class TestFindVariants:
+    def test_language_variant_found(self, repo):
+        r, base, python_variant, *_ = repo
+        hits = find_variants(r, base.id)
+        ids = [h.material.id for h in hits]
+        assert python_variant.id in ids
+        top = hits[0]
+        assert "language" in top.differing_facets
+
+    def test_identical_facets_excluded_by_default(self, repo):
+        r, base, _, clone, *_ = repo
+        hits = find_variants(r, base.id)
+        assert clone.id not in [h.material.id for h in hits]
+
+    def test_identical_facets_included_on_request(self, repo):
+        r, base, _, clone, *_ = repo
+        hits = find_variants(r, base.id, require_facet_difference=False)
+        assert clone.id in [h.material.id for h in hits]
+
+    def test_unrelated_material_excluded(self, repo):
+        r, base, *_, unrelated, _ = repo
+        hits = find_variants(r, base.id, require_facet_difference=False)
+        assert unrelated.id not in [h.material.id for h in hits]
+
+    def test_low_jaccard_excluded(self, repo):
+        r, base, *_, weak = repo
+        # weak shares only 1 entry of 5 -> jaccard 1/7 < 0.25
+        hits = find_variants(r, base.id)
+        assert weak.id not in [h.material.id for h in hits]
+
+    def test_ordering_by_jaccard(self, seeded_repo):
+        # Hurricane Tracker in the seeded corpus has several cluster
+        # neighbors at varying similarity
+        hurricane = next(
+            m for m in seeded_repo.materials("nifty")
+            if m.title == "Hurricane Tracker"
+        )
+        hits = find_variants(
+            seeded_repo, hurricane.id, min_jaccard=0.1,
+        )
+        jaccards = [h.jaccard for h in hits]
+        assert jaccards == sorted(jaccards, reverse=True)
+
+    def test_limit(self, seeded_repo):
+        m = seeded_repo.materials("nifty")[0]
+        hits = find_variants(seeded_repo, m.id, min_jaccard=0.0,
+                             min_overlap=1, limit=3)
+        assert len(hits) <= 3
+
+
+class TestVariantMatrix:
+    def test_matrix_covers_collection(self, repo):
+        r, *_ = repo
+        matrix = variant_matrix(r, "c")
+        assert len(matrix) == 5
+
+    def test_symmetry_of_variant_relation(self, repo):
+        r, base, python_variant, *_ = repo
+        matrix = variant_matrix(r, "c")
+        assert python_variant.id in matrix[base.id]
+        assert base.id in matrix[python_variant.id]

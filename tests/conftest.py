@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+The seeded repository and the two ontologies are expensive to build
+(CS13 alone has ~3000 entries), so they are session-scoped; tests that
+mutate state request the function-scoped ``fresh_repo`` instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.repository import Repository
+from repro.corpus.seed import seed_all, seed_ontologies
+from repro.ontologies import load
+
+
+@pytest.fixture(scope="session")
+def cs13():
+    return load("CS13")
+
+
+@pytest.fixture(scope="session")
+def pdc12():
+    return load("PDC12")
+
+
+@pytest.fixture(scope="session")
+def seeded_repo():
+    """The paper's prototype state: both ontologies + all three corpora.
+
+    Treat as read-only; mutating tests must use ``fresh_repo``.
+    """
+    return seed_all()
+
+
+@pytest.fixture()
+def fresh_repo():
+    """An empty repository with both ontologies loaded."""
+    repo = Repository()
+    seed_ontologies(repo)
+    return repo
+
+
+@pytest.fixture()
+def bare_repo():
+    """An empty repository with no ontologies."""
+    return Repository()

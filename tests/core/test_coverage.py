@@ -1,0 +1,167 @@
+"""Coverage computation (Figure 2 machinery)."""
+
+import pytest
+
+from repro.core.classification import ClassificationSet
+from repro.core.coverage import compare_coverage, compute_coverage
+from repro.core.material import Material
+from repro.corpus import keys as K
+
+
+def add(repo, title, keys, collection="c"):
+    cs = ClassificationSet()
+    for key in keys:
+        onto = key.split("/", 1)[0]
+        cs.add(onto, key)
+    return repo.add_material(
+        Material(title=title, description="d", collection=collection), cs
+    )
+
+
+class TestCounts:
+    def test_direct_counts(self, fresh_repo):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        add(fresh_repo, "B", [K.SDF_ARRAYS, K.SDF_CTRL])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        assert cov.direct_counts[K.SDF_ARRAYS] == 2
+        assert cov.direct_counts[K.SDF_CTRL] == 1
+
+    def test_rollup_deduplicates_materials(self, fresh_repo):
+        # one material under two topics of the same unit counts once
+        add(fresh_repo, "A", [K.SDF_ARRAYS, K.SDF_STRINGS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        unit = "/".join(K.SDF_ARRAYS.split("/")[:-1])
+        area = "/".join(K.SDF_ARRAYS.split("/")[:-2])
+        assert cov.rollup_counts[unit] == 1
+        assert cov.rollup_counts[area] == 1
+
+    def test_rollup_counts_distinct_materials(self, fresh_repo):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        add(fresh_repo, "B", [K.SDF_STRINGS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        unit = "/".join(K.SDF_ARRAYS.split("/")[:-1])
+        assert cov.rollup_counts[unit] == 2
+
+    def test_collection_filter(self, fresh_repo):
+        add(fresh_repo, "A", [K.SDF_ARRAYS], collection="one")
+        add(fresh_repo, "B", [K.SDF_CTRL], collection="two")
+        cov = compute_coverage(fresh_repo, "CS13", collection="one")
+        assert K.SDF_ARRAYS in cov.direct_counts
+        assert K.SDF_CTRL not in cov.direct_counts
+        assert cov.n_materials == 1
+
+    def test_material_ids_filter(self, fresh_repo):
+        a = add(fresh_repo, "A", [K.SDF_ARRAYS])
+        add(fresh_repo, "B", [K.SDF_CTRL])
+        cov = compute_coverage(fresh_repo, "CS13", material_ids=[a.id])
+        assert K.SDF_CTRL not in cov.direct_counts
+        assert cov.n_materials == 1
+
+    def test_other_ontology_keys_ignored(self, fresh_repo):
+        add(fresh_repo, "A", [K.SDF_ARRAYS, K.P_OPENMP])
+        cov = compute_coverage(fresh_repo, "PDC12", collection="c")
+        assert K.P_OPENMP in cov.direct_counts
+        assert K.SDF_ARRAYS not in cov.direct_counts
+
+    def test_empty_collection(self, fresh_repo):
+        cov = compute_coverage(fresh_repo, "CS13", collection="ghost")
+        assert cov.rollup_counts == {}
+        assert cov.covered_material_ids == set()
+
+
+class TestRankingHelpers:
+    def test_area_ranking_descending(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        add(fresh_repo, "B", [K.SDF_CTRL])
+        add(fresh_repo, "C", [K.AL_BIGO])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        ranking = cov.area_ranking(cs13)
+        assert ranking[0][0].code == "SDF"
+        assert ranking[0][1] == 2
+        assert ranking[1][0].code == "AL"
+        counts = [n for _, n in ranking]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_covered_and_uncovered_partition(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        covered = {a.code for a in cov.covered_areas(cs13)}
+        uncovered = {a.code for a in cov.uncovered_areas(cs13)}
+        assert covered == {"SDF"}
+        assert covered | uncovered == {a.code for a in cs13.areas()}
+
+    def test_is_covered_and_count(self, fresh_repo):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        assert cov.is_covered(K.SDF_ARRAYS)
+        assert cov.count(K.SDF_ARRAYS) == 1
+        assert not cov.is_covered(K.AL_BIGO)
+        assert cov.count(K.AL_BIGO) == 0
+
+    def test_kind_breakdown_counts_entry_types(self, fresh_repo, cs13):
+        from repro.core.ontology import NodeKind
+        add(fresh_repo, "A", [K.SDF_ARRAYS, K.SDF_CTRL])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        breakdown = cov.kind_breakdown(cs13)
+        assert breakdown == {NodeKind.TOPIC: 2}
+
+    def test_kind_breakdown_on_seeded_corpus(self, seeded_repo, cs13):
+        from repro.core.ontology import NodeKind
+        cov = compute_coverage(seeded_repo, "CS13")
+        breakdown = cov.kind_breakdown(cs13)
+        # The reconstructed corpus classifies at topic granularity only —
+        # the IV-A observation that outcome-level tagging needs tooling.
+        assert breakdown.get(NodeKind.TOPIC, 0) > 50
+        assert NodeKind.LEARNING_OUTCOME not in breakdown
+
+    def test_coverage_ratio_within_subtree(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        unit = "/".join(K.SDF_ARRAYS.split("/")[:-1])
+        ratio = cov.coverage_ratio(cs13, within=unit)
+        assert 0.0 < ratio < 1.0
+        assert cov.coverage_ratio(cs13) < ratio
+
+
+class TestTree:
+    def test_pruned_tree_excludes_uncovered(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        tree = cov.tree(cs13)
+        assert [c.code for c in tree.children] == ["SDF"]
+
+    def test_unpruned_tree_includes_all_areas(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        tree = cov.tree(cs13, prune=False, max_depth=1)
+        assert len(tree.children) == len(cs13.areas())
+
+    def test_max_depth_limits_tree(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        tree = cov.tree(cs13, max_depth=1)
+        for child in tree.children:
+            assert child.children == []
+
+    def test_tree_counts_match_report(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS, K.AL_BIGO])
+        add(fresh_repo, "B", [K.SDF_ARRAYS])
+        cov = compute_coverage(fresh_repo, "CS13", collection="c")
+        tree = cov.tree(cs13)
+        by_code = {c.code: c.count for c in tree.children}
+        assert by_code == {"SDF": 2, "AL": 1}
+        assert tree.count == 2  # two distinct materials overall
+
+
+class TestCompare:
+    def test_compare_coverage_shape(self, fresh_repo, cs13):
+        add(fresh_repo, "A", [K.SDF_ARRAYS], collection="x")
+        add(fresh_repo, "B", [K.AL_BIGO], collection="y")
+        reports = {
+            "x": compute_coverage(fresh_repo, "CS13", collection="x"),
+            "y": compute_coverage(fresh_repo, "CS13", collection="y"),
+        }
+        rows = compare_coverage(reports, cs13)
+        assert [name for name, _ in rows] == ["x", "y"]
+        x_top = rows[0][1][0]
+        assert x_top == ("Software Development Fundamentals", 1)

@@ -1,0 +1,72 @@
+"""Material model behaviour."""
+
+import pytest
+
+from repro.core.material import (
+    CourseLevel,
+    Material,
+    MaterialKind,
+    normalize_authors,
+)
+
+
+class TestMaterial:
+    def test_title_required(self):
+        with pytest.raises(ValueError):
+            Material(title="   ", description="x")
+
+    def test_defaults(self):
+        m = Material(title="T", description="d")
+        assert m.kind is MaterialKind.ASSIGNMENT
+        assert m.id is None
+        assert m.authors == ()
+        assert m.course_level is None
+
+    def test_with_id_returns_new_instance(self):
+        m = Material(title="T", description="d")
+        m2 = m.with_id(7)
+        assert m2.id == 7
+        assert m.id is None
+        assert m2.title == m.title
+
+    def test_frozen(self):
+        m = Material(title="T", description="d")
+        with pytest.raises(Exception):
+            m.title = "other"
+
+    def test_text_concatenates_title_and_description(self):
+        m = Material(title="Sorting", description="Quick sort lab")
+        assert "Sorting" in m.text() and "Quick sort lab" in m.text()
+
+    def test_summary_truncates(self):
+        m = Material(title="T", description="word " * 50)
+        line = m.summary(width=30)
+        assert len(line) < 60
+        assert line.startswith("[assignment] T — ")
+
+    def test_summary_flattens_newlines(self):
+        m = Material(title="T", description="a\nb")
+        assert "\n" not in m.summary()
+
+
+class TestEnums:
+    def test_all_paper_material_kinds_exist(self):
+        # Section I: assignments, lecture slides, exams, video lectures,
+        # book chapters, course descriptions, demos
+        for value in ("assignment", "lecture_slides", "exam", "video_lecture",
+                      "book_chapter", "course_description", "demo"):
+            assert MaterialKind(value)
+
+    def test_course_levels(self):
+        assert CourseLevel("cs0") and CourseLevel("cs1") and CourseLevel("cs2")
+
+
+class TestNormalizeAuthors:
+    def test_strips_and_collapses_whitespace(self):
+        assert normalize_authors(["  Ada   Lovelace "]) == ("Ada Lovelace",)
+
+    def test_drops_empties(self):
+        assert normalize_authors(["", "  ", "Bob"]) == ("Bob",)
+
+    def test_dedupes_case_insensitively_preserving_order(self):
+        assert normalize_authors(["Ann", "ann", "Bob", "ANN"]) == ("Ann", "Bob")

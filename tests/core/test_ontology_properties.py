@@ -1,0 +1,75 @@
+"""Property-based tests on ontology tree invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ontology import NodeKind, Ontology
+
+
+@st.composite
+def random_tree(draw) -> Ontology:
+    """A random valid ontology of up to ~40 nodes."""
+    onto = Ontology("R")
+    n = draw(st.integers(min_value=1, max_value=40))
+    keys = [onto.root.key]
+    for i in range(n):
+        parent = draw(st.sampled_from(keys))
+        kind = draw(st.sampled_from([NodeKind.AREA, NodeKind.UNIT, NodeKind.TOPIC]))
+        key = f"R/n{i}"
+        onto.add(key, f"node {i}", kind, parent)
+        keys.append(key)
+    onto.validate()
+    return onto
+
+
+@given(random_tree())
+def test_walk_visits_every_node_once(onto):
+    visited = [n.key for n in onto.walk()]
+    assert len(visited) == len(set(visited)) == len(onto) + 1
+
+
+@given(random_tree(), st.data())
+def test_path_is_consistent_with_depth_and_parent(onto, data):
+    node = data.draw(st.sampled_from(onto.nodes()))
+    path = onto.path(node.key)
+    assert path[0].key == onto.root.key
+    assert path[-1].key == node.key
+    assert len(path) == onto.depth(node.key) + 1
+    # successive elements are parent/child pairs
+    for parent, child in zip(path, path[1:]):
+        assert child.parent == parent.key
+
+
+@given(random_tree(), st.data())
+def test_subtree_of_ancestor_contains_descendant(onto, data):
+    node = data.draw(st.sampled_from(onto.nodes()))
+    for ancestor in onto.ancestors(node.key):
+        assert node.key in onto.subtree_keys(ancestor.key)
+
+
+@given(random_tree())
+def test_leaves_partition_against_internal_nodes(onto):
+    leaves = {n.key for n in onto.leaves()}
+    internal = {n.key for n in onto.walk()} - leaves
+    for key in internal:
+        assert onto.node(key).children
+    for key in leaves:
+        assert not onto.node(key).children
+
+
+@given(random_tree(), st.data())
+def test_area_of_is_idempotent_fixed_point(onto, data):
+    node = data.draw(st.sampled_from(onto.nodes()))
+    area = onto.area_of(node.key)
+    assert area is not None
+    assert onto.area_of(area.key).key == area.key
+    assert onto.depth(area.key) == 1
+
+
+@settings(max_examples=25)
+@given(random_tree(), st.text(min_size=1, max_size=3))
+def test_search_results_actually_match(onto, phrase):
+    for hit in onto.search(phrase):
+        assert phrase.lower().strip() in hit.label.lower()

@@ -1,0 +1,112 @@
+"""JSON snapshot export/import."""
+
+import json
+
+import pytest
+
+from repro.core.classification import ClassificationSet
+from repro.core.material import CourseLevel, Material, MaterialKind
+from repro.core.ontology import BloomLevel
+from repro.core.persist import (
+    export_repository,
+    import_repository,
+    load_json,
+    save_json,
+)
+from repro.core.repository import Role
+from repro.corpus import keys as K
+
+
+@pytest.fixture()
+def populated(fresh_repo):
+    cs = ClassificationSet()
+    cs.add("CS13", K.SDF_ARRAYS, BloomLevel.USAGE)
+    cs.add("PDC12", K.P_OPENMP)
+    fresh_repo.add_material(
+        Material(
+            title="Snapshot target",
+            description="a material with every field set",
+            kind=MaterialKind.LECTURE_SLIDES,
+            authors=("Ada", "Bob"),
+            url="http://example.org",
+            course_level=CourseLevel.CS2,
+            languages=("C",),
+            datasets=("numbers",),
+            tags=("demo",),
+            collection="snap",
+            year=2019,
+        ),
+        cs,
+    )
+    fresh_repo.add_user("ed", Role.EDITOR)
+    return fresh_repo
+
+
+class TestRoundTrip:
+    def test_material_fields_survive(self, populated):
+        restored = import_repository(export_repository(populated))
+        m = restored.materials("snap")[0]
+        original = populated.materials("snap")[0]
+        assert m == original  # Material is a frozen dataclass
+
+    def test_classifications_survive_with_bloom(self, populated):
+        restored = import_repository(export_repository(populated))
+        mid = restored.materials("snap")[0].id
+        cs = restored.classification_of(mid)
+        assert cs.has("CS13", K.SDF_ARRAYS)
+        assert cs.bloom("CS13", K.SDF_ARRAYS) is BloomLevel.USAGE
+        assert cs.has("PDC12", K.P_OPENMP)
+
+    def test_material_ids_preserved(self, populated):
+        original_id = populated.materials("snap")[0].id
+        restored = import_repository(export_repository(populated))
+        assert restored.materials("snap")[0].id == original_id
+
+    def test_users_survive(self, populated):
+        restored = import_repository(export_repository(populated))
+        assert restored.db.table("users").find_one(name="ed")["role"] == "editor"
+
+    def test_ontologies_self_contained(self, populated):
+        data = export_repository(populated)
+        restored = import_repository(data)
+        assert len(restored.ontology("CS13")) == len(populated.ontology("CS13"))
+        # node metadata survives
+        node = restored.ontology("CS13").node(K.SDF_ARRAYS)
+        assert node.label == "Arrays"
+
+    def test_snapshot_is_pure_json(self, populated):
+        data = export_repository(populated)
+        json.dumps(data)  # must not raise
+
+    def test_file_round_trip(self, populated, tmp_path):
+        path = save_json(populated, tmp_path / "snap.json")
+        restored = load_json(path)
+        assert restored.material_count() == populated.material_count()
+
+    def test_seeded_repository_round_trip(self, seeded_repo):
+        restored = import_repository(export_repository(seeded_repo))
+        assert restored.material_count() == 97
+        assert (
+            restored.stats()["classification_links"]
+            == seeded_repo.stats()["classification_links"]
+        )
+        # an analysis gives identical results on the restored copy
+        from repro.core.coverage import compute_coverage
+
+        a = compute_coverage(seeded_repo, "CS13", collection="nifty")
+        b = compute_coverage(restored, "CS13", collection="nifty")
+        assert a.rollup_counts == b.rollup_counts
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, populated):
+        data = export_repository(populated)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            import_repository(data)
+
+    def test_missing_version_rejected(self, populated):
+        data = export_repository(populated)
+        del data["format_version"]
+        with pytest.raises(ValueError):
+            import_repository(data)

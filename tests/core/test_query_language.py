@@ -1,0 +1,105 @@
+"""The facet query language."""
+
+import pytest
+
+from repro.core.material import CourseLevel, MaterialKind
+from repro.core.query_language import QuerySyntaxError, parse_query
+from repro.core.search import SearchEngine
+
+
+class TestParsing:
+    def test_plain_text(self):
+        parsed = parse_query("monte carlo simulation")
+        assert parsed.text == "monte carlo simulation"
+        assert parsed.filters.languages == ()
+
+    def test_language_facet(self):
+        parsed = parse_query("language:Python sorting")
+        assert parsed.filters.languages == ("Python",)
+        assert parsed.text == "sorting"
+
+    def test_level_facet(self):
+        parsed = parse_query("level:cs1")
+        assert parsed.filters.course_levels == (CourseLevel.CS1,)
+
+    def test_kind_facet(self):
+        parsed = parse_query("kind:lecture_slides")
+        assert parsed.filters.kinds == (MaterialKind.LECTURE_SLIDES,)
+
+    def test_collection_and_tag(self):
+        parsed = parse_query("collection:peachy tag:sorting")
+        assert parsed.filters.collections == ("peachy",)
+        assert parsed.filters.tags == ("sorting",)
+
+    def test_under_facet(self):
+        parsed = parse_query("under:PDC12/PROG loops")
+        assert parsed.filters.under == ("PDC12/PROG",)
+        assert parsed.text == "loops"
+
+    def test_year_single(self):
+        assert parse_query("year:2015").filters.years == (2015, 2015)
+
+    def test_year_range(self):
+        assert parse_query("year:2010..2015").filters.years == (2010, 2015)
+
+    def test_dataset_yes_no(self):
+        assert parse_query("dataset:yes").filters.datasets_required is True
+        assert parse_query("dataset:no").filters.datasets_required is False
+
+    def test_multiple_values_accumulate(self):
+        parsed = parse_query("language:python language:java")
+        assert parsed.filters.languages == ("python", "java")
+
+    def test_facets_interleave_with_text(self):
+        parsed = parse_query("fire language:c simulation level:cs2")
+        assert parsed.text == "fire simulation"
+        assert parsed.filters.languages == ("c",)
+        assert parsed.filters.course_levels == (CourseLevel.CS2,)
+
+
+class TestErrors:
+    def test_unknown_facet(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("langauge:python")  # typo must not silently pass
+
+    def test_empty_value(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("language:")
+
+    def test_bad_level(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("level:phd")
+
+    def test_bad_kind(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("kind:podcast")
+
+    def test_bad_year(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("year:twenty")
+
+    def test_inverted_year_range(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("year:2018..2010")
+
+    def test_bad_dataset_value(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("dataset:maybe")
+
+
+class TestEndToEnd:
+    def test_query_drives_search_engine(self, seeded_repo):
+        engine = SearchEngine(seeded_repo)
+        parsed = parse_query("collection:peachy under:PDC12/PROG fire")
+        hits = engine.search(parsed.text, parsed.filters, limit=5)
+        assert hits
+        assert all(h.material.collection == "peachy" for h in hits)
+        titles = [h.material.title for h in hits]
+        assert any("Fire" in t for t in titles)
+
+    def test_year_range_filters(self, seeded_repo):
+        engine = SearchEngine(seeded_repo)
+        parsed = parse_query("collection:nifty year:2003..2005")
+        hits = engine.search(parsed.text, parsed.filters, limit=50)
+        assert hits
+        assert all(2003 <= h.material.year <= 2005 for h in hits)

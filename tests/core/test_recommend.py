@@ -1,0 +1,142 @@
+"""Classification recommenders (future-work feature, implemented)."""
+
+import pytest
+
+from repro.core.recommend import (
+    CooccurrenceRecommender,
+    HybridRecommender,
+    TextKnnRecommender,
+    TextNbRecommender,
+    evaluate_knn_loo_fast,
+    evaluate_leave_one_out,
+)
+from repro.corpus import keys as K
+
+
+class TestTextKnn:
+    def test_recommends_pdc_keys_for_pdc_text(self, seeded_repo):
+        rec = TextKnnRecommender(seeded_repo).fit()
+        suggestions = rec.recommend(
+            "Parallelize loops over an image with OpenMP pragmas and "
+            "measure speedup and efficiency", top=12,
+        )
+        keys = {s.key for s in suggestions}
+        assert keys, "expected at least one suggestion"
+        assert any(k.startswith("PDC12/") or "/PD/" in k for k in keys)
+
+    def test_scores_sorted_descending(self, seeded_repo):
+        rec = TextKnnRecommender(seeded_repo).fit()
+        suggestions = rec.recommend("sorting with divide and conquer", top=10)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_fit_on_empty_repo_raises(self, fresh_repo):
+        with pytest.raises(ValueError):
+            TextKnnRecommender(fresh_repo).fit()
+
+    def test_exclusion_removes_training_signal(self, seeded_repo):
+        # excluding every material must make fit impossible
+        all_ids = {m.id for m in seeded_repo.materials()}
+        with pytest.raises(ValueError):
+            TextKnnRecommender(seeded_repo).fit(exclude=all_ids)
+
+
+class TestTextNb:
+    def test_recommends_something_plausible(self, seeded_repo):
+        rec = TextNbRecommender(seeded_repo).fit()
+        suggestions = rec.recommend(
+            "message passing with MPI scatter gather collectives", top=10
+        )
+        assert suggestions
+        assert all(0.0 < s.score <= 1.0 for s in suggestions)
+
+    def test_min_label_count_filters_rare_labels(self, seeded_repo):
+        rec = TextNbRecommender(seeded_repo, min_label_count=3).fit()
+        assert rec._nb is not None
+        # every modeled label is used by >= 3 materials
+        for label in rec._nb.labels_:
+            assert len(seeded_repo.materials_with(label)) >= 3
+
+
+class TestCooccurrence:
+    def test_arrays_implies_control_structures(self, seeded_repo):
+        # the Figure 3 cluster makes these strongly co-occurring
+        rec = CooccurrenceRecommender(seeded_repo).fit()
+        suggestions = rec.recommend([K.SDF_ARRAYS], top=20, min_score=0.0)
+        assert any(s.key == K.SDF_CTRL for s in suggestions)
+
+    def test_never_suggests_selected(self, seeded_repo):
+        rec = CooccurrenceRecommender(seeded_repo).fit()
+        suggestions = rec.recommend([K.SDF_ARRAYS, K.SDF_CTRL], top=50,
+                                    min_score=0.0)
+        keys = {s.key for s in suggestions}
+        assert K.SDF_ARRAYS not in keys
+        assert K.SDF_CTRL not in keys
+
+    def test_unknown_selection_yields_nothing(self, seeded_repo):
+        rec = CooccurrenceRecommender(seeded_repo).fit()
+        assert rec.recommend(["CS13/NOT/A/KEY"]) == []
+
+    def test_openmp_implies_parallel_loops(self, seeded_repo):
+        rec = CooccurrenceRecommender(seeded_repo).fit()
+        suggestions = rec.recommend([K.P_OPENMP], top=20, min_score=0.0)
+        assert any(s.key == K.P_PARLOOPS for s in suggestions)
+
+
+class TestHybrid:
+    def test_blends_both_sources(self, seeded_repo):
+        rec = HybridRecommender(seeded_repo).fit()
+        suggestions = rec.recommend(
+            "simulate fire spreading on a grid of cells in parallel",
+            selected=[K.SDF_ARRAYS],
+            top=10,
+        )
+        assert suggestions
+        assert all(s.source == "hybrid" for s in suggestions)
+        assert all(s.key != K.SDF_ARRAYS for s in suggestions)
+
+    def test_weight_validation(self, seeded_repo):
+        with pytest.raises(ValueError):
+            HybridRecommender(seeded_repo, text_weight=1.5)
+
+
+class TestEvaluation:
+    def test_leave_one_out_reports_metrics(self, seeded_repo):
+        result = evaluate_leave_one_out(
+            seeded_repo,
+            lambda exclude: TextKnnRecommender(seeded_repo).fit(exclude=exclude),
+            top=10,
+            limit=5,
+        )
+        assert set(result) == {"precision", "recall", "f1", "n"}
+        assert 0.0 <= result["precision"] <= 1.0
+        assert 0.0 <= result["recall"] <= 1.0
+        assert result["n"] == 5.0
+
+    def test_fast_loo_matches_refit_loo(self, seeded_repo):
+        """The vectorised LOO must agree with the refit-per-material LOO
+        (the only modelling difference is corpus-level IDF)."""
+        fast = evaluate_knn_loo_fast(seeded_repo, top=10)
+        slow = evaluate_leave_one_out(
+            seeded_repo,
+            lambda ex: TextKnnRecommender(seeded_repo).fit(exclude=ex),
+            top=10, limit=None,
+        )
+        assert fast["n"] == slow["n"]
+        assert abs(fast["precision"] - slow["precision"]) < 0.03
+        assert abs(fast["recall"] - slow["recall"]) < 0.03
+
+    def test_fast_loo_on_empty_repo_raises(self, fresh_repo):
+        with pytest.raises(ValueError):
+            evaluate_knn_loo_fast(fresh_repo)
+
+    def test_knn_beats_chance_on_seeded_corpus(self, seeded_repo):
+        """With ~300 labels, random top-10 precision is ~3%; the text
+        recommender should do far better on the real corpus."""
+        result = evaluate_leave_one_out(
+            seeded_repo,
+            lambda exclude: TextKnnRecommender(seeded_repo).fit(exclude=exclude),
+            top=10,
+            limit=20,
+        )
+        assert result["precision"] > 0.10

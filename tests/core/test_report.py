@@ -1,0 +1,74 @@
+"""Class coverage reports (Section IV-B)."""
+
+import pytest
+
+from repro.core.report import class_report, coverage_summary_table
+
+
+class TestClassReport:
+    def test_itcs_pdc12_report_shape(self, seeded_repo):
+        report = class_report(seeded_repo, "itcs3145", "PDC12")
+        assert report.n_materials == 21
+        labels = [a.label for a in report.ranked_areas]
+        assert labels[0] == "Programming"
+        assert labels[1] == "Algorithm"
+
+    def test_itcs_pdc12_architecture_is_light(self, seeded_repo):
+        report = class_report(seeded_repo, "itcs3145", "PDC12",
+                              light_threshold=2)
+        light = {a.label for a in report.lightly_touched}
+        assert "Architecture" in light
+        assert "Cross Cutting and Advanced" in light
+
+    def test_untouched_areas_for_itcs_cs13(self, seeded_repo):
+        report = class_report(seeded_repo, "itcs3145", "CS13")
+        untouched = set(report.untouched_areas)
+        for label in (
+            "Human-Computer Interaction",
+            "Social Issues and Professional Practice",
+            "Information Assurance and Security",
+            "Platform-Based Development",
+            "Graphics and Visualization",
+            "Intelligent Systems",
+        ):
+            assert label in untouched
+
+    def test_core_holes_listed(self, seeded_repo):
+        report = class_report(seeded_repo, "itcs3145", "PDC12")
+        # The class does not cover PDC12 tools (core entry) — the paper's
+        # "omission of the instructor".
+        assert any("Tools" in h for h in report.core_holes)
+
+    def test_format_is_readable(self, seeded_repo):
+        report = class_report(seeded_repo, "itcs3145", "PDC12")
+        text = report.format()
+        assert "Coverage of 'itcs3145' against PDC12" in text
+        assert "Programming" in text
+        assert "Untouched areas:" not in text or "Architecture" not in text.split(
+            "Untouched areas:"
+        )[1].split("Core topics")[0]
+
+    def test_units_ranked_within_area(self, seeded_repo):
+        report = class_report(seeded_repo, "itcs3145", "PDC12")
+        prog = report.ranked_areas[0]
+        counts = [c for _, c in prog.units_covered]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestSummaryTable:
+    def test_rows_per_collection(self, seeded_repo):
+        rows = coverage_summary_table(
+            seeded_repo, ["nifty", "peachy", "itcs3145"], "CS13"
+        )
+        assert [r["collection"] for r in rows] == ["nifty", "peachy", "itcs3145"]
+        nifty = rows[0]
+        assert nifty["materials"] == 65
+        assert nifty["top_area"] == "Software Development Fundamentals"
+        peachy = rows[1]
+        assert peachy["materials"] == 11
+        assert peachy["top_area"] == "Parallel and Distributed Computing"
+
+    def test_empty_collection_row(self, seeded_repo):
+        rows = coverage_summary_table(seeded_repo, ["ghost"], "CS13")
+        assert rows[0]["materials"] == 0
+        assert rows[0]["top_area"] == "-"

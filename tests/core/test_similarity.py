@@ -1,0 +1,164 @@
+"""Shared-item similarity and the Figure 3 graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import ClassificationSet
+from repro.core.material import Material
+from repro.core.similarity import (
+    clusters,
+    edges_with_shared_keys,
+    incidence,
+    isolated_materials,
+    jaccard_matrix,
+    shared_item_matrix,
+    similarity_graph,
+)
+from repro.corpus import keys as K
+
+
+def add(repo, title, keys, collection="c"):
+    cs = ClassificationSet()
+    for key in keys:
+        cs.add(key.split("/", 1)[0], key)
+    return repo.add_material(
+        Material(title=title, description="d", collection=collection), cs
+    )
+
+
+@pytest.fixture()
+def trio(fresh_repo):
+    a = add(fresh_repo, "A", [K.SDF_ARRAYS, K.SDF_CTRL, K.AL_BIGO])
+    b = add(fresh_repo, "B", [K.SDF_ARRAYS, K.SDF_CTRL])
+    c = add(fresh_repo, "C", [K.AL_BIGO])
+    return fresh_repo, a, b, c
+
+
+class TestIncidence:
+    def test_matrix_shape_and_content(self, trio):
+        repo, a, b, c = trio
+        space = incidence(repo, [a.id, b.id, c.id])
+        assert space.matrix.shape == (3, 3)  # three distinct entries
+        assert space.matrix.sum() == 6
+        assert set(space.entry_keys) == {K.SDF_ARRAYS, K.SDF_CTRL, K.AL_BIGO}
+
+    def test_row_of(self, trio):
+        repo, a, b, c = trio
+        space = incidence(repo, [a.id, b.id, c.id])
+        assert space.row_of(c.id).sum() == 1
+
+    def test_ontology_filter(self, fresh_repo):
+        m = add(fresh_repo, "M", [K.SDF_ARRAYS, K.P_OPENMP])
+        space = incidence(fresh_repo, [m.id], ontologies=["PDC12"])
+        assert space.entry_keys == [K.P_OPENMP]
+
+    def test_empty_materials(self, fresh_repo):
+        space = incidence(fresh_repo, [])
+        assert space.matrix.shape == (0, 0)
+
+
+class TestMatrices:
+    def test_shared_self_matrix_diagonal_is_set_size(self, trio):
+        repo, a, b, c = trio
+        space = incidence(repo, [a.id, b.id, c.id])
+        shared = shared_item_matrix(space)
+        assert np.allclose(np.diag(shared), [3, 2, 1])
+        assert shared[0, 1] == 2
+        assert shared[1, 2] == 0
+
+    def test_cross_matrix_aligns_vocabularies(self, trio):
+        repo, a, b, c = trio
+        left = incidence(repo, [a.id])
+        right = incidence(repo, [b.id, c.id])
+        shared = shared_item_matrix(left, right)
+        assert shared.shape == (1, 2)
+        assert shared[0, 0] == 2  # A vs B
+        assert shared[0, 1] == 1  # A vs C
+
+    def test_jaccard_values(self, trio):
+        repo, a, b, c = trio
+        left = incidence(repo, [a.id])
+        right = incidence(repo, [b.id, c.id])
+        jac = jaccard_matrix(left, right)
+        assert jac[0, 0] == pytest.approx(2 / 3)
+        assert jac[0, 1] == pytest.approx(1 / 3)
+
+    def test_jaccard_empty_sets_are_zero(self, fresh_repo):
+        a = add(fresh_repo, "A", [])
+        b = add(fresh_repo, "B", [])
+        jac = jaccard_matrix(
+            incidence(fresh_repo, [a.id]), incidence(fresh_repo, [b.id])
+        )
+        assert jac[0, 0] == 0.0
+
+
+class TestGraph:
+    def test_cross_graph_threshold(self, trio):
+        repo, a, b, c = trio
+        g = similarity_graph(repo, [a.id], [b.id, c.id], threshold=2)
+        assert g.has_edge(a.id, b.id)
+        assert not g.has_edge(a.id, c.id)
+        assert g.number_of_nodes() == 3
+
+    def test_edge_carries_shared_keys(self, trio):
+        repo, a, b, c = trio
+        g = similarity_graph(repo, [a.id], [b.id, c.id], threshold=2)
+        data = g.get_edge_data(a.id, b.id)
+        assert data["shared"] == 2
+        assert set(data["shared_keys"]) == {K.SDF_ARRAYS, K.SDF_CTRL}
+
+    def test_groups_and_titles_annotated(self, trio):
+        repo, a, b, c = trio
+        g = similarity_graph(
+            repo, [a.id], [b.id, c.id],
+            threshold=2, left_group="L", right_group="R",
+        )
+        assert g.nodes[a.id]["group"] == "L"
+        assert g.nodes[c.id]["group"] == "R"
+        assert g.nodes[a.id]["title"] == "A"
+
+    def test_within_set_graph_excludes_self_pairs(self, trio):
+        repo, a, b, c = trio
+        g = similarity_graph(repo, [a.id, b.id, c.id], threshold=1)
+        assert not any(u == v for u, v in g.edges())
+        assert g.has_edge(a.id, b.id)
+        assert g.has_edge(a.id, c.id)
+
+    def test_threshold_validation(self, trio):
+        repo, a, b, c = trio
+        with pytest.raises(ValueError):
+            similarity_graph(repo, [a.id], [b.id], threshold=0)
+
+    def test_threshold_monotonicity(self, trio):
+        repo, a, b, c = trio
+        ids = [a.id, b.id, c.id]
+        e1 = similarity_graph(repo, ids, threshold=1).number_of_edges()
+        e2 = similarity_graph(repo, ids, threshold=2).number_of_edges()
+        e3 = similarity_graph(repo, ids, threshold=3).number_of_edges()
+        assert e1 >= e2 >= e3
+
+
+class TestGraphHelpers:
+    def test_isolated_materials(self, trio):
+        repo, a, b, c = trio
+        g = similarity_graph(
+            repo, [a.id], [b.id, c.id],
+            threshold=2, left_group="L", right_group="R",
+        )
+        assert isolated_materials(g) == [c.id]
+        assert isolated_materials(g, "R") == [c.id]
+        assert isolated_materials(g, "L") == []
+
+    def test_clusters_sorted_largest_first(self, trio):
+        repo, a, b, c = trio
+        g = similarity_graph(repo, [a.id], [b.id, c.id], threshold=1)
+        comps = clusters(g)
+        assert len(comps) == 1
+        assert comps[0] == {a.id, b.id, c.id}
+
+    def test_edges_with_shared_keys_sorted(self, trio):
+        repo, a, b, c = trio
+        g = similarity_graph(repo, [a.id], [b.id, c.id], threshold=1)
+        edges = edges_with_shared_keys(g)
+        assert edges[0].shared >= edges[-1].shared
+        assert edges[0].left_id < edges[0].right_id

@@ -1,0 +1,133 @@
+"""Per-corpus structural sanity (beyond the paper-claim tests)."""
+
+import pytest
+
+from repro.core.material import CourseLevel, MaterialKind
+from repro.corpus import itcs3145, nifty, peachy
+from repro.corpus.base import Spec, check_unique_titles, load_into
+from repro.ontologies import load
+
+
+@pytest.fixture(scope="module")
+def ontologies():
+    return {"CS13": load("CS13"), "PDC12": load("PDC12")}
+
+
+def all_keys_valid(specs, ontologies):
+    for spec in specs:
+        for key in spec.cs13:
+            assert key in ontologies["CS13"], f"{spec.title}: {key}"
+        for key in spec.pdc12:
+            assert key in ontologies["PDC12"], f"{spec.title}: {key}"
+
+
+class TestNifty:
+    def test_spec_count(self):
+        assert len(nifty.SPECS) == 65
+
+    def test_unique_titles(self):
+        check_unique_titles(nifty.SPECS)
+
+    def test_keys_resolve(self, ontologies):
+        all_keys_valid(nifty.SPECS, ontologies)
+
+    def test_no_pdc12_anywhere(self):
+        assert all(not s.pdc12 for s in nifty.SPECS)
+
+    def test_years_within_2003_2018(self):
+        # "We included all assignments from 2003 to 2018"
+        for spec in nifty.SPECS:
+            assert spec.year is not None and 2003 <= spec.year <= 2018
+
+    def test_targeted_at_early_courses(self):
+        for spec in nifty.SPECS:
+            assert spec.level in (
+                CourseLevel.CS0, CourseLevel.CS1, CourseLevel.CS2
+            )
+
+    def test_every_spec_is_classified(self):
+        assert all(s.cs13 for s in nifty.SPECS)
+
+    def test_cluster_titles_exist(self):
+        titles = {s.title for s in nifty.SPECS}
+        assert set(nifty.CLUSTER_TITLES) <= titles
+
+    def test_cluster_pair_exclusivity(self):
+        """Only the six named assignments carry the Arrays+control pair —
+        the invariant the Figure 3 cluster depends on."""
+        from repro.corpus import keys as K
+        for spec in nifty.SPECS:
+            has_pair = K.SDF_ARRAYS in spec.cs13 and K.SDF_CTRL in spec.cs13
+            assert has_pair == (spec.title in nifty.CLUSTER_TITLES), spec.title
+
+    def test_descriptions_are_substantial(self):
+        for spec in nifty.SPECS:
+            assert len(spec.description) > 60, spec.title
+
+
+class TestPeachy:
+    def test_spec_count(self):
+        assert len(peachy.SPECS) == 11
+
+    def test_keys_resolve(self, ontologies):
+        all_keys_valid(peachy.SPECS, ontologies)
+
+    def test_every_spec_has_both_ontologies(self):
+        for spec in peachy.SPECS:
+            assert spec.pdc12, spec.title
+            assert spec.cs13, spec.title
+
+    def test_cluster_specs_have_the_pair(self):
+        from repro.corpus import keys as K
+        for spec in peachy.SPECS:
+            has_pair = K.SDF_ARRAYS in spec.cs13 and K.SDF_CTRL in spec.cs13
+            assert has_pair == (spec.title in peachy.CLUSTER_TITLES), spec.title
+
+    def test_parallel_languages_used(self):
+        parallel = {"OpenMP", "MPI", "pthreads", "CUDA"}
+        n = sum(1 for s in peachy.SPECS if set(s.languages) & parallel)
+        assert n >= 8
+
+
+class TestItcs:
+    def test_composition(self):
+        decks = [s for s in itcs3145.SPECS if s.kind is MaterialKind.LECTURE_SLIDES]
+        assignments = [s for s in itcs3145.SPECS if s.kind is MaterialKind.ASSIGNMENT]
+        assert (len(decks), len(assignments)) == (12, 9)
+
+    def test_keys_resolve(self, ontologies):
+        all_keys_valid(itcs3145.SPECS, ontologies)
+
+    def test_authored_by_the_instructor(self):
+        assert all(s.authors == ("Erik Saule",) for s in itcs3145.SPECS)
+
+    def test_shared_and_distributed_memory_both_present(self):
+        langs = {l for s in itcs3145.SPECS for l in s.languages}
+        assert "pthreads" in langs and "OpenMP" in langs and "MPI" in langs
+
+
+class TestSpecMechanics:
+    def test_material_carries_collection(self):
+        spec = nifty.SPECS[0]
+        material = spec.material("nifty")
+        assert material.collection == "nifty"
+        assert material.title == spec.title
+
+    def test_classification_split_by_ontology(self):
+        spec = peachy.SPECS[0]
+        cs = spec.classification()
+        assert cs.keys("CS13") == frozenset(spec.cs13)
+        assert cs.keys("PDC12") == frozenset(spec.pdc12)
+
+    def test_check_unique_titles_rejects_duplicates(self):
+        dup = (
+            Spec("Same", "d1"),
+            Spec("Same", "d2"),
+        )
+        with pytest.raises(ValueError):
+            check_unique_titles(dup)
+
+    def test_load_into_returns_ids_in_order(self, fresh_repo):
+        ids = load_into(fresh_repo, nifty.SPECS[:3], "nifty")
+        assert ids == [1, 2, 3]
+        assert fresh_repo.material_count("nifty") == 3

@@ -1,0 +1,65 @@
+"""Synthetic corpus generator."""
+
+import pytest
+
+from repro.core.ontology import NodeKind
+from repro.corpus.generator import GeneratorConfig, generate_specs, seed_synthetic
+
+
+class TestGenerateSpecs:
+    def test_requested_count(self, cs13):
+        pairs = generate_specs(cs13, GeneratorConfig(n_materials=25))
+        assert len(pairs) == 25
+
+    def test_deterministic_for_same_seed(self, cs13):
+        config = GeneratorConfig(n_materials=10, seed=42)
+        a = generate_specs(cs13, config)
+        b = generate_specs(cs13, config)
+        assert [m.title for m, _ in a] == [m.title for m, _ in b]
+        assert [sorted(str(i) for i in cs.items()) for _, cs in a] == [
+            sorted(str(i) for i in cs.items()) for _, cs in b
+        ]
+
+    def test_different_seeds_differ(self, cs13):
+        a = generate_specs(cs13, GeneratorConfig(n_materials=10, seed=1))
+        b = generate_specs(cs13, GeneratorConfig(n_materials=10, seed=2))
+        assert [m.title for m, _ in a] != [m.title for m, _ in b]
+
+    def test_classification_sizes_in_bounds(self, cs13):
+        config = GeneratorConfig(n_materials=30, min_items=2, max_items=5)
+        for _, cs in generate_specs(cs13, config):
+            assert 2 <= len(cs) <= 5
+
+    def test_all_keys_are_leafish(self, cs13):
+        for _, cs in generate_specs(cs13, GeneratorConfig(n_materials=10)):
+            for item in cs.items():
+                node = cs13.node(item.key)
+                assert node.kind in (NodeKind.TOPIC, NodeKind.LEARNING_OUTCOME)
+
+    def test_descriptions_mention_classified_labels(self, cs13):
+        material, cs = generate_specs(cs13, GeneratorConfig(n_materials=1))[0]
+        assert material.description
+        assert material.title.startswith("Synthetic 00000")
+
+
+class TestSeedSynthetic:
+    def test_inserts_into_repository(self, fresh_repo):
+        ids = seed_synthetic(
+            fresh_repo, "CS13", GeneratorConfig(n_materials=12)
+        )
+        assert len(ids) == 12
+        assert fresh_repo.material_count("synthetic") == 12
+        # every material is actually classified
+        for mid in ids:
+            assert len(fresh_repo.classification_of(mid)) >= 2
+
+    def test_requires_loaded_ontology(self, bare_repo):
+        with pytest.raises(KeyError):
+            seed_synthetic(bare_repo, "CS13", GeneratorConfig(n_materials=1))
+
+    def test_custom_collection_name(self, fresh_repo):
+        seed_synthetic(
+            fresh_repo, "PDC12",
+            GeneratorConfig(n_materials=5, collection="bulk"),
+        )
+        assert fresh_repo.material_count("bulk") == 5

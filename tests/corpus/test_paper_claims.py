@@ -1,0 +1,252 @@
+"""End-to-end reproduction of every distributional claim in the paper.
+
+Each test cites the paper section whose claim it checks; together these
+are the acceptance tests of the reproduction (DESIGN.md §4/§5).
+"""
+
+import pytest
+
+from repro.core.coverage import compute_coverage
+from repro.core.similarity import (
+    clusters,
+    isolated_materials,
+    similarity_graph,
+)
+from repro.corpus import collection_ids
+from repro.corpus.nifty import CLUSTER_TITLES as NIFTY_CLUSTER
+from repro.corpus.peachy import CLUSTER_TITLES as PEACHY_CLUSTER
+
+
+@pytest.fixture(scope="module")
+def figure3(seeded_repo):
+    nifty_ids = collection_ids(seeded_repo, "nifty")
+    peachy_ids = collection_ids(seeded_repo, "peachy")
+    graph = similarity_graph(
+        seeded_repo, nifty_ids, peachy_ids, threshold=2,
+        left_group="nifty", right_group="peachy",
+    )
+    return seeded_repo, graph, nifty_ids, peachy_ids
+
+
+class TestCorpusSizes:
+    """Section III-B: corpus composition."""
+
+    def test_about_65_nifty(self, seeded_repo):
+        assert seeded_repo.material_count("nifty") == 65
+
+    def test_eleven_peachy(self, seeded_repo):
+        assert seeded_repo.material_count("peachy") == 11
+
+    def test_itcs_12_decks_9_assignments(self, seeded_repo):
+        from repro.core.material import MaterialKind
+        materials = seeded_repo.materials("itcs3145")
+        decks = [m for m in materials if m.kind is MaterialKind.LECTURE_SLIDES]
+        assignments = [m for m in materials if m.kind is MaterialKind.ASSIGNMENT]
+        assert len(decks) == 12
+        assert len(assignments) == 9
+
+    def test_total_material_count(self, seeded_repo):
+        assert seeded_repo.material_count() == 65 + 11 + 21
+
+
+class TestNiftyClaims:
+    """Section IV-C: the Nifty corpus profile."""
+
+    def test_nifty_covers_no_pdc12_topics(self, seeded_repo):
+        cov = compute_coverage(seeded_repo, "PDC12", collection="nifty")
+        assert cov.rollup_counts == {}
+
+    def test_nifty_covers_no_cs13_pd_area(self, seeded_repo):
+        cov = compute_coverage(seeded_repo, "CS13", collection="nifty")
+        assert cov.count("CS13/PD") == 0
+
+    def test_nifty_area_ranking(self, seeded_repo, cs13):
+        # "The most common area ... is Software Development Fundamental,
+        # followed by Programming Language, Algorithms and Complexity, and
+        # Computational Sciences."
+        cov = compute_coverage(seeded_repo, "CS13", collection="nifty")
+        top4 = [a.code for a, _ in cov.area_ranking(cs13)[:4]]
+        assert top4 == ["SDF", "PL", "AL", "CN"]
+
+    def test_nifty_commonly_touches_oop(self, seeded_repo):
+        # "Nifty Assignments seem to commonly touch upon Object Oriented
+        # Programming"
+        cov = compute_coverage(seeded_repo, "CS13", collection="nifty")
+        from repro.ontologies.cs2013 import unit_key
+        oop = cov.count(unit_key("PL", "Object-Oriented Programming"))
+        assert oop >= 15
+
+
+class TestPeachyClaims:
+    """Section IV-C: the Peachy corpus profile."""
+
+    def test_every_peachy_has_pdc12_classification(self, seeded_repo):
+        for mid in collection_ids(seeded_repo, "peachy"):
+            cs = seeded_repo.classification_of(mid)
+            assert cs.keys("PDC12"), seeded_repo.get_material(mid).title
+
+    def test_peachy_top_area_is_pd(self, seeded_repo, cs13):
+        # "the first CS13 curriculum topic of Peachy assignments is
+        # Parallel and Distributed Computing"
+        cov = compute_coverage(seeded_repo, "CS13", collection="peachy")
+        ranking = cov.area_ranking(cs13)
+        assert ranking[0][0].code == "PD"
+        assert ranking[0][1] == 11  # every Peachy assignment
+
+    def test_peachy_followed_by_systems_and_architecture(self, seeded_repo, cs13):
+        cov = compute_coverage(seeded_repo, "CS13", collection="peachy")
+        ranked = [a.code for a, n in cov.area_ranking(cs13) if n > 0]
+        assert ranked[1] == "SF"
+        assert ranked[2] == "AR"
+
+    def test_peachy_sdf_is_low(self, seeded_repo, cs13):
+        cov = compute_coverage(seeded_repo, "CS13", collection="peachy")
+        counts = dict(
+            (a.code, n) for a, n in cov.area_ranking(cs13)
+        )
+        assert counts["SDF"] < counts["SF"]
+        assert counts["SDF"] < counts["AR"]
+
+    def test_peachy_sdf_fpc_variables_and_loops(self, seeded_repo):
+        # "topics in SDF covered by Peachy assignments relate to
+        # Fundamental Programming Concepts (variable, loops)"
+        from repro.corpus import keys as K
+        cov = compute_coverage(seeded_repo, "CS13", collection="peachy")
+        assert cov.count(K.SDF_VARS) > 0
+        assert cov.count(K.SDF_CTRL) > 0
+        # FPC shows more distinct topics than FDS (which is Arrays only)
+        from repro.ontologies.cs2013 import unit_key
+        fpc = unit_key("SDF", "Fundamental Programming Concepts")
+        fds = unit_key("SDF", "Fundamental Data Structures")
+        fpc_topics = sum(
+            1 for k in cov.direct_counts if k.startswith(fpc + "/")
+        )
+        fds_topics = sum(
+            1 for k in cov.direct_counts if k.startswith(fds + "/")
+        )
+        assert fds_topics == 1  # Arrays only
+        assert fpc_topics > fds_topics
+
+    def test_no_oop_in_peachy(self, seeded_repo):
+        # "Object Oriented Programming ... does not appear in Peachy"
+        from repro.ontologies.cs2013 import unit_key
+        cov = compute_coverage(seeded_repo, "CS13", collection="peachy")
+        assert cov.count(unit_key("PL", "Object-Oriented Programming")) == 0
+
+
+class TestItcsClaims:
+    """Section IV-B: coverage of ITCS 3145."""
+
+    def test_pdc12_programming_then_algorithm(self, seeded_repo, pdc12):
+        cov = compute_coverage(seeded_repo, "PDC12", collection="itcs3145")
+        ranking = cov.area_ranking(pdc12)
+        assert ranking[0][0].label == "Programming"
+        assert ranking[1][0].label == "Algorithm"
+
+    def test_pdc12_arch_and_crosscutting_mostly_untouched(self, seeded_repo, pdc12):
+        cov = compute_coverage(seeded_repo, "PDC12", collection="itcs3145")
+        counts = {a.label: n for a, n in cov.area_ranking(pdc12)}
+        assert counts["Architecture"] <= 3
+        assert counts["Cross Cutting and Advanced"] <= 3
+
+    def test_no_tools_coverage(self, seeded_repo):
+        # "the absence of tools from the class is an omission"
+        from repro.ontologies.pdc12 import key_of
+        cov = compute_coverage(seeded_repo, "PDC12", collection="itcs3145")
+        assert cov.count(key_of("PROG", "Tools")) == 0
+
+    def test_no_distributed_systems_coverage(self, seeded_repo):
+        from repro.ontologies.pdc12 import key_of
+        cov = compute_coverage(seeded_repo, "PDC12", collection="itcs3145")
+        assert cov.count(key_of("CROSS", "Advanced topics: distributed systems")) == 0
+
+    def test_cs13_pd_most_covered(self, seeded_repo, cs13):
+        cov = compute_coverage(seeded_repo, "CS13", collection="itcs3145")
+        ranking = cov.area_ranking(cs13)
+        assert ranking[0][0].code == "PD"
+        assert ranking[1][0].code == "AL"
+
+    def test_cs13_cn_third_sdf_fourth(self, seeded_repo, cs13):
+        cov = compute_coverage(seeded_repo, "CS13", collection="itcs3145")
+        ranked = [a.code for a, n in cov.area_ranking(cs13) if n > 0]
+        assert ranked[2] == "CN"
+        assert ranked[3] == "SDF"
+
+    def test_cs13_partial_os_pl_ar(self, seeded_repo, cs13):
+        cov = compute_coverage(seeded_repo, "CS13", collection="itcs3145")
+        for code in ("OS", "PL", "AR"):
+            assert 0 < cov.count(f"CS13/{code}") < 21
+
+    def test_cs13_untouched_areas(self, seeded_repo, cs13):
+        # "Human Computer Interactions, Social Issues, Information
+        # Assurance and Security, or Platform Based Development ...
+        # Graphics and Visualization and Intelligent Systems"
+        cov = compute_coverage(seeded_repo, "CS13", collection="itcs3145")
+        for code in ("HCI", "SP", "IAS", "PBD", "GV", "IS"):
+            assert cov.count(f"CS13/{code}") == 0, code
+
+    def test_integration_assignment_checks_numerical_analysis(self, seeded_repo):
+        # IV-A's Bloom-level example assignment
+        from repro.corpus import keys as K
+        hits = seeded_repo.materials_with(K.CN_NUM_INTEGRATION)
+        titles = {m.title for m in hits}
+        assert "Numerical Integration with the Rectangle Method" in titles
+
+    def test_unit_test_scaffolding_appears_in_sdf(self, seeded_repo):
+        # "assignments are scaffolded using unit tests which appears in
+        # that category [SDF]"
+        from repro.corpus import keys as K
+        cov = compute_coverage(seeded_repo, "CS13", collection="itcs3145")
+        assert cov.count(K.SDF_UNIT_TESTING) >= 3
+
+
+class TestFigure3:
+    """Section IV-D: the similarity graph."""
+
+    def test_most_assignments_isolated(self, figure3):
+        repo, graph, nifty_ids, peachy_ids = figure3
+        assert len(isolated_materials(graph, "nifty")) == 65 - 6
+        assert len(isolated_materials(graph, "peachy")) == 11 - 4
+
+    def test_single_cluster_with_named_members(self, figure3):
+        repo, graph, _, _ = figure3
+        comps = clusters(graph)
+        assert len(comps) == 1
+        titles = {repo.get_material(m).title for m in comps[0]}
+        assert titles == set(NIFTY_CLUSTER) | set(PEACHY_CLUSTER)
+
+    def test_all_edges_share_arrays_and_control_structures(self, figure3):
+        # "they essentially form a cluster because all the assignments
+        # share the classifications Arrays and Conditional and iterative
+        # control structure"
+        repo, graph, _, _ = figure3
+        cs13 = repo.ontology("CS13")
+        for _, _, data in graph.edges(data=True):
+            labels = {cs13.node(k).label for k in data["shared_keys"]}
+            assert labels == {
+                "Arrays", "Conditional and iterative control structures",
+            }
+
+    def test_cluster_is_complete_bipartite(self, figure3):
+        repo, graph, _, _ = figure3
+        assert graph.number_of_edges() == 6 * 4
+
+    def test_isolated_peachy_are_systems_oriented(self, figure3):
+        # "The Peachy assignments that do not match any other Nifty
+        # assignments are the ones that are systems oriented, such as
+        # dealing with middleware, or data races."
+        repo, graph, _, _ = figure3
+        titles = {
+            repo.get_material(m).title
+            for m in isolated_materials(graph, "peachy")
+        }
+        assert "Publish-Subscribe Middleware" in titles
+        assert "Hunting Data Races in a Parallel Histogram" in titles
+        assert not titles & set(PEACHY_CLUSTER)
+
+
+class TestManualCost:
+    def test_manual_classification_cost_recorded(self):
+        # IV-A: "each item taking between 15-25 minutes"
+        from repro.corpus import MANUAL_CLASSIFICATION_MINUTES
+        assert MANUAL_CLASSIFICATION_MINUTES == (15, 25)

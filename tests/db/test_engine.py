@@ -1,0 +1,203 @@
+"""Database-level behaviour: DDL, foreign keys, transactions."""
+
+import pytest
+
+from repro.db import Column, Database, ForeignKey, TableSchema
+from repro.db.errors import (
+    ForeignKeyError,
+    SchemaError,
+    TransactionError,
+    UniqueViolation,
+)
+
+
+def make_db() -> Database:
+    db = Database("test")
+    db.create_table(TableSchema(
+        "parents", columns=(Column("id", int), Column("name", str)),
+    ))
+    db.create_table(TableSchema(
+        "children",
+        columns=(
+            Column("id", int),
+            Column("parent_id", int),
+            Column("label", str, default=""),
+        ),
+        foreign_keys=(ForeignKey("parent_id", "parents"),),
+    ))
+    db.create_table(TableSchema(
+        "cascading",
+        columns=(Column("id", int), Column("parent_id", int)),
+        foreign_keys=(ForeignKey("parent_id", "parents", on_delete="cascade"),),
+    ))
+    return db
+
+
+class TestDdl:
+    def test_duplicate_table_rejected(self):
+        db = make_db()
+        with pytest.raises(SchemaError):
+            db.create_table(TableSchema("parents", columns=(Column("id", int),)))
+
+    def test_fk_to_unknown_table_rejected(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.create_table(TableSchema(
+                "t",
+                columns=(Column("id", int), Column("x_id", int)),
+                foreign_keys=(ForeignKey("x_id", "missing"),),
+            ))
+
+    def test_drop_referenced_table_rejected(self):
+        db = make_db()
+        with pytest.raises(SchemaError):
+            db.drop_table("parents")
+
+    def test_drop_leaf_table(self):
+        db = make_db()
+        db.drop_table("children")
+        assert "children" not in db
+
+    def test_table_names_sorted(self):
+        db = make_db()
+        assert db.table_names() == ["cascading", "children", "parents"]
+
+    def test_unknown_table_lookup(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.table("nope")
+
+
+class TestForeignKeys:
+    def test_insert_with_valid_fk(self):
+        db = make_db()
+        p = db.insert("parents", name="p")
+        c = db.insert("children", parent_id=p["id"])
+        assert c["parent_id"] == p["id"]
+
+    def test_insert_with_dangling_fk_rejected(self):
+        db = make_db()
+        with pytest.raises(ForeignKeyError):
+            db.insert("children", parent_id=99)
+
+    def test_update_to_dangling_fk_rejected(self):
+        db = make_db()
+        p = db.insert("parents", name="p")
+        c = db.insert("children", parent_id=p["id"])
+        with pytest.raises(ForeignKeyError):
+            db.update("children", c["id"], parent_id=12345)
+
+    def test_restrict_delete_blocked(self):
+        db = make_db()
+        p = db.insert("parents", name="p")
+        db.insert("children", parent_id=p["id"])
+        with pytest.raises(ForeignKeyError):
+            db.delete("parents", p["id"])
+
+    def test_cascade_delete_propagates(self):
+        db = make_db()
+        p = db.insert("parents", name="p")
+        db.insert("cascading", parent_id=p["id"])
+        db.insert("cascading", parent_id=p["id"])
+        db.delete("parents", p["id"])
+        assert len(db.table("cascading")) == 0
+
+    def test_delete_unreferenced_parent_ok(self):
+        db = make_db()
+        p = db.insert("parents", name="p")
+        db.delete("parents", p["id"])
+        assert len(db.table("parents")) == 0
+
+    def test_null_fk_allowed_when_nullable(self):
+        db = Database()
+        db.create_table(TableSchema(
+            "targets", columns=(Column("id", int),),
+        ))
+        db.create_table(TableSchema(
+            "sources",
+            columns=(Column("id", int), Column("t_id", int, nullable=True, default=None)),
+            foreign_keys=(ForeignKey("t_id", "targets"),),
+        ))
+        row = db.insert("sources")
+        assert row["t_id"] is None
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self):
+        db = make_db()
+        with db.transaction():
+            db.insert("parents", name="p")
+        assert len(db.table("parents")) == 1
+
+    def test_rollback_on_exception(self):
+        db = make_db()
+        db.insert("parents", name="before")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("parents", name="inside")
+                raise RuntimeError("boom")
+        names = db.table("parents").column_values("name")
+        assert names == ["before"]
+
+    def test_rollback_restores_indexes(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("parents", name="ghost")
+                raise RuntimeError
+        # unique index must not remember the ghost
+        db.insert("parents", name="ghost")
+
+    def test_nested_transactions_partial_rollback(self):
+        db = make_db()
+        with db.transaction():
+            db.insert("parents", name="outer")
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    db.insert("parents", name="inner")
+                    raise RuntimeError
+            assert db.table("parents").column_values("name") == ["outer"]
+        assert db.table("parents").column_values("name") == ["outer"]
+
+    def test_id_sequence_rewinds_on_rollback(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("parents", name="x")
+                raise RuntimeError
+        row = db.insert("parents", name="y")
+        assert row["id"] == 1
+
+    def test_commit_without_begin(self):
+        db = make_db()
+        with pytest.raises(TransactionError):
+            db._commit()
+
+    def test_rollback_without_begin(self):
+        db = make_db()
+        with pytest.raises(TransactionError):
+            db._rollback()
+
+    def test_in_transaction_flag(self):
+        db = make_db()
+        assert not db.in_transaction
+        with db.transaction():
+            assert db.in_transaction
+        assert not db.in_transaction
+
+    def test_table_created_inside_rolled_back_transaction_vanishes(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.create_table(TableSchema("temp", columns=(Column("id", int),)))
+                raise RuntimeError
+        assert "temp" not in db
+
+
+class TestStats:
+    def test_stats_counts_rows(self):
+        db = make_db()
+        db.insert("parents", name="a")
+        db.insert("parents", name="b")
+        assert db.stats()["parents"] == 2
+        assert db.stats()["children"] == 0

@@ -1,0 +1,96 @@
+"""NSF/IEEE-TCPP PDC12 ontology fidelity — including the oddities the
+paper reports in Section IV-A, which the gap analyses must rediscover."""
+
+import pytest
+
+from repro.core.ontology import BloomLevel, NodeKind, Tier
+from repro.ontologies.pdc12 import key_of
+
+
+class TestStructure:
+    def test_four_areas(self, pdc12):
+        labels = [a.label for a in pdc12.areas()]
+        assert labels == [
+            "Architecture", "Programming", "Algorithm",
+            "Cross Cutting and Advanced",
+        ]
+
+    def test_two_tier_levels_only(self, pdc12):
+        # "the PDC curriculum only exposes two levels: core and elective"
+        tiers = {
+            n.tier for n in pdc12.nodes() if n.kind is NodeKind.TOPIC
+        }
+        assert tiers == {Tier.CORE, Tier.ELECTIVE}
+
+    def test_topics_carry_pdc_bloom_levels(self, pdc12):
+        levels = {
+            n.bloom for n in pdc12.nodes() if n.kind is NodeKind.TOPIC
+        }
+        assert levels == {
+            BloomLevel.KNOW, BloomLevel.COMPREHEND, BloomLevel.APPLY
+        }
+
+    def test_size_is_realistic(self, pdc12):
+        assert 90 <= len(pdc12) <= 180
+
+    def test_validate_passes(self, pdc12):
+        pdc12.validate()
+
+
+class TestPaperOddities:
+    def test_amdahl_under_programming_performance_data(self, pdc12):
+        """IV-A: "Amdhal's law (and related topics) falls under
+        Programming::Performance Issue::Data"."""
+        hits = pdc12.search("amdahl")
+        assert hits
+        path = pdc12.path_string(hits[0].key)
+        assert path.startswith("Programming::Performance issues")
+        assert "Data:" in hits[0].label
+
+    def test_bsp_bundled_with_cilk(self, pdc12):
+        """IV-A: "There are entries for BSP; which is oddly bundled with
+        Cilk"."""
+        hits = pdc12.search("bsp")
+        assert len(hits) == 1
+        assert "CILK" in hits[0].label.upper()
+
+    def test_no_mapreduce_entry(self, pdc12):
+        """IV-A: "The Map-Reduce programming model seems mostly missing"."""
+        assert pdc12.search("map-reduce") == []
+        assert pdc12.search("mapreduce") == []
+
+    def test_no_critical_path_under_scheduling(self, pdc12):
+        """IV-A: "Notions from scheduling misses Critical Path"."""
+        scheduling = [
+            n for n in pdc12.nodes()
+            if n.label.startswith("Notions from scheduling")
+        ]
+        assert scheduling  # the sub-heading exists...
+        assert not any("critical path" in n.label.lower() for n in scheduling)
+        # ...and critical path appears nowhere in PDC12
+        assert pdc12.search("critical path") == []
+
+    def test_no_middleware_topics(self, pdc12):
+        """IV-A: middleware "seem to be mostly missing" from both."""
+        assert pdc12.search("middleware") == []
+
+    def test_cloud_computing_present(self, pdc12):
+        assert pdc12.search("cloud")
+
+
+class TestKeyResolution:
+    def test_key_of_topic(self, pdc12):
+        key = key_of(
+            "PROG", "Parallel programming paradigms and notations",
+            "Programming notations: message passing libraries (e.g., MPI)",
+        )
+        assert key in pdc12
+        assert "MPI" in pdc12.node(key).label
+
+    def test_key_of_unit(self, pdc12):
+        key = key_of("ALGO", "Algorithmic Paradigms")
+        assert pdc12.node(key).kind is NodeKind.UNIT
+
+    def test_area_rollup(self, pdc12):
+        key = key_of("PROG", "Tools", "Performance monitoring and profiling tools")
+        assert pdc12.area_of(key).label == "Programming"

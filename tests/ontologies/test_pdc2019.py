@@ -1,0 +1,122 @@
+"""The projected PDC 2019 revision and its diff against PDC12."""
+
+import pytest
+
+from repro.ontologies import load, pdc12, pdc2019
+from repro.ontologies.diff import diff_ontologies
+
+
+@pytest.fixture(scope="module")
+def pdc19():
+    return load("PDC19")
+
+
+class TestFixedOddities:
+    """Each paper-reported PDC12 oddity must be fixed in PDC19."""
+
+    def test_amdahl_moved_to_algorithm(self, pdc19):
+        hits = pdc19.search("amdahl")
+        assert len(hits) == 1
+        assert pdc19.path_string(hits[0].key).startswith(
+            "Algorithm::Parallel and Distributed Models and Complexity"
+        )
+
+    def test_speedup_metrics_moved_with_amdahl(self, pdc19):
+        hits = pdc19.search("speedup and efficiency")
+        assert hits
+        assert all(
+            pdc19.area_of(n.key).label == "Algorithm" for n in hits
+        )
+
+    def test_critical_path_present(self, pdc19):
+        hits = pdc19.search("critical path")
+        assert len(hits) == 1
+        assert hits[0].label.startswith("Notions from scheduling")
+
+    def test_mapreduce_present(self, pdc19):
+        assert pdc19.search("map-reduce")
+
+    def test_bsp_and_cilk_split(self, pdc19):
+        bsp = pdc19.search("bulk synchronous")
+        cilk = pdc19.search("cilk")
+        assert len(bsp) == 1 and len(cilk) == 1
+        assert bsp[0].key != cilk[0].key
+        # the bundled entry is gone
+        assert not [n for n in pdc19.nodes() if "BSP/CILK" in n.label]
+
+    def test_middleware_unit_added(self, pdc19):
+        hits = pdc19.search("middleware")
+        assert hits
+        assert pdc19.area_of(hits[0].key).label == "Cross Cutting and Advanced"
+
+
+class TestStructure:
+    def test_still_four_areas(self, pdc19):
+        assert len(pdc19.areas()) == 4
+
+    def test_grew_by_net_revisions(self, pdc19):
+        base = load("PDC12")
+        # -1 bundle, +2 split halves, +2 adds (critical path, mapreduce),
+        # +1 unit, +2 middleware topics => net +6
+        assert len(pdc19) == len(base) + 6
+
+    def test_validates(self, pdc19):
+        pdc19.validate()
+
+    def test_unchanged_keys_translate_one_to_one(self, pdc19):
+        key = pdc12.key_of(
+            "PROG", "Parallel programming paradigms and notations",
+            "Programming notations: threads (e.g., pthreads)",
+        )
+        (translated,) = pdc2019.translate_key(key)
+        assert translated in pdc19
+        assert pdc19.node(translated).label == load("PDC12").node(key).label
+
+    def test_split_key_translates_to_both_halves(self, pdc19):
+        key = pdc12.key_of(
+            "ALGO", "Parallel and Distributed Models and Complexity",
+            "Model-based notions: BSP/CILK multithreaded models",
+        )
+        translated = pdc2019.translate_key(key)
+        assert len(translated) == 2
+        assert all(t in pdc19 for t in translated)
+
+    def test_moved_key_translates_to_new_home(self, pdc19):
+        key = pdc12.key_of(
+            "PROG", "Performance issues",
+            "Data: Amdahl's Law and its consequences",
+        )
+        (translated,) = pdc2019.translate_key(key)
+        assert pdc19.area_of(translated).label == "Algorithm"
+
+
+class TestDiff:
+    @pytest.fixture(scope="class")
+    def diff(self, pdc19):
+        return diff_ontologies(load("PDC12"), pdc19)
+
+    def test_summary_counts(self, diff):
+        assert diff.summary() == {
+            "added": 7, "removed": 1, "moved": 3, "relabelled": 0,
+        }
+
+    def test_moves_are_the_speedup_family(self, diff):
+        labels = {e.label for e in diff.moved}
+        assert any("Amdahl" in l for l in labels)
+        assert any("Gustafson" in l for l in labels)
+        assert all(
+            e.old_path.startswith("Programming::Performance issues")
+            for e in diff.moved
+        )
+
+    def test_removed_is_the_bundle(self, diff):
+        assert [e.label for e in diff.removed] == [
+            "Model-based notions: BSP/CILK multithreaded models"
+        ]
+
+    def test_identity_diff_is_empty(self):
+        diff = diff_ontologies(load("PDC12"), load("PDC12"))
+        assert diff.is_empty()
+
+    def test_format_mentions_direction(self, diff):
+        assert diff.format().startswith("Diff PDC12 -> PDC19")

@@ -1,0 +1,58 @@
+"""Ontology registry: loading, memoization, extension."""
+
+import pytest
+
+from repro.core.ontology import NodeKind, Ontology
+from repro.ontologies import registry
+
+
+class TestLoad:
+    def test_builtins_available(self):
+        assert set(registry.available()) >= {"CS13", "PDC12"}
+
+    def test_load_unknown(self):
+        with pytest.raises(KeyError):
+            registry.load("CYBER99")
+
+    def test_load_is_memoized(self):
+        a = registry.load("PDC12")
+        b = registry.load("PDC12")
+        assert a is b
+
+    def test_load_all(self):
+        all_ = registry.load_all()
+        assert set(all_) == set(registry.available())
+
+
+class TestRegister:
+    def _tiny(self) -> Ontology:
+        onto = Ontology("TINY")
+        onto.add("TINY/A", "A", NodeKind.AREA)
+        return onto
+
+    def test_register_and_load_custom(self):
+        registry.register("TINY", self._tiny)
+        try:
+            onto = registry.load("TINY")
+            assert len(onto) == 1
+        finally:
+            registry.unregister("TINY")
+        assert "TINY" not in registry.available()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register("CS13", self._tiny)
+
+    def test_invalid_ontology_rejected_at_load(self):
+        def broken() -> Ontology:
+            onto = Ontology("BROKEN")
+            onto.add("BROKEN/A", "A", NodeKind.AREA)
+            onto._nodes["BROKEN/A"].children.append("BROKEN/ghost")
+            return onto
+
+        registry.register("BROKEN", broken)
+        try:
+            with pytest.raises(ValueError):
+                registry.load("BROKEN")
+        finally:
+            registry.unregister("BROKEN")

@@ -1,0 +1,49 @@
+"""Integration smoke tests: every example script runs cleanly.
+
+Each example is a deliverable in its own right (DESIGN.md); these run
+them as subprocesses (fresh interpreter, public API only) and assert
+both exit status and a distinctive line of expected output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> substring its stdout must contain
+EXPECTED = {
+    "quickstart.py": "isolated Nifty : 59 / 65",
+    "enter_material.py": "Parallel Wave Equation — 3 classifications",
+    "coverage_report.py": "Coverage of 'itcs3145' against CS13",
+    "gap_analysis.py": "unless the PDC community develops",
+    "find_pdc_replacement.py": "Storm of High-Energy Particles",
+    "crowdsourced_curation.py": "submission status: approved",
+    "curriculum_revision.py": "migrated 1:1",
+    "build_pdc_course.py": "Plan C",
+    "size_the_editor_pool.py": "How many editors keep the queue stable?",
+    "classify_with_widget.py": "Editor's lint pass:",
+    "render_figures.py": "figure3_similarity.svg",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED[script] in result.stdout
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to EXPECTED (or this fails)."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTED)

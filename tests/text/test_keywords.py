@@ -1,0 +1,69 @@
+"""Keyword extraction."""
+
+import pytest
+
+from repro.text.keywords import KeywordExtractor, suggest_tags
+
+CORPUS = [
+    "Sort an array of integers with quicksort and measure comparisons",
+    "Render the Mandelbrot fractal pixel by pixel and zoom into it",
+    "Train a spam classifier with naive Bayes on labeled emails",
+    "Simulate a forest fire spreading through a grid of trees",
+    "Parallelize matrix multiplication with OpenMP threads",
+]
+
+
+class TestKeywordExtractor:
+    @pytest.fixture()
+    def extractor(self):
+        return KeywordExtractor(max_keywords=5).fit(CORPUS)
+
+    def test_distinctive_terms_rank_top(self, extractor):
+        keywords = extractor.extract(CORPUS[1])
+        terms = [k.surface for k in keywords]
+        assert any("mandelbrot" in t for t in terms)
+        assert any("fractal" in t or "zoom" in t for t in terms)
+
+    def test_scores_sorted_descending(self, extractor):
+        keywords = extractor.extract(CORPUS[0])
+        scores = [k.score for k in keywords]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    def test_max_keywords_respected(self):
+        extractor = KeywordExtractor(max_keywords=2).fit(CORPUS)
+        assert len(extractor.extract(CORPUS[2])) <= 2
+
+    def test_surface_forms_come_from_text(self, extractor):
+        keywords = extractor.extract(CORPUS[3])
+        text_lower = CORPUS[3].lower()
+        for kw in keywords:
+            assert kw.surface.lower() in text_lower
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KeywordExtractor().extract("anything")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordExtractor().fit([])
+
+    def test_stopwords_never_surface(self, extractor):
+        for doc in CORPUS:
+            for kw in extractor.extract(doc):
+                assert kw.surface not in ("the", "with", "and", "of", "a")
+
+
+class TestSuggestTags:
+    def test_tags_for_new_material(self):
+        tags = suggest_tags(
+            CORPUS,
+            "Estimate pi by throwing random darts at a unit square",
+            top=4,
+        )
+        assert tags
+        assert any("dart" in t or "pi" in t or "random" in t for t in tags)
+
+    def test_tags_are_lowercase(self):
+        tags = suggest_tags(CORPUS, "Mandelbrot Zoom Movie")
+        assert all(t == t.lower() for t in tags)

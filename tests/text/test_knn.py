@@ -1,0 +1,75 @@
+"""Multi-label kNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.text import KnnClassifier
+
+
+@pytest.fixture()
+def fitted():
+    # Three clear regions in 2D feature space.
+    X = np.array([
+        [1.0, 0.0], [0.9, 0.1],      # label "a"
+        [0.0, 1.0], [0.1, 0.9],      # label "b"
+        [0.7, 0.7],                  # labels "a" and "b"
+    ])
+    labels = [["a"], ["a"], ["b"], ["b"], ["a", "b"]]
+    return KnnClassifier(k=3, threshold=0.2).fit(X, labels)
+
+
+class TestFit:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            KnnClassifier().fit(np.ones((2, 2)), [["a"]])
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            KnnClassifier().fit(np.ones((0, 2)), [])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KnnClassifier(k=0)
+        with pytest.raises(ValueError):
+            KnnClassifier(threshold=1.5)
+
+    def test_suggest_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KnnClassifier().suggest(np.ones((1, 2)))
+
+
+class TestSuggest:
+    def test_nearest_region_wins(self, fitted):
+        out = fitted.suggest(np.array([[1.0, 0.05]]))[0]
+        assert out[0].label == "a"
+
+    def test_multilabel_region(self, fitted):
+        labels = fitted.predict_labels(np.array([[0.7, 0.7]]))[0]
+        assert labels == frozenset({"a", "b"})
+
+    def test_scores_normalized_and_sorted(self, fitted):
+        out = fitted.suggest(np.array([[0.5, 0.5]]))[0]
+        scores = [s.score for s in out]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_threshold_filters_weak_votes(self):
+        X = np.eye(4)
+        labels = [["a"], ["b"], ["c"], ["d"]]
+        strict = KnnClassifier(k=4, threshold=0.9).fit(X, labels)
+        out = strict.suggest(np.array([[1.0, 0.0, 0.0, 0.0]]))[0]
+        assert [s.label for s in out] == ["a"]
+
+    def test_supporters_recorded(self, fitted):
+        out = fitted.suggest(np.array([[1.0, 0.0]]))[0]
+        a = next(s for s in out if s.label == "a")
+        assert set(a.supporters) <= {0, 1, 4}
+
+    def test_zero_query_yields_nothing(self, fitted):
+        out = fitted.suggest(np.array([[0.0, 0.0]]))[0]
+        assert out == []
+
+    def test_batch_queries(self, fitted):
+        out = fitted.suggest(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert out[0][0].label == "a"
+        assert out[1][0].label == "b"

@@ -1,0 +1,36 @@
+"""Stopword list behaviour."""
+
+from repro.text import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.stopwords import STOPWORDS as _direct
+
+
+class TestStopwords:
+    def test_common_english_words_present(self):
+        for word in ("the", "and", "of", "with", "is", "are"):
+            assert is_stopword(word)
+
+    def test_domain_words_present(self):
+        # curriculum-domain noise words carry no signal across materials
+        for word in ("students", "assignment", "course", "class"):
+            assert is_stopword(word)
+
+    def test_technical_vocabulary_not_stopped(self):
+        for word in ("parallel", "thread", "array", "mpi", "sorting"):
+            assert not is_stopword(word)
+
+    def test_remove_stopwords_preserves_order(self):
+        tokens = ["the", "parallel", "and", "distributed", "computing"]
+        assert remove_stopwords(tokens) == [
+            "parallel", "distributed", "computing"
+        ]
+
+    def test_list_is_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+        assert STOPWORDS is _direct
+
+    def test_all_entries_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+    def test_case_sensitivity_contract(self):
+        # callers lowercase before lookup; uppercase is not a stopword
+        assert not is_stopword("The")

@@ -1,0 +1,67 @@
+"""Property-based tests on the text substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    TfidfVectorizer,
+    cosine_matrix,
+    stem,
+    tokenize,
+)
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=10,
+)
+docs = st.lists(words, min_size=1, max_size=12).map(" ".join)
+
+
+@given(st.text(max_size=200))
+def test_tokenize_never_crashes_and_tokens_nonempty(text):
+    for token in tokenize(text):
+        assert token
+        assert token == token.lower()
+
+
+@given(words)
+def test_stem_returns_nonempty_prefix_ish_string(word):
+    out = stem(word)
+    assert out
+    assert len(out) <= len(word) + 1  # step 1b can append an 'e'
+
+
+@given(words)
+def test_stem_is_deterministic(word):
+    assert stem(word) == stem(word)
+
+
+@settings(max_examples=30)
+@given(st.lists(docs, min_size=2, max_size=8))
+def test_tfidf_rows_are_unit_or_zero(corpus):
+    X = TfidfVectorizer().fit_transform(corpus)
+    norms = np.linalg.norm(X, axis=1)
+    for n in norms:
+        assert abs(n - 1.0) < 1e-9 or n == 0.0
+
+
+@settings(max_examples=30)
+@given(st.lists(docs, min_size=2, max_size=6))
+def test_cosine_self_similarity_bounds(corpus):
+    X = TfidfVectorizer().fit_transform(corpus)
+    sims = cosine_matrix(X)
+    assert sims.shape == (len(corpus), len(corpus))
+    assert np.all(sims <= 1.0 + 1e-12)
+    assert np.all(sims >= -1.0 - 1e-12)
+    assert np.allclose(sims, sims.T)
+
+
+@settings(max_examples=30)
+@given(st.lists(docs, min_size=2, max_size=6))
+def test_identical_documents_have_identical_vectors(corpus):
+    doubled = corpus + [corpus[0]]
+    X = TfidfVectorizer().fit_transform(doubled)
+    assert np.allclose(X[0], X[-1])

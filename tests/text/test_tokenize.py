@@ -1,0 +1,56 @@
+"""Tokenizer behaviour."""
+
+from repro.text import ngrams, sentence_split, tokenize
+
+
+class TestTokenize:
+    def test_basic_split_and_lowercase(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_keeps_internal_hyphens_and_apostrophes(self):
+        assert tokenize("Amdahl's divide-and-conquer") == [
+            "amdahl's", "divide-and-conquer"
+        ]
+
+    def test_strips_punctuation(self):
+        assert tokenize("loops, (MPI)! & pragmas?") == ["loops", "mpi", "pragmas"]
+
+    def test_numbers_survive(self):
+        assert tokenize("CS13 and PDC-12") == ["cs13", "and", "pdc-12"]
+
+    def test_no_lowercase_option(self):
+        assert tokenize("OpenMP", lowercase=False) == ["OpenMP"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_leading_trailing_hyphen_not_merged(self):
+        assert tokenize("-edge case-") == ["edge", "case"]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_longer_than_input(self):
+        assert list(ngrams(["a"], 3)) == []
+
+    def test_unigrams(self):
+        assert list(ngrams(["a", "b"], 1)) == [("a",), ("b",)]
+
+    def test_invalid_n(self):
+        import pytest
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestSentenceSplit:
+    def test_splits_on_terminators(self):
+        parts = sentence_split("First one. Second one! Third?")
+        assert parts == ["First one.", "Second one!", "Third?"]
+
+    def test_single_sentence(self):
+        assert sentence_split("Just one") == ["Just one"]
+
+    def test_empty(self):
+        assert sentence_split("   ") == []

@@ -1,0 +1,69 @@
+"""Color ramps for the figure renderers."""
+
+import re
+
+from repro.viz.color import (
+    TRANSPARENT,
+    group_color,
+    intensity_char,
+    intensity_color,
+)
+
+HEX = re.compile(r"^#[0-9a-f]{6}$")
+
+
+class TestIntensityColor:
+    def test_zero_count_is_transparent(self):
+        # "Ontology entry absent from the materials are transparent"
+        assert intensity_color(1, 0, 10) == TRANSPARENT
+
+    def test_positive_counts_are_hex(self):
+        assert HEX.match(intensity_color(1, 3, 10))
+
+    def test_intensity_monotone_in_count(self):
+        def brightness(color):
+            return sum(int(color[i:i + 2], 16) for i in (1, 3, 5))
+
+        low = intensity_color(1, 1, 10)
+        high = intensity_color(1, 10, 10)
+        assert brightness(high) < brightness(low)  # fuller color is darker
+
+    def test_different_palettes_per_depth(self):
+        # "The color palette is different for zeroth, first, and
+        # more-than-first level nodes."
+        colors = {intensity_color(d, 5, 5) for d in (0, 1, 2)}
+        assert len(colors) == 3
+
+    def test_depths_beyond_two_share_palette(self):
+        assert intensity_color(2, 5, 5) == intensity_color(7, 5, 5)
+
+    def test_count_clamped_to_max(self):
+        assert intensity_color(1, 99, 10) == intensity_color(1, 10, 10)
+
+    def test_max_count_zero_is_safe(self):
+        assert HEX.match(intensity_color(1, 1, 0))
+
+
+class TestIntensityChar:
+    def test_zero_is_dot(self):
+        assert intensity_char(0, 10) == "·"
+
+    def test_full_is_block(self):
+        assert intensity_char(10, 10) == "█"
+
+    def test_monotone_ramp(self):
+        ramp = "░▒▓█"
+        chars = [intensity_char(c, 10) for c in range(1, 11)]
+        indices = [ramp.index(ch) for ch in chars]
+        assert indices == sorted(indices)
+
+
+class TestGroupColor:
+    def test_nifty_blue_peachy_red(self):
+        # "Blue circles represent Nifty assignments while red circles
+        # represent Peachy assignments."
+        assert group_color("nifty") == "#1f77b4"
+        assert group_color("peachy") == "#d62728"
+
+    def test_unknown_group_gray(self):
+        assert group_color("other") == "#7f7f7f"

@@ -1,0 +1,54 @@
+"""The self-contained HTML report."""
+
+import pytest
+
+from repro.viz.html_report import render_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report(seeded_repo):
+    return render_report(seeded_repo)
+
+
+class TestRenderReport:
+    def test_is_complete_html_document(self, report):
+        assert report.startswith("<!DOCTYPE html>")
+        assert report.endswith("</html>")
+
+    def test_contains_all_seven_figures(self, report):
+        # 5 non-empty coverage panels (nifty/PDC12 is empty by design)
+        # + 1 similarity graph = 6 SVGs, plus one "no coverage" note.
+        assert report.count("<svg") == 6
+        assert "no coverage" in report
+
+    def test_coverage_tables_present(self, report):
+        assert "Coverage against CS13" in report
+        assert "Coverage against PDC12" in report
+        assert "<table>" in report
+
+    def test_similarity_summary_numbers(self, report):
+        assert "24 edges" in report
+        assert "59/65" in report
+        assert "7/11" in report
+
+    def test_titles_escaped(self, seeded_repo):
+        html = render_report(seeded_repo, title="A & B <report>")
+        assert "A &amp; B &lt;report&gt;" in html
+
+    def test_restricted_collections(self, seeded_repo):
+        html = render_report(
+            seeded_repo, collections=["peachy"], ontologies=["PDC12"],
+        )
+        assert "peachy / PDC12" in html
+        assert "nifty / PDC12" not in html
+
+    def test_write_report(self, seeded_repo, tmp_path):
+        path = write_report(seeded_repo, tmp_path / "report.html")
+        assert path.exists()
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_missing_similarity_pair_is_tolerated(self, seeded_repo):
+        html = render_report(
+            seeded_repo, similarity_pair=("ghost", "peachy"),
+        )
+        assert "Similarity:" not in html

@@ -1,0 +1,75 @@
+"""Coverage-tree renderers (Figure 2 panels)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.coverage import compute_coverage
+from repro.viz.tree_render import iter_nodes, render_svg, render_text
+
+
+@pytest.fixture(scope="module")
+def itcs_tree(seeded_repo):
+    cov = compute_coverage(seeded_repo, "PDC12", collection="itcs3145")
+    return cov.tree(seeded_repo.ontology("PDC12"))
+
+
+class TestRenderText:
+    def test_root_line_reports_materials(self, itcs_tree):
+        text = render_text(itcs_tree)
+        assert text.splitlines()[0] == "PDC12  (21 materials)"
+
+    def test_area_codes_tagged(self, itcs_tree):
+        text = render_text(itcs_tree)
+        for code in ("PROG", "ALGO", "ARCH", "CROSS"):
+            assert f"[{code}]" in text
+
+    def test_counts_shown(self, itcs_tree):
+        assert "(16)" in render_text(itcs_tree)  # Programming area
+
+    def test_max_depth_limits_output(self, itcs_tree):
+        shallow = render_text(itcs_tree, max_depth=1)
+        deep = render_text(itcs_tree, max_depth=3)
+        assert len(deep.splitlines()) > len(shallow.splitlines())
+
+    def test_pruned_tree_has_no_zero_lines(self, itcs_tree):
+        text = render_text(itcs_tree)
+        assert "(0)" not in text
+
+    def test_long_labels_truncated(self, itcs_tree):
+        for line in render_text(itcs_tree, width=60).splitlines():
+            assert len(line) <= 80
+
+
+class TestRenderSvg:
+    def test_valid_xml(self, itcs_tree):
+        svg = render_svg(itcs_tree, title="ITCS 3145 / PDC12")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_circle_count_matches_tree_nodes(self, itcs_tree):
+        svg = render_svg(itcs_tree)
+        n_nodes = sum(1 for _ in iter_nodes(itcs_tree))
+        assert svg.count("<circle") == n_nodes
+
+    def test_edges_connect_parents_and_children(self, itcs_tree):
+        svg = render_svg(itcs_tree)
+        assert svg.count("<line") == sum(1 for _ in iter_nodes(itcs_tree)) - 1
+
+    def test_area_codes_labelled(self, itcs_tree):
+        svg = render_svg(itcs_tree)
+        for code in ("PROG", "ALGO"):
+            assert f">{code}</text>" in svg
+
+    def test_title_escaped(self, itcs_tree):
+        svg = render_svg(itcs_tree, title="A & B <tree>")
+        assert "A &amp; B &lt;tree>" in svg
+        ET.fromstring(svg)
+
+    def test_tooltips_carry_labels_and_counts(self, itcs_tree):
+        svg = render_svg(itcs_tree)
+        assert "<title>Programming (16)</title>" in svg
+
+    def test_custom_size(self, itcs_tree):
+        svg = render_svg(itcs_tree, size=300)
+        assert 'width="300"' in svg

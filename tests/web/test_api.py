@@ -1,0 +1,234 @@
+"""The CAR-CS REST API end to end (Figure 1 flows + figure resources)."""
+
+import pytest
+
+from repro.core.repository import Repository
+from repro.corpus import keys as K
+from repro.corpus.seed import seed_all, seed_ontologies
+from repro.web import CarCsApi, Client
+
+
+@pytest.fixture(scope="module")
+def client():
+    """A seeded, module-scoped API client.
+
+    Mutating tests create their own materials and clean up via DELETE.
+    """
+    return Client(CarCsApi(seed_all()))
+
+
+@pytest.fixture()
+def empty_client():
+    repo = Repository()
+    seed_ontologies(repo)
+    return Client(CarCsApi(repo))
+
+
+class TestAssignmentCrud:
+    def test_create_read_update_delete(self, empty_client):
+        created = empty_client.post("/assignments", body={
+            "title": "Prefix sums",
+            "description": "Implement an inclusive scan",
+            "collection": "demo",
+            "languages": ["C"],
+            "classifications": [
+                {"ontology": "PDC12", "key": K.A_SCAN},
+                {"ontology": "CS13", "key": K.PD_PATTERNS, "bloom": "usage"},
+            ],
+        })
+        assert created.status == 201
+        mid = created.json()["id"]
+        assert len(created.json()["classifications"]) == 2
+
+        fetched = empty_client.get(f"/assignments/{mid}")
+        assert fetched.json()["title"] == "Prefix sums"
+        blooms = {
+            c["key"]: c["bloom"] for c in fetched.json()["classifications"]
+        }
+        assert blooms[K.PD_PATTERNS] == "usage"
+
+        updated = empty_client.patch(
+            f"/assignments/{mid}", body={"title": "Scan lab"}
+        )
+        assert updated.json()["title"] == "Scan lab"
+
+        deleted = empty_client.delete(f"/assignments/{mid}")
+        assert deleted.ok
+        assert empty_client.get(f"/assignments/{mid}").status == 404
+
+    def test_create_requires_title(self, empty_client):
+        assert empty_client.post("/assignments", body={}).status == 400
+
+    def test_create_rejects_bad_classification(self, empty_client):
+        r = empty_client.post("/assignments", body={
+            "title": "X",
+            "classifications": [{"ontology": "CS13", "key": "CS13/NOPE"}],
+        })
+        assert r.status == 400
+
+    def test_create_rejects_bad_bloom(self, empty_client):
+        r = empty_client.post("/assignments", body={
+            "title": "X",
+            "classifications": [
+                {"ontology": "CS13", "key": K.SDF_ARRAYS, "bloom": "wizard"}
+            ],
+        })
+        assert r.status == 400
+
+    def test_patch_rejects_unknown_fields(self, empty_client):
+        created = empty_client.post("/assignments", body={"title": "Y"})
+        mid = created.json()["id"]
+        r = empty_client.patch(f"/assignments/{mid}", body={"kind": "exam"})
+        assert r.status == 400
+
+    def test_get_missing_material(self, empty_client):
+        assert empty_client.get("/assignments/999").status == 404
+
+
+class TestClassificationEditing:
+    def test_add_and_remove_classification(self, empty_client):
+        mid = empty_client.post(
+            "/assignments", body={"title": "Z"}
+        ).json()["id"]
+        added = empty_client.post(
+            f"/assignments/{mid}/classifications",
+            body={"ontology": "CS13", "key": K.SDF_ARRAYS},
+        )
+        assert added.status == 201
+        assert added.json()["classifications"][0]["key"] == K.SDF_ARRAYS
+
+        removed = empty_client.delete(
+            f"/assignments/{mid}/classifications?key={K.SDF_ARRAYS}"
+        )
+        assert removed.ok
+        again = empty_client.delete(
+            f"/assignments/{mid}/classifications?key={K.SDF_ARRAYS}"
+        )
+        assert again.status == 404
+
+    def test_add_unknown_key_rejected(self, empty_client):
+        mid = empty_client.post(
+            "/assignments", body={"title": "W"}
+        ).json()["id"]
+        r = empty_client.post(
+            f"/assignments/{mid}/classifications",
+            body={"ontology": "CS13", "key": "CS13/FAKE"},
+        )
+        assert r.status == 400
+
+
+class TestListingAndSearch:
+    def test_list_by_collection(self, client):
+        r = client.get("/assignments?collection=peachy")
+        assert r.json()["count"] == 11
+
+    def test_text_search_ranks(self, client):
+        r = client.get("/assignments?q=hurricane+storm+track")
+        titles = [x["title"] for x in r.json()["results"]]
+        assert "Hurricane Tracker" in titles[:3]
+
+    def test_filter_under_subtree(self, client):
+        r = client.get("/assignments?under=PDC12/PROG&collection=nifty")
+        assert r.json()["count"] == 0
+        r = client.get("/assignments?under=PDC12/PROG&collection=peachy")
+        assert r.json()["count"] == 11
+
+    def test_facet_query_language_in_q(self, client):
+        r = client.get("/assignments?q=collection:peachy+fire")
+        titles = [x["title"] for x in r.json()["results"]]
+        assert titles and all("Fire" in t for t in titles[:1])
+
+    def test_bad_facet_yields_400(self, client):
+        r = client.get("/assignments?q=nonsense:value")
+        assert r.status == 400
+        assert "unknown facet" in r.json()["error"]
+
+    def test_year_facet(self, client):
+        r = client.get("/assignments?q=year:2003..2004+collection:nifty")
+        assert 0 < r.json()["count"] <= 5
+
+
+class TestOntologyResources:
+    def test_list_ontologies(self, client):
+        r = client.get("/ontologies")
+        names = {o["name"] for o in r.json()["ontologies"]}
+        assert names == {"CS13", "PDC12"}
+        cs13 = next(o for o in r.json()["ontologies"] if o["name"] == "CS13")
+        assert cs13["entries"] > 2700
+
+    def test_entry_search_highlights_phrase(self, client):
+        r = client.get("/ontologies/CS13/entries?search=critical+path")
+        labels = [e["label"] for e in r.json()["results"]]
+        assert any("Critical path" in l for l in labels)
+
+    def test_entry_search_unknown_ontology(self, client):
+        assert client.get("/ontologies/NOPE/entries").status == 404
+
+
+class TestFigureResources:
+    def test_coverage_resource_matches_figure2(self, client):
+        r = client.get("/coverage?collection=itcs3145&ontology=PDC12")
+        body = r.json()
+        assert body["n_materials"] == 21
+        assert body["areas"][0]["label"] == "Programming"
+
+    def test_coverage_requires_params(self, client):
+        assert client.get("/coverage?collection=nifty").status == 400
+
+    def test_coverage_unknown_collection(self, client):
+        r = client.get("/coverage?collection=ghost&ontology=CS13")
+        assert r.status == 404
+
+    def test_similarity_resource_matches_figure3(self, client):
+        r = client.get("/similarity?left=nifty&right=peachy&threshold=2")
+        body = r.json()
+        assert len(body["edges"]) == 24
+        assert len(body["nodes"]) == 76
+        connected = [n for n in body["nodes"] if n["degree"] > 0]
+        assert len(connected) == 10
+
+    def test_gaps_resource(self, client):
+        r = client.get("/gaps?reference=nifty&candidate=peachy&ontology=CS13")
+        body = r.json()
+        assert 0.0 <= body["alignment"] <= 1.0
+        assert body["missing_in_candidate"]
+
+    def test_recommend_resource(self, client):
+        r = client.post("/recommend", body={
+            "text": "parallelize a monte carlo simulation with OpenMP",
+            "selected": [K.SDF_ARRAYS],
+        })
+        assert r.ok
+        assert r.json()["suggestions"]
+
+    def test_recommend_requires_input(self, client):
+        assert client.post("/recommend", body={}).status == 400
+
+    def test_stats(self, client):
+        r = client.get("/stats")
+        assert r.json()["materials"] >= 97
+
+    def test_variants_resource(self, client):
+        # material 1 is Hurricane Tracker (cluster member)
+        r = client.get("/assignments/1/variants?min_overlap=2")
+        body = r.json()
+        assert body["material"] == "Hurricane Tracker"
+        assert body["variants"]
+        assert all(v["overlap"] >= 2 for v in body["variants"])
+
+    def test_lint_resource(self, client):
+        # the sequential integrator is the corpus's one lint finding
+        integrator = client.get(
+            "/assignments?q=rectangle+method+collection:itcs3145"
+        ).json()["results"][0]
+        r = client.get(f"/assignments/{integrator['id']}/lint")
+        assert r.json()["findings"][0]["rule"] == "cross-ontology"
+
+    def test_plan_resource(self, client):
+        r = client.get("/plan?ontology=PDC12&max_materials=4")
+        body = r.json()
+        assert len(body["picks"]) == 4
+        assert 0.0 < body["coverage_ratio"] < 1.0
+
+    def test_plan_unknown_ontology(self, client):
+        assert client.get("/plan?ontology=NOPE").status == 404
