@@ -9,16 +9,21 @@ BLAS multiply; search index build linear).
 
 from __future__ import annotations
 
+import json
+import time
+
 import pytest
 
 from repro.core.coverage import compute_coverage
 from repro.core.repository import Repository
 from repro.core.search import SearchEngine
-from repro.core.similarity import incidence, shared_item_matrix
+from repro.core.similarity import incidence, shared_item_matrix, similarity_graph
+from repro.corpus import keys as K
 from repro.corpus.generator import GeneratorConfig, seed_synthetic
 from repro.corpus.seed import seed_ontologies
 
 SIZES = (100, 400, 1600)
+CACHE_SCALE_N = 10_000
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +69,111 @@ def test_search_index_scaling(benchmark, synthetic_repos, size):
 
     hits = benchmark(build_and_query)
     assert isinstance(hits, list)
+
+
+@pytest.fixture(scope="module")
+def big_repo():
+    """A 10⁴-material corpus (feasible since transactions journal undos
+    instead of snapshotting every table on begin)."""
+    repo = Repository()
+    seed_ontologies(repo)
+    ids = seed_synthetic(
+        repo, "CS13",
+        GeneratorConfig(n_materials=CACHE_SCALE_N, collection="bulk"),
+    )
+    return repo, ids
+
+
+def _coverage_fingerprint(report) -> bytes:
+    return json.dumps({
+        "ontology": report.ontology,
+        "n_materials": report.n_materials,
+        "direct": sorted(report.direct_counts.items()),
+        "rollup": sorted(report.rollup_counts.items()),
+        "covered": sorted(report.covered_material_ids),
+    }, sort_keys=True).encode()
+
+
+def test_cached_coverage_speedup_at_scale(big_repo, cache_enabled):
+    """Warm cached coverage must beat a cold pass ≥10× at n=10⁴, with
+    byte-identical output."""
+    if not cache_enabled:
+        pytest.skip("CARCS_CACHE=off: measuring cold paths only")
+    repo, _ = big_repo
+    repo.cache.clear()
+
+    t0 = time.perf_counter()
+    cold = compute_coverage(repo, "CS13", collection="bulk")
+    cold_s = time.perf_counter() - t0
+
+    warm_s = float("inf")
+    for _ in range(3):  # best-of-3 to keep the assertion scheduler-proof
+        t0 = time.perf_counter()
+        warm = compute_coverage(repo, "CS13", collection="bulk")
+        warm_s = min(warm_s, time.perf_counter() - t0)
+
+    assert warm is cold  # a hit returns the shared report
+    repo.cache.enabled = False
+    try:
+        fresh = compute_coverage(repo, "CS13", collection="bulk")
+    finally:
+        repo.cache.enabled = True
+    assert _coverage_fingerprint(warm) == _coverage_fingerprint(fresh)
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    print(f"\nSCALE cached coverage n={CACHE_SCALE_N}: "
+          f"cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e6:.1f} µs, "
+          f"{speedup:,.0f}x")
+    assert cold_s >= 10 * warm_s, (
+        f"warm cache only {speedup:.1f}x faster (cold {cold_s:.4f}s, "
+        f"warm {warm_s:.4f}s)"
+    )
+
+
+def test_cached_similarity_speedup_on_subset(big_repo, cache_enabled):
+    """Similarity is quadratic, so the warm path is benched on a 500-id
+    subset of the 10⁴ corpus (full n² would dominate the suite)."""
+    if not cache_enabled:
+        pytest.skip("CARCS_CACHE=off: measuring cold paths only")
+    repo, ids = big_repo
+    subset = ids[:500]
+    repo.cache.clear()
+
+    t0 = time.perf_counter()
+    cold = similarity_graph(repo, subset, threshold=2)
+    cold_s = time.perf_counter() - t0
+
+    warm_s = float("inf")
+    for _ in range(3):  # warm time is dominated by the defensive graph copy
+        t0 = time.perf_counter()
+        warm = similarity_graph(repo, subset, threshold=2)
+        warm_s = min(warm_s, time.perf_counter() - t0)
+
+    assert set(warm.nodes) == set(cold.nodes)
+    assert set(map(frozenset, warm.edges)) == set(map(frozenset, cold.edges))
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    print(f"\nSCALE cached similarity n=500: "
+          f"cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.2f} ms, "
+          f"{speedup:,.0f}x")
+    assert cold_s >= 10 * warm_s
+
+
+def test_cache_hit_rate_under_read_heavy_load(big_repo, cache_enabled):
+    """The ROADMAP's read-heavy deployment shape: many reads per write.
+    Documents the hit rate the ETag/analytics layer sustains."""
+    if not cache_enabled:
+        pytest.skip("CARCS_CACHE=off")
+    repo, ids = big_repo
+    repo.cache.clear()
+    for round_no in range(5):
+        for _ in range(20):
+            compute_coverage(repo, "CS13", collection="bulk")
+        repo.classify(ids[round_no], "CS13", K.PD_PATTERNS)
+    stats = repo.cache.stats
+    print(f"\nSCALE cache hit rate (100 reads / 5 writes): "
+          f"{stats.hit_rate:.1%} ({stats.hits} hits, {stats.misses} misses, "
+          f"{stats.invalidations} invalidations)")
+    assert stats.hit_rate > 0.9
 
 
 def test_insert_throughput(benchmark):

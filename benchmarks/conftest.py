@@ -9,8 +9,25 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import cache as cache_mod
 from repro.corpus.seed import seed_all
 from repro.corpus import collection_ids
+
+
+def pytest_configure(config):
+    # Honour CARCS_CACHE even if some import flipped the flag earlier:
+    # `CARCS_CACHE=off pytest benchmarks/` measures every analysis cold.
+    cache_mod.reset_global_enabled()
+
+
+def pytest_report_header(config):
+    state = "on" if cache_mod.global_enabled() else "off"
+    return f"analytics cache: {state} (set {cache_mod.ENV_FLAG}=off to disable)"
+
+
+@pytest.fixture(scope="session")
+def cache_enabled() -> bool:
+    return cache_mod.global_enabled()
 
 
 @pytest.fixture(scope="session")

@@ -5,6 +5,7 @@ and the analyses built on them (coverage, similarity, gaps, search,
 recommendation, reports).
 """
 
+from .cache import AnalyticsCache, CacheStats, Memo
 from .classification import (
     ClassificationItem,
     ClassificationSet,
@@ -40,7 +41,9 @@ from .similarity import (
 )
 
 __all__ = [
+    "AnalyticsCache",
     "BloomLevel",
+    "CacheStats",
     "ClassReport",
     "ClassificationItem",
     "ClassificationSet",
@@ -54,6 +57,7 @@ __all__ = [
     "Material",
     "MaterialKind",
     "MaterialVectorSpace",
+    "Memo",
     "NodeKind",
     "Ontology",
     "OntologyNode",

@@ -1,0 +1,253 @@
+"""Mutation-versioned memoization for repository analytics.
+
+Coverage, similarity, search and recommendation all run full passes over
+the classification pairs; on a read-heavy deployment (the paper's hosted
+prototype, the ROADMAP's production target) the repository mutates rarely
+between those reads, so the passes are almost always recomputing an
+identical answer.  :class:`AnalyticsCache` memoizes such results keyed on
+``(function, arguments, versions of the tables the function reads)``.
+The version counters live in :mod:`repro.db` and are bumped on every
+committed mutation, so invalidation is automatic and exact: a cached
+entry is served only while every table it was derived from is untouched.
+
+Correctness rules:
+
+* **Transactions bypass the cache entirely** (both lookups and stores).
+  Rollback restores version counters, so a value computed from
+  uncommitted state could otherwise be served later under a re-used
+  version number.  Outside transactions versions are strictly monotonic.
+* Cached values are **shared**: callers must treat them as read-only.
+  Call sites whose callers historically mutated results pass ``copy=`` so
+  every lookup returns a private copy.
+* The cache is LRU-bounded (``maxsize`` distinct keys); stale entries are
+  replaced in place and counted as invalidations.
+
+The global kill switch honours the ``CARCS_CACHE`` environment variable
+(``CARCS_CACHE=off`` disables every cache in the process) so benchmarks
+can measure cold behaviour without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db import Database
+
+ENV_FLAG = "CARCS_CACHE"
+_FALSEY = {"off", "0", "false", "no", "disabled"}
+
+
+def env_enabled() -> bool:
+    """Does the ``CARCS_CACHE`` environment variable allow caching?"""
+    return os.environ.get(ENV_FLAG, "on").strip().lower() not in _FALSEY
+
+
+_GLOBAL_ENABLED = env_enabled()
+
+
+def set_global_enabled(on: bool) -> None:
+    """Process-wide override (used by the benchmark harness)."""
+    global _GLOBAL_ENABLED
+    _GLOBAL_ENABLED = bool(on)
+
+
+def global_enabled() -> bool:
+    return _GLOBAL_ENABLED
+
+
+def reset_global_enabled() -> None:
+    """Re-derive the process-wide flag from the environment."""
+    set_global_enabled(env_enabled())
+
+
+def freeze(value: Any) -> Any:
+    """Canonical hashable form of ``value`` (for cache keys).
+
+    Lists/tuples become tuples, sets frozensets, dicts sorted item
+    tuples; everything else must already be hashable.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+    return value
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed through ``Repository.stats()`` and ``/stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0   # stale entry replaced by a fresh recompute
+    evictions: int = 0       # LRU bound enforced
+    bypasses: int = 0        # disabled or inside a transaction
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.invalidations
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = 0
+        self.evictions = self.bypasses = 0
+
+
+class AnalyticsCache:
+    """LRU memo keyed on ``(function, args, relevant table versions)``."""
+
+    def __init__(self, db: "Database", *, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.db = db
+        self.maxsize = maxsize
+        self.enabled = True
+        self.stats = CacheStats()
+        # (name, frozen key) -> (table-version tuple, value)
+        self._entries: "OrderedDict[tuple, tuple[tuple, Any]]" = OrderedDict()
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[tuple]:
+        return list(self._entries)
+
+    @property
+    def active(self) -> bool:
+        return self.enabled and global_enabled()
+
+    # -- core -------------------------------------------------------------
+
+    def table_versions(self, tables: Sequence[str]) -> tuple:
+        """Current version of each dependency table (-1 when dropped)."""
+        out = []
+        for name in tables:
+            table = self.db._tables.get(name)
+            out.append(table.version if table is not None else -1)
+        return tuple(out)
+
+    def get_or_compute(
+        self,
+        name: str,
+        key: Any,
+        tables: Sequence[str],
+        compute: Callable[[], Any],
+        *,
+        copy: Callable[[Any], Any] | None = None,
+    ) -> Any:
+        """Return the memoized result of ``compute``.
+
+        ``name`` identifies the computation (usually the qualified
+        function name), ``key`` its arguments, and ``tables`` the tables
+        whose mutation would change the answer.  ``copy``, when given, is
+        applied to the stored value on *every* return so callers can
+        safely mutate what they receive.
+        """
+        if not self.active or self.db.in_transaction:
+            # Inside a transaction versions are not yet durable (rollback
+            # restores them), so neither lookups nor stores are safe.
+            self.stats.bypasses += 1
+            return compute()
+        versions = self.table_versions(tables)
+        full_key = (name, freeze(key))
+        entry = self._entries.get(full_key)
+        if entry is not None and entry[0] == versions:
+            self.stats.hits += 1
+            self._entries.move_to_end(full_key)
+            value = entry[1]
+            return copy(value) if copy is not None else value
+        value = compute()
+        if entry is not None:
+            self.stats.invalidations += 1
+        else:
+            self.stats.misses += 1
+        self._entries[full_key] = (versions, value)
+        self._entries.move_to_end(full_key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return copy(value) if copy is not None else value
+
+    # -- maintenance ------------------------------------------------------
+
+    def invalidate(self, name: str | None = None) -> int:
+        """Drop entries (all of them, or those of one function name)."""
+        if name is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        victims = [k for k in self._entries if k[0] == name]
+        for k in victims:
+            del self._entries[k]
+        return len(victims)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.stats.reset()
+
+
+class Memo:
+    """Decorator memoizing a method through its owner's ``cache`` attribute.
+
+    ::
+
+        class Repository:
+            @Memo("materials", "material_classifications")
+            def classification_pairs(self, collection=None): ...
+
+    The wrapped call becomes an :class:`AnalyticsCache` lookup keyed on
+    the method's qualified name and its (frozen) arguments, depending on
+    the named tables.  Owners without a cache attribute fall through to a
+    plain call, so the decorator is inert on detached objects.
+    """
+
+    def __init__(
+        self,
+        *tables: str,
+        cache_attr: str = "cache",
+        copy: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.tables = tables
+        self.cache_attr = cache_attr
+        self.copy = copy
+
+    def __call__(self, fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(owner: Any, *args: Any, **kwargs: Any) -> Any:
+            cache = getattr(owner, self.cache_attr, None)
+            if cache is None:
+                return fn(owner, *args, **kwargs)
+            key = (args, tuple(sorted(kwargs.items())))
+            return cache.get_or_compute(
+                fn.__qualname__,
+                key,
+                self.tables,
+                lambda: fn(owner, *args, **kwargs),
+                copy=self.copy,
+            )
+
+        wrapper.__wrapped__ = fn
+        return wrapper

@@ -134,6 +134,10 @@ class CoverageReport:
         return root
 
 
+# Tables whose mutation changes a coverage answer.
+_COVERAGE_TABLES = ("material_classifications", "ontology_entries", "materials")
+
+
 def compute_coverage(
     repo: Repository,
     ontology_name: str,
@@ -142,7 +146,33 @@ def compute_coverage(
     material_ids: Iterable[int] | None = None,
 ) -> CoverageReport:
     """Coverage of a material set (a collection, explicit ids, or all
-    materials) against one ontology."""
+    materials) against one ontology.
+
+    Results are memoized through ``repo.cache`` keyed on the
+    classification tables' mutation versions (the ``material_ids`` form
+    is not cached: ad-hoc id sets rarely repeat).  Cached reports are
+    shared — treat them as read-only.
+    """
+    cache = getattr(repo, "cache", None)
+    if cache is None or material_ids is not None:
+        return _compute_coverage(
+            repo, ontology_name, collection=collection, material_ids=material_ids
+        )
+    return cache.get_or_compute(
+        "compute_coverage",
+        (ontology_name, collection),
+        _COVERAGE_TABLES,
+        lambda: _compute_coverage(repo, ontology_name, collection=collection),
+    )
+
+
+def _compute_coverage(
+    repo: Repository,
+    ontology_name: str,
+    *,
+    collection: str | None = None,
+    material_ids: Iterable[int] | None = None,
+) -> CoverageReport:
     onto = repo.ontology(ontology_name)
     wanted = set(material_ids) if material_ids is not None else None
 

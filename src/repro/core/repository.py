@@ -20,9 +20,16 @@ from typing import Iterable, Mapping
 from repro.db import Column, Database, ForeignKey, ManyToMany, TableSchema
 from repro.db.errors import RowNotFound
 
+from .cache import AnalyticsCache, Memo
 from .classification import ClassificationSet, validate_against
 from .material import CourseLevel, Material, MaterialKind, normalize_authors
 from .ontology import BloomLevel, NodeKind, Ontology, Tier
+
+# Tables whose mutation changes the classification-pair export (and with
+# it every coverage/similarity/recommendation result derived from it).
+_CLASSIFICATION_TABLES = (
+    "material_classifications", "ontology_entries", "materials",
+)
 
 
 class Role(enum.Enum):
@@ -50,6 +57,20 @@ class Repository:
         self.db = db if db is not None else Database("carcs")
         self._ontologies: dict[str, Ontology] = {}
         self._create_schema()
+        # Version-keyed memo for the analytics hot paths (coverage,
+        # similarity, recommendation, classification-pair export).
+        self.cache = AnalyticsCache(self.db)
+        self._search_engine = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter of the underlying database.
+
+        Any committed insert/update/delete (materials, classifications,
+        users, …) bumps it; rollback restores it.  The web layer derives
+        HTTP ETags from this value.
+        """
+        return self.db.version
 
     # ------------------------------------------------------------------ DDL
 
@@ -116,6 +137,7 @@ class Repository:
         ))
         db.table("ontology_entries").create_index("ontology")
         db.table("ontology_entries").create_index("parent_key")
+        db.table("ontology_entries").create_index("key")  # entry_id() hot path
         db.table("materials").create_index("collection")
 
         self.material_authors = ManyToMany(db, "material_authors", "materials", "authors")
@@ -369,11 +391,15 @@ class Repository:
         mids = sorted(self.material_classifications.left_of(eid))
         return [self.get_material(mid) for mid in mids]
 
+    @Memo(*_CLASSIFICATION_TABLES, copy=list)
     def classification_pairs(
         self, collection: str | None = None
     ) -> list[tuple[int, str]]:
         """(material_id, ontology key) pairs — the bulk export the
-        coverage/similarity analyses consume in one pass."""
+        coverage/similarity analyses consume in one pass.
+
+        Memoized on the classification tables' versions; callers get a
+        fresh list (the pairs themselves are immutable tuples)."""
         entries = self.db.table("ontology_entries")
         wanted: set[int] | None = None
         if collection is not None:
@@ -497,10 +523,73 @@ class Repository:
                 self.declassify(sug["material_id"], sug["ontology_key"])
         return status
 
+    # ------------------------------------------------- cached analytics
+
+    def coverage(self, ontology_name: str, *, collection: str | None = None,
+                 material_ids: Iterable[int] | None = None):
+        """Memoized :func:`repro.core.coverage.compute_coverage`.
+
+        Treat the returned report as read-only: hits share one object.
+        """
+        from .coverage import compute_coverage
+
+        return compute_coverage(
+            self, ontology_name,
+            collection=collection, material_ids=material_ids,
+        )
+
+    def similarity(self, left_ids, right_ids=None, *, threshold: int = 2,
+                   ontologies: Iterable[str] | None = None,
+                   left_group: str = "left", right_group: str = "right"):
+        """Memoized :func:`repro.core.similarity.similarity_graph`.
+
+        Every call returns a private copy of the cached graph, so callers
+        may annotate or mutate it freely.
+        """
+        from .similarity import similarity_graph
+
+        return similarity_graph(
+            self, left_ids, right_ids,
+            threshold=threshold, ontologies=ontologies,
+            left_group=left_group, right_group=right_group,
+        )
+
+    def search_engine(self):
+        """The repository's shared, version-tracking search engine."""
+        from .search import SearchEngine
+
+        if self._search_engine is None:
+            self._search_engine = SearchEngine(self)
+        return self._search_engine
+
+    def search(self, text: str = "", filters=None, *, limit: int = 20):
+        """Facet + full-text search; the TF-IDF index rebuilds only when
+        the repository version has moved since the last query."""
+        return self.search_engine().search(text, filters, limit=limit)
+
+    def recommender(self):
+        """A fitted :class:`~repro.core.recommend.HybridRecommender`,
+        memoized until the classification tables mutate (fitting is the
+        dominant cost of the ``/recommend`` endpoint)."""
+        from .recommend import HybridRecommender
+
+        return self.cache.get_or_compute(
+            "Repository.recommender", (), _CLASSIFICATION_TABLES,
+            lambda: HybridRecommender(self).fit(),
+        )
+
+    def recommend(self, text: str = "", selected=(), *, top: int = 10):
+        return self.recommender().recommend(text, selected, top=top)
+
     # ------------------------------------------------------------- summary
 
     def stats(self) -> dict[str, int]:
-        """Row counts of the main tables (used by reports and benches)."""
+        """Row counts of the main tables (used by reports and benches),
+        plus the repository version and the analytics-cache counters."""
         base = self.db.stats()
         base["classification_links"] = len(self.material_classifications)
+        base["version"] = self.db.version
+        base["cache_entries"] = len(self.cache)
+        for key, value in self.cache.stats.as_dict().items():
+            base[f"cache_{key}"] = value
         return base

@@ -73,7 +73,10 @@ class SearchEngine:
     """Combined facet + full-text search over one repository.
 
     The TF-IDF index is built lazily from material titles/descriptions and
-    invalidated explicitly (:meth:`refresh`) after bulk changes.
+    rebuilt automatically whenever the repository's mutation version has
+    moved since the last query — no manual invalidation needed (the old
+    row-count heuristic missed in-place edits such as a PATCHed title).
+    :meth:`refresh` remains available to force an eager rebuild.
     """
 
     def __init__(self, repo: Repository) -> None:
@@ -81,6 +84,7 @@ class SearchEngine:
         self._materials: list[Material] = []
         self._vectorizer: TfidfVectorizer | None = None
         self._matrix: np.ndarray | None = None
+        self._indexed_version: int | None = None
 
     def refresh(self) -> None:
         self._materials = self.repo.materials()
@@ -91,9 +95,15 @@ class SearchEngine:
         else:
             self._vectorizer = None
             self._matrix = None
+        self._indexed_version = getattr(self.repo, "version", None)
 
     def _ensure_index(self) -> None:
-        if self._vectorizer is None or len(self._materials) != self.repo.material_count():
+        version = getattr(self.repo, "version", None)
+        if (
+            self._indexed_version is None
+            or version is None
+            or version != self._indexed_version
+        ):
             self.refresh()
 
     def _subtree_sets(self, filters: SearchFilters) -> list[frozenset[str]]:

@@ -111,6 +111,11 @@ class SimilarityEdge:
     shared_keys: tuple[str, ...]
 
 
+# Tables whose mutation changes a similarity answer (titles come from
+# materials; the incidence matrix from the classification link tables).
+_SIMILARITY_TABLES = ("material_classifications", "ontology_entries", "materials")
+
+
 def similarity_graph(
     repo: Repository,
     left_ids: Sequence[int],
@@ -128,9 +133,47 @@ def similarity_graph(
     classification items (edge attributes: ``shared`` count and the
     ``shared_keys`` themselves).  With ``right_ids=None`` the graph is
     built within one set (self-pairs excluded).
+
+    Results are memoized through ``repo.cache`` on the classification
+    tables' mutation versions; every call returns a private
+    ``Graph.copy()`` so callers may annotate the graph freely.
     """
     if threshold < 1:
         raise ValueError("threshold must be >= 1")
+    cache = getattr(repo, "cache", None)
+    if cache is None:
+        return _similarity_graph(
+            repo, left_ids, right_ids, threshold=threshold,
+            ontologies=ontologies, left_group=left_group, right_group=right_group,
+        )
+    key = (
+        tuple(left_ids),
+        tuple(right_ids) if right_ids is not None else None,
+        threshold,
+        tuple(sorted(ontologies)) if ontologies is not None else None,
+        left_group,
+        right_group,
+    )
+    return cache.get_or_compute(
+        "similarity_graph", key, _SIMILARITY_TABLES,
+        lambda: _similarity_graph(
+            repo, left_ids, right_ids, threshold=threshold,
+            ontologies=ontologies, left_group=left_group, right_group=right_group,
+        ),
+        copy=lambda g: g.copy(),
+    )
+
+
+def _similarity_graph(
+    repo: Repository,
+    left_ids: Sequence[int],
+    right_ids: Sequence[int] | None = None,
+    *,
+    threshold: int = 2,
+    ontologies: Iterable[str] | None = None,
+    left_group: str = "left",
+    right_group: str = "right",
+) -> nx.Graph:
     cross = right_ids is not None
     a = incidence(repo, left_ids, ontologies=ontologies)
     b = incidence(repo, right_ids, ontologies=ontologies) if cross else None

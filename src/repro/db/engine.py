@@ -3,15 +3,26 @@
 This is the drop-in substrate for the paper's PostgreSQL instance.  It is
 deliberately small but honest: foreign keys are enforced on insert, update
 and delete (with RESTRICT/CASCADE semantics), and transactions provide
-all-or-nothing rollback via copy-on-begin snapshots — sufficient for the
-editorial workflows CAR-CS describes (editors fixing classifications,
-rejecting submissions, bulk seeding).
+all-or-nothing rollback — sufficient for the editorial workflows CAR-CS
+describes (editors fixing classifications, rejecting submissions, bulk
+seeding).
+
+Rollback is implemented with an **undo journal** rather than the previous
+copy-on-begin snapshots: ``_begin`` is O(1), each mutation appends its
+inverse operation to the active frame, and rollback replays the frame in
+reverse.  This makes transaction cost proportional to the work done inside
+the transaction instead of the size of the whole database — the change
+that lets bulk seeding of 10^4-material corpora stay linear.
+
+The database also exposes a **monotonic version counter** (one bump per
+committed mutation across all tables, restored on rollback) plus per-table
+versions; the analytics cache and the HTTP ETag layer key on these.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from .errors import (
     ForeignKeyError,
@@ -29,7 +40,34 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._tx_depth = 0
-        self._tx_snapshots: list[dict[str, dict[str, Any]]] = []
+        # Stack of transaction frames; each frame is a list of undo
+        # closures appended by Table mutations and DDL, replayed in
+        # reverse on rollback.
+        self._tx_journal: list[list[Callable[[], None]]] = []
+        # Database-wide mutation counter: bumped once per committed
+        # insert/update/delete on any table (and on DDL), rolled back with
+        # aborted transactions.  The cheap freshness token for caches.
+        self._version = 0
+
+    # -- versions -------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter over all tables (DDL included)."""
+        return self._version
+
+    def table_versions(self) -> dict[str, int]:
+        """Per-table mutation counters, sorted by table name."""
+        return {name: t.version for name, t in sorted(self._tables.items())}
+
+    def _record(self, undo: Callable[[], None]) -> None:
+        if self._tx_journal:
+            self._tx_journal[-1].append(undo)
+
+    def _bump_ddl(self) -> None:
+        prev = self._version
+        self._version += 1
+        self._record(lambda: setattr(self, "_version", prev))
 
     # -- DDL ----------------------------------------------------------------
 
@@ -43,7 +81,11 @@ class Database:
                     f"{fk.ref_table!r} (create referenced tables first)"
                 )
         table = Table(schema)
+        table._db = self
         self._tables[schema.name] = table
+        # Tables created inside an aborted transaction vanish on rollback.
+        self._record(lambda: self._tables.pop(schema.name, None))
+        self._bump_ddl()
         # Index FK columns automatically: reverse lookups (who references
         # this row?) dominate delete checks and join traversals.
         for fk in schema.foreign_keys:
@@ -61,7 +103,10 @@ class Database:
                     raise SchemaError(
                         f"cannot drop {name!r}: referenced by {other.name!r}"
                     )
-        del self._tables[name]
+        table = self._tables.pop(name)
+        # A table dropped inside an aborted transaction comes back intact.
+        self._record(lambda: self._tables.__setitem__(name, table))
+        self._bump_ddl()
 
     def table(self, name: str) -> Table:
         try:
@@ -77,13 +122,20 @@ class Database:
 
     # -- DML with FK enforcement ---------------------------------------------
 
+    def _ref_exists(self, ref: Table, column: str, value: Any) -> bool:
+        # FKs overwhelmingly target the primary key: O(1) containment
+        # beats a table scan (the 10⁴-material seeding path).
+        if column == ref.schema.primary_key:
+            return value in ref._rows
+        return ref.find_one(**{column: value}) is not None
+
     def _check_fks_outbound(self, table: Table, row: dict[str, Any]) -> None:
         for fk in table.schema.foreign_keys:
             value = row.get(fk.column)
             if value is None:
                 continue
             ref = self.table(fk.ref_table)
-            if ref.find_one(**{fk.ref_column: value}) is None:
+            if not self._ref_exists(ref, fk.ref_column, value):
                 raise ForeignKeyError(
                     f"{table.name}.{fk.column}={value!r} references missing "
                     f"{fk.ref_table}.{fk.ref_column}"
@@ -103,7 +155,7 @@ class Database:
             fk = fk_cols.get(name)
             if fk is not None and value is not None:
                 ref = self.table(fk.ref_table)
-                if ref.find_one(**{fk.ref_column: value}) is None:
+                if not self._ref_exists(ref, fk.ref_column, value):
                     raise ForeignKeyError(
                         f"{table_name}.{name}={value!r} references missing "
                         f"{fk.ref_table}.{fk.ref_column}"
@@ -147,26 +199,26 @@ class Database:
             self._commit()
 
     def _begin(self) -> None:
-        self._tx_snapshots.append(
-            {name: t._snapshot() for name, t in self._tables.items()}
-        )
+        self._tx_journal.append([])
         self._tx_depth += 1
 
     def _commit(self) -> None:
         if self._tx_depth == 0:
             raise TransactionError("commit without begin")
+        frame = self._tx_journal.pop()
         self._tx_depth -= 1
-        self._tx_snapshots.pop()
+        if self._tx_journal:
+            # Savepoint semantics: an outer rollback must still undo the
+            # work committed by this inner transaction.
+            self._tx_journal[-1].extend(frame)
 
     def _rollback(self) -> None:
         if self._tx_depth == 0:
             raise TransactionError("rollback without begin")
-        snap = self._tx_snapshots.pop()
+        frame = self._tx_journal.pop()
         self._tx_depth -= 1
-        # Tables created inside the transaction vanish on rollback.
-        self._tables = {name: self._tables[name] for name in snap}
-        for name, table_snap in snap.items():
-            self._tables[name]._restore(table_snap)
+        for undo in reversed(frame):
+            undo()
 
     @property
     def in_transaction(self) -> bool:
@@ -175,5 +227,10 @@ class Database:
     # -- stats ------------------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
-        """Row count per table (handy in reports and benchmarks)."""
+        """Row count per table (handy in reports and benchmarks).
+
+        Mutation versions are reported separately by
+        :meth:`table_versions` / :attr:`version` so the row-count mapping
+        keeps its historical shape.
+        """
         return {name: len(t) for name, t in sorted(self._tables.items())}

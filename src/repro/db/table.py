@@ -5,6 +5,16 @@ Secondary indexes are ordinary hash indexes (``value -> set of pks``)
 maintained incrementally on every write, which keeps equality lookups O(1)
 for the hot paths in CAR-CS (all the many-to-many join traversals behind
 coverage and similarity computations).
+
+Every table carries a **mutation version**: a monotonic counter bumped on
+each successful insert/update/delete.  The analytics cache
+(:mod:`repro.core.cache`) keys memoized results on these versions, so a
+result is reusable exactly as long as the tables it was derived from are
+untouched.  Inside a :meth:`repro.db.engine.Database.transaction`, each
+mutation also records an **undo closure** in the transaction journal;
+rollback replays the closures in reverse, restoring rows, unique and
+secondary indexes, the id sequence and the version counters to their
+pre-transaction state in O(ops) rather than O(table size).
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from .schema import Column, TableSchema
 
 
 class Table:
-    """One table: schema + rows + indexes.
+    """One table: schema + rows + indexes + mutation version.
 
     Not constructed directly in application code — use
     :meth:`repro.db.engine.Database.create_table`.
@@ -37,12 +47,22 @@ class Table:
         }
         # secondary hash indexes: column -> {value: set(pk)}
         self._indexes: dict[str, dict[Any, set]] = {}
+        # Monotonic mutation counter (rolled back with aborted transactions).
+        self._version = 0
+        # Owning database, set by Database.create_table; enables transaction
+        # journaling and the database-wide version counter.
+        self._db: Any = None
 
     # -- introspection ----------------------------------------------------
 
     @property
     def name(self) -> str:
         return self.schema.name
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped once per committed insert/update/delete."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -67,9 +87,59 @@ class Table:
         for pk, row in self._rows.items():
             index.setdefault(row[column], set()).add(pk)
         self._indexes[column] = index
+        # DDL is transactional (as in PostgreSQL): an index created inside
+        # an aborted transaction vanishes.
+        self._journal(lambda: self._indexes.pop(column, None))
 
     def has_index(self, column: str) -> bool:
         return column in self._indexes
+
+    # -- transaction journal ----------------------------------------------
+
+    def _journal(self, undo: Callable[[], None]) -> None:
+        """Record ``undo`` in the active transaction frame, if any."""
+        db = self._db
+        if db is not None and db._tx_journal:
+            db._tx_journal[-1].append(undo)
+
+    def _record_mutation(self, undo_data: Callable[[], None]) -> None:
+        """Bump version counters and journal the inverse operation."""
+        prev_version = self._version
+        self._version += 1
+        db = self._db
+        if db is None:
+            return
+        prev_db_version = db._version
+        db._version += 1
+        if db._tx_journal:
+            def undo() -> None:
+                undo_data()
+                self._version = prev_version
+                db._version = prev_db_version
+
+            db._tx_journal[-1].append(undo)
+
+    # -- raw storage ops (no checks, no journaling; used by undo) ----------
+
+    def _raw_remove(self, pk: Any, row: dict[str, Any]) -> None:
+        """Drop ``pk`` from rows, unique and secondary indexes."""
+        del self._rows[pk]
+        for group, index in self._unique.items():
+            index.pop(self._unique_key(group, row), None)
+        for column, index2 in self._indexes.items():
+            bucket = index2.get(row[column])
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del index2[row[column]]
+
+    def _raw_put(self, pk: Any, row: dict[str, Any]) -> None:
+        """Re-add ``row`` under ``pk`` to rows, unique and secondary indexes."""
+        self._rows[pk] = row
+        for group, index in self._unique.items():
+            index[self._unique_key(group, row)] = pk
+        for column, index2 in self._indexes.items():
+            index2.setdefault(row[column], set()).add(pk)
 
     # -- writes -----------------------------------------------------------
 
@@ -109,13 +179,16 @@ class Table:
                     f"unique constraint {group} violated in {self.name!r}: {key!r}"
                 )
         # All checks passed: commit to storage and indexes.
-        self._rows[pk] = row
+        prev_next_id = self._next_id
+        self._raw_put(pk, row)
         if isinstance(pk, int) and pk >= self._next_id:
             self._next_id = pk + 1
-        for group, index in self._unique.items():
-            index[self._unique_key(group, row)] = pk
-        for column, index2 in self._indexes.items():
-            index2.setdefault(row[column], set()).add(pk)
+
+        def undo() -> None:
+            self._raw_remove(pk, row)
+            self._next_id = prev_next_id
+
+        self._record_mutation(undo)
         return dict(row)
 
     def update(self, pk: Any, **changes: Any) -> dict[str, Any]:
@@ -146,21 +219,24 @@ class Table:
                     del index2[old[column]]
                 index2.setdefault(new[column], set()).add(pk)
         self._rows[pk] = new
+
+        def undo() -> None:
+            self._raw_remove(pk, new)
+            self._raw_put(pk, old)
+
+        self._record_mutation(undo)
         return dict(new)
 
     def delete(self, pk: Any) -> dict[str, Any]:
         """Remove and return the row with primary key ``pk``."""
         if pk not in self._rows:
             raise RowNotFound(f"{self.name!r} has no row with pk {pk!r}")
-        row = self._rows.pop(pk)
-        for group, index in self._unique.items():
-            index.pop(self._unique_key(group, row), None)
-        for column, index2 in self._indexes.items():
-            bucket = index2.get(row[column])
-            if bucket is not None:
-                bucket.discard(pk)
-                if not bucket:
-                    del index2[row[column]]
+        row = self._rows[pk]
+        self._raw_remove(pk, row)
+        # Journal a private copy: the popped dict is handed to the caller,
+        # who may mutate it before a rollback replays the undo.
+        saved = dict(row)
+        self._record_mutation(lambda: self._raw_put(pk, saved))
         return row
 
     # -- reads ------------------------------------------------------------
@@ -214,19 +290,3 @@ class Table:
     def column_values(self, column: str) -> list[Any]:
         self.schema.column(column)
         return [row[column] for row in self._rows.values()]
-
-    # -- snapshot / restore (transaction support) ---------------------------
-
-    def _snapshot(self) -> dict[str, Any]:
-        return {
-            "rows": {pk: dict(r) for pk, r in self._rows.items()},
-            "next_id": self._next_id,
-            "unique": {g: dict(ix) for g, ix in self._unique.items()},
-            "indexes": {c: {v: set(s) for v, s in ix.items()} for c, ix in self._indexes.items()},
-        }
-
-    def _restore(self, snap: dict[str, Any]) -> None:
-        self._rows = {pk: dict(r) for pk, r in snap["rows"].items()}
-        self._next_id = snap["next_id"]
-        self._unique = {g: dict(ix) for g, ix in snap["unique"].items()}
-        self._indexes = {c: {v: set(s) for v, s in ix.items()} for c, ix in snap["indexes"].items()}

@@ -12,16 +12,20 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.classification import ClassificationSet
-from repro.core.coverage import compute_coverage
 from repro.core.gaps import find_gaps
 from repro.core.material import CourseLevel, Material, MaterialKind
 from repro.core.ontology import BloomLevel
-from repro.core.recommend import HybridRecommender
 from repro.core.repository import Repository
-from repro.core.search import SearchEngine, SearchFilters
-from repro.core.similarity import similarity_graph
+from repro.core.search import SearchFilters
 
-from .http import HttpError, Request, Response, json_response
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    etag_matches,
+    json_response,
+    not_modified,
+)
 from .router import Router
 
 
@@ -50,16 +54,34 @@ def _material_payload(repo: Repository, material: Material) -> dict[str, Any]:
 
 
 class CarCsApi:
-    """Application object: a router bound to one repository."""
+    """Application object: a router bound to one repository.
+
+    Every successful GET carries an ``ETag`` derived from the repository's
+    mutation version; a GET with a matching ``If-None-Match`` validator
+    short-circuits to an empty ``304 Not Modified`` *before* dispatch, so
+    HTTP clients polling ``/coverage`` or ``/similarity`` between
+    mutations cost neither recomputation nor payload bytes.
+    """
 
     def __init__(self, repo: Repository) -> None:
         self.repo = repo
         self.router = Router()
-        self._search = SearchEngine(repo)
+        self._search = repo.search_engine()
         self._register()
 
+    def _etag(self) -> str:
+        return f'"carcs-v{self.repo.version}"'
+
     def __call__(self, request: Request) -> Response:
-        return self.router.dispatch(request)
+        if request.method != "GET":
+            return self.router.dispatch(request)
+        etag = self._etag()
+        if etag_matches(request.header("if-none-match"), etag):
+            return not_modified(etag)
+        response = self.router.dispatch(request)
+        if response.ok:
+            response.headers.setdefault("etag", etag)
+        return response
 
     # ------------------------------------------------------------ helpers
 
@@ -161,7 +183,6 @@ class CarCsApi:
                 stored = self.repo.add_material(material, cs)
             except (ValueError, KeyError) as exc:
                 raise HttpError(400, str(exc))
-            self._search.refresh()
             return json_response(_material_payload(self.repo, stored), status=201)
 
         @router.route("GET", "/assignments/<int:id>")
@@ -179,7 +200,6 @@ class CarCsApi:
                 raise HttpError(400, f"nothing to update; allowed: {sorted(allowed)}")
             assert material.id is not None
             updated = self.repo.update_material(material.id, **changes)
-            self._search.refresh()
             return json_response(_material_payload(self.repo, updated))
 
         @router.route("DELETE", "/assignments/<int:id>")
@@ -187,7 +207,6 @@ class CarCsApi:
             material = self._material_or_404(request)
             assert material.id is not None
             self.repo.delete_material(material.id)
-            self._search.refresh()
             return json_response({"deleted": material.id})
 
         @router.route("POST", "/assignments/<int:id>/classifications")
@@ -263,7 +282,7 @@ class CarCsApi:
             except KeyError as exc:
                 raise HttpError(404, str(exc))
             self._collection_ids(collection)  # 404 on unknown collection
-            report = compute_coverage(self.repo, ontology, collection=collection)
+            report = self.repo.coverage(ontology, collection=collection)
             return json_response({
                 "collection": collection,
                 "ontology": ontology,
@@ -282,8 +301,7 @@ class CarCsApi:
             if not left or not right:
                 raise HttpError(400, "'left' and 'right' collections are required")
             threshold = request.query_int("threshold", 2) or 2
-            graph = similarity_graph(
-                self.repo,
+            graph = self.repo.similarity(
                 self._collection_ids(left),
                 self._collection_ids(right),
                 threshold=threshold,
@@ -317,8 +335,8 @@ class CarCsApi:
                 raise HttpError(404, str(exc))
             self._collection_ids(reference)
             self._collection_ids(candidate)
-            ref = compute_coverage(self.repo, ontology, collection=reference)
-            cand = compute_coverage(self.repo, ontology, collection=candidate)
+            ref = self.repo.coverage(ontology, collection=reference)
+            cand = self.repo.coverage(ontology, collection=candidate)
             report = find_gaps(
                 onto, ref, cand,
                 reference_name=reference, candidate_name=candidate,
@@ -345,8 +363,9 @@ class CarCsApi:
             selected = body.get("selected", [])
             if not text and not selected:
                 raise HttpError(400, "'text' or 'selected' is required")
-            recommender = HybridRecommender(self.repo).fit()
-            recs = recommender.recommend(text, selected, top=body.get("top", 10))
+            # The fitted recommender is memoized in the repository cache
+            # until the classification tables mutate.
+            recs = self.repo.recommend(text, selected, top=body.get("top", 10))
             return json_response({
                 "suggestions": [
                     {"key": r.key, "score": r.score, "source": r.source}

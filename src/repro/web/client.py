@@ -18,17 +18,22 @@ class Client:
     def __init__(self, app: Callable[[Request], Response]) -> None:
         self.app = app
 
-    def request(self, method: str, url: str, body: Any = None) -> Response:
-        return self.app(Request.build(method, url, body=body))
+    def request(
+        self, method: str, url: str, body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> Response:
+        return self.app(Request.build(method, url, body=body, headers=headers))
 
-    def get(self, url: str) -> Response:
-        return self.request("GET", url)
+    def get(self, url: str, headers: dict[str, str] | None = None) -> Response:
+        return self.request("GET", url, headers=headers)
 
-    def post(self, url: str, body: Any = None) -> Response:
-        return self.request("POST", url, body=body)
+    def post(self, url: str, body: Any = None,
+             headers: dict[str, str] | None = None) -> Response:
+        return self.request("POST", url, body=body, headers=headers)
 
-    def patch(self, url: str, body: Any = None) -> Response:
-        return self.request("PATCH", url, body=body)
+    def patch(self, url: str, body: Any = None,
+              headers: dict[str, str] | None = None) -> Response:
+        return self.request("PATCH", url, body=body, headers=headers)
 
-    def delete(self, url: str) -> Response:
-        return self.request("DELETE", url)
+    def delete(self, url: str, headers: dict[str, str] | None = None) -> Response:
+        return self.request("DELETE", url, headers=headers)

@@ -50,6 +50,14 @@ class Request:
             headers=headers or {},
         )
 
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup (HTTP headers are)."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return default
+
     def query_one(self, name: str, default: str | None = None) -> str | None:
         values = self.query.get(name)
         return values[0] if values else default
@@ -107,3 +115,31 @@ def json_response(payload: Any, status: int = 200) -> Response:
 
 def error_response(status: int, message: str) -> Response:
     return json_response({"error": message, "status": status}, status=status)
+
+
+def not_modified(etag: str) -> Response:
+    """A 304 Not Modified carrying only the validator, no body."""
+    return Response(status=304, payload=None, headers={"etag": etag})
+
+
+def etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """RFC 7232 ``If-None-Match`` evaluation against one current ETag.
+
+    Accepts a comma-separated candidate list and the ``*`` wildcard;
+    weak-validator prefixes (``W/``) are ignored on both sides, as the
+    weak comparison the header mandates for 304 decisions requires.
+    """
+    if if_none_match is None:
+        return False
+    current = etag.strip()
+    if current.startswith("W/"):
+        current = current[2:]
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate == "*":
+            return True
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == current:
+            return True
+    return False

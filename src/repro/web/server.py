@@ -30,12 +30,20 @@ def _make_handler(app: Callable[[Request], Response]):
                 headers={k.lower(): v for k, v in self.headers.items()},
             )
             response = app(request)
-            payload = json.dumps(response.payload, default=str).encode("utf-8")
+            if response.status == 304:
+                # 304 carries validators (ETag) but no body.
+                payload = b""
+                headers = dict(response.headers)
+            else:
+                payload = json.dumps(response.payload, default=str).encode("utf-8")
+                headers = {"content-type": "application/json", **response.headers}
             self.send_response(response.status)
-            self.send_header("content-type", "application/json")
+            for name, value in headers.items():
+                self.send_header(name, value)
             self.send_header("content-length", str(len(payload)))
             self.end_headers()
-            self.wfile.write(payload)
+            if payload:
+                self.wfile.write(payload)
 
         def do_GET(self) -> None:  # noqa: N802
             self._dispatch("GET")

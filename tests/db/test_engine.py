@@ -201,3 +201,100 @@ class TestStats:
         db.insert("parents", name="b")
         assert db.stats()["parents"] == 2
         assert db.stats()["children"] == 0
+
+
+class TestVersions:
+    def test_new_database_starts_at_zero(self):
+        db = make_db()
+        assert db.version == 3  # one bump per created table
+        assert set(db.table_versions()) == {"parents", "children", "cascading"}
+        assert all(v == 0 for v in db.table_versions().values())
+
+    def test_each_committed_mutation_bumps_exactly_once(self):
+        db = make_db()
+        v_db, v_tbl = db.version, db.table("parents").version
+        pid = db.insert("parents", name="a")["id"]
+        assert (db.version, db.table("parents").version) == (v_db + 1, v_tbl + 1)
+        db.update("parents", pid, name="b")
+        assert (db.version, db.table("parents").version) == (v_db + 2, v_tbl + 2)
+        db.delete("parents", pid)
+        assert (db.version, db.table("parents").version) == (v_db + 3, v_tbl + 3)
+
+    def test_mutation_bumps_only_its_own_table(self):
+        db = make_db()
+        before = db.table("children").version
+        db.insert("parents", name="a")
+        assert db.table("children").version == before
+
+    def test_cascade_delete_bumps_every_touched_table(self):
+        db = make_db()
+        pid = db.insert("parents", name="a")["id"]
+        db.insert("cascading", parent_id=pid)
+        v_parents = db.table("parents").version
+        v_casc = db.table("cascading").version
+        db.delete("parents", pid)
+        assert db.table("parents").version == v_parents + 1
+        assert db.table("cascading").version == v_casc + 1
+
+    def test_rollback_restores_versions(self):
+        db = make_db()
+        db.insert("parents", name="keep")
+        v_db, v_tbl = db.version, db.table("parents").version
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("parents", name="gone")
+                db.insert("parents", name="gone too")
+                assert db.version == v_db + 2
+                raise RuntimeError
+        assert db.version == v_db
+        assert db.table("parents").version == v_tbl
+
+    def test_commit_keeps_versions(self):
+        db = make_db()
+        v = db.version
+        with db.transaction():
+            db.insert("parents", name="a")
+        assert db.version == v + 1
+
+    def test_nested_commit_then_outer_rollback_restores(self):
+        db = make_db()
+        v = db.version
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                with db.transaction():
+                    db.insert("parents", name="inner")
+                db.insert("parents", name="outer")
+                raise RuntimeError
+        assert db.version == v
+        assert db.stats()["parents"] == 0
+
+    def test_ddl_bumps_database_version(self):
+        db = make_db()
+        v = db.version
+        db.create_table(TableSchema("extra", columns=(Column("id", int),)))
+        assert db.version == v + 1
+        db.drop_table("extra")
+        assert db.version == v + 2
+
+    def test_drop_table_inside_aborted_transaction_restores_table(self):
+        """Regression: rollback used to KeyError after an in-tx drop,
+        losing both the table and the pre-transaction state."""
+        db = make_db()
+        pid = db.insert("parents", name="a")["id"]
+        v = db.version
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.drop_table("children")
+                raise RuntimeError
+        assert "children" in db
+        assert db.version == v
+        # The restored table is fully usable, FK wiring intact.
+        db.insert("children", parent_id=pid)
+        with pytest.raises(ForeignKeyError):
+            db.insert("children", parent_id=999)
+
+    def test_table_versions_snapshot_is_detached(self):
+        db = make_db()
+        snapshot = db.table_versions()
+        db.insert("parents", name="a")
+        assert db.table_versions()["parents"] == snapshot["parents"] + 1

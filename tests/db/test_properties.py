@@ -98,6 +98,81 @@ def test_transaction_rollback_restores_exact_state(batch, split_at):
     assert after == before
 
 
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.tuples(names, st.integers(-5, 5)), min_size=1, max_size=12),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            names,
+            st.integers(-5, 5),
+            st.integers(0, 11),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_aborted_mutations_preserve_index_invariants(seed_rows, tx_ops):
+    """Any aborted mutation sequence leaves secondary indexes, unique
+    constraints, versions and the id counter exactly as they were.
+
+    Regression for the snapshot-era engine, whose rollback restored rows
+    but not index state touched inside the aborted transaction.
+    """
+    db = fresh_table_db()
+    rows = {}
+    seen_names = set()
+    for name, v in seed_rows:
+        if name not in seen_names:
+            seen_names.add(name)
+            rows[db.insert("items", name=name, v=v)["id"]] = name
+    table = db.table("items")
+    table.create_index("v")
+
+    before_rows = sorted((r["id"], r["name"], r["v"]) for r in table.find())
+    before_version = (db.version, table.version)
+    before_by_v = {
+        v: sorted(r["id"] for r in table.find(v=v)) for v in range(-5, 6)
+    }
+
+    ids = sorted(rows)
+    with pytest.raises(RuntimeError):
+        with db.transaction():
+            for op, name, v, pick in tx_ops:
+                try:
+                    if op == "insert":
+                        db.insert("items", name=name, v=v)
+                    elif op == "update" and ids:
+                        db.update("items", ids[pick % len(ids)], v=v)
+                    elif op == "delete" and ids:
+                        db.delete("items", ids[pick % len(ids)])
+                        ids = [i for i in ids if i != ids[pick % len(ids)]]
+                except UniqueViolation:
+                    pass
+            raise RuntimeError
+
+    # Rows, versions, and the indexed view all match the pre-tx state.
+    assert sorted((r["id"], r["name"], r["v"]) for r in table.find()) == before_rows
+    assert (db.version, table.version) == before_version
+    for v in range(-5, 6):
+        via_index = sorted(r["id"] for r in table.find(v=v))
+        assert via_index == before_by_v[v]
+        brute = sorted(rid for rid, name, rv in before_rows if rv == v)
+        assert via_index == brute
+
+    # Unique names deleted in the aborted tx are NOT reusable (the rows
+    # are back); names inserted in the aborted tx ARE reusable.
+    tx_inserted = {
+        name for op, name, _, _ in tx_ops if op == "insert"
+    } - {name for _, name, _ in before_rows}
+    for name in tx_inserted:
+        db.insert("items", name=name)  # must not raise
+    # And fresh inserts resume from the pre-transaction id counter.
+    existing = {rid for rid, _, _ in before_rows}
+    new_id = db.insert("items", name="zz-post-rollback")["id"]
+    assert new_id not in existing
+
+
 @settings(max_examples=30)
 @given(st.lists(st.tuples(names, st.integers(0, 5)), min_size=1, max_size=30))
 def test_group_count_sums_to_total(pairs):
