@@ -18,7 +18,7 @@ from repro.web import CarCsApi, Client
 
 @pytest.fixture(scope="module")
 def client(repo):
-    return Client(CarCsApi(repo))
+    return Client(CarCsApi(repo), root="/api/v1")
 
 
 _counter = itertools.count()
@@ -48,7 +48,7 @@ def test_tree_phrase_search(benchmark, client):
         client.get, "/ontologies/CS13/entries?search=parallel&limit=25"
     )
     assert response.ok
-    assert response.json()["count"] > 0
+    assert response.json()["total"] > 0
 
 
 def test_coverage_resource(benchmark, client):
@@ -68,5 +68,5 @@ def test_similarity_resource(benchmark, client):
 def test_text_search_endpoint(benchmark, client):
     response = benchmark(client.get, "/assignments?q=fractal+zoom&limit=5")
     assert response.ok
-    titles = [r["title"] for r in response.json()["results"]]
+    titles = [r["title"] for r in response.json()["items"]]
     assert any("Fractal" in t for t in titles)

@@ -10,7 +10,9 @@ BLAS multiply; search index build linear).
 from __future__ import annotations
 
 import json
+import threading
 import time
+import urllib.request
 
 import pytest
 
@@ -20,10 +22,14 @@ from repro.core.search import SearchEngine
 from repro.core.similarity import incidence, shared_item_matrix, similarity_graph
 from repro.corpus import keys as K
 from repro.corpus.generator import GeneratorConfig, seed_synthetic
-from repro.corpus.seed import seed_ontologies
+from repro.corpus.seed import seed_all, seed_ontologies
+from repro.web import CarCsApi
+from repro.web.server import ApiServer
 
 SIZES = (100, 400, 1600)
 CACHE_SCALE_N = 10_000
+HTTP_CLIENTS = 8
+HTTP_REQUESTS_PER_CLIENT = 40
 
 
 @pytest.fixture(scope="module")
@@ -174,6 +180,52 @@ def test_cache_hit_rate_under_read_heavy_load(big_repo, cache_enabled):
           f"{stats.hit_rate:.1%} ({stats.hits} hits, {stats.misses} misses, "
           f"{stats.invalidations} invalidations)")
     assert stats.hit_rate > 0.9
+
+
+def _hammer(url: str, clients: int, per_client: int) -> tuple[float, int]:
+    """Fire ``clients × per_client`` GETs from concurrent threads;
+    returns (elapsed seconds, completed-2xx count)."""
+    done = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(slot: int):
+        barrier.wait()
+        for _ in range(per_client):
+            with urllib.request.urlopen(url, timeout=30) as response:
+                if 200 <= response.status < 300:
+                    done[slot] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(s,)) for s in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join(120)
+    return time.perf_counter() - t0, sum(done)
+
+
+@pytest.mark.parametrize("threaded", (False, True), ids=("serial", "threaded"))
+def test_http_request_throughput(threaded):
+    """SCALE — requests/second over real HTTP with concurrent clients.
+
+    Documents what the ThreadingHTTPServer flip buys: N clients hitting
+    a cached analytics endpoint, serial vs threaded accept loop."""
+    repo = seed_all()
+    with ApiServer(CarCsApi(repo), port=0, threaded=threaded) as srv:
+        url = f"{srv.url}/api/v1/coverage?collection=itcs3145&ontology=PDC12"
+        urllib.request.urlopen(url, timeout=30).read()  # warm the cache
+        elapsed, completed = _hammer(
+            url, HTTP_CLIENTS, HTTP_REQUESTS_PER_CLIENT
+        )
+    expected = HTTP_CLIENTS * HTTP_REQUESTS_PER_CLIENT
+    assert completed == expected
+    rate = completed / elapsed if elapsed else float("inf")
+    mode = "threaded" if threaded else "serial"
+    print(f"\nSCALE http throughput [{mode}] {HTTP_CLIENTS} clients: "
+          f"{completed} requests in {elapsed:.2f} s -> {rate:,.0f} req/s")
 
 
 def test_insert_throughput(benchmark):

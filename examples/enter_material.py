@@ -16,7 +16,7 @@ from repro.web import CarCsApi, Client
 
 def main() -> None:
     repo = seeded_repository()
-    client = Client(CarCsApi(repo))
+    client = Client(CarCsApi(repo), root="/api/v1")
 
     print("Step 1 — create the material (Figure 1a metadata form)")
     created = client.post("/assignments", body={
@@ -39,7 +39,7 @@ def main() -> None:
         for onto in ("CS13", "PDC12"):
             hits = client.get(
                 f"/ontologies/{onto}/entries?search={phrase}&limit=2"
-            ).json()["results"]
+            ).json()["items"]
             for hit in hits:
                 print(f"  [{phrase!r:17s} in {onto}] {hit['path']}")
 

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: byte-compile everything, then run the unit/integration
+# suite.  Benchmarks are excluded (run them with `pytest benchmarks/`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src
+PYTHONPATH=src python -m pytest -x -q tests/

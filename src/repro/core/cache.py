@@ -30,6 +30,7 @@ can measure cold behaviour without code changes.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -121,6 +122,11 @@ class AnalyticsCache:
         self.maxsize = maxsize
         self.enabled = True
         self.stats = CacheStats()
+        # Serializes bookkeeping *and* computes: concurrent readers asking
+        # for the same cold entry produce one compute, not a thundering
+        # herd.  Reentrant because memoized computations call other
+        # memoized computations (coverage -> classification_pairs).
+        self._lock = threading.RLock()
         # (name, frozen key) -> (table-version tuple, value)
         self._entries: "OrderedDict[tuple, tuple[tuple, Any]]" = OrderedDict()
 
@@ -163,48 +169,57 @@ class AnalyticsCache:
         applied to the stored value on *every* return so callers can
         safely mutate what they receive.
         """
-        if not self.active or self.db.in_transaction:
-            # Inside a transaction versions are not yet durable (rollback
-            # restores them), so neither lookups nor stores are safe.
-            self.stats.bypasses += 1
-            return compute()
-        versions = self.table_versions(tables)
-        full_key = (name, freeze(key))
-        entry = self._entries.get(full_key)
-        if entry is not None and entry[0] == versions:
-            self.stats.hits += 1
-            self._entries.move_to_end(full_key)
-            value = entry[1]
-            return copy(value) if copy is not None else value
-        value = compute()
-        if entry is not None:
-            self.stats.invalidations += 1
-        else:
-            self.stats.misses += 1
-        self._entries[full_key] = (versions, value)
-        self._entries.move_to_end(full_key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return copy(value) if copy is not None else value
+        # Lock order: db read lock strictly before the cache lock, always.
+        # Computes read the db anyway, and taking the read side first means
+        # a thread blocked on a writer is never *holding* the cache lock —
+        # so writers and other readers cannot deadlock against the cache.
+        with self.db.lock.read():
+            with self._lock:
+                if not self.active or self.db.in_transaction:
+                    # Inside a transaction versions are not yet durable
+                    # (rollback restores them), so neither lookups nor
+                    # stores are safe.
+                    self.stats.bypasses += 1
+                    return compute()
+                versions = self.table_versions(tables)
+                full_key = (name, freeze(key))
+                entry = self._entries.get(full_key)
+                if entry is not None and entry[0] == versions:
+                    self.stats.hits += 1
+                    self._entries.move_to_end(full_key)
+                    value = entry[1]
+                    return copy(value) if copy is not None else value
+                value = compute()
+                if entry is not None:
+                    self.stats.invalidations += 1
+                else:
+                    self.stats.misses += 1
+                self._entries[full_key] = (versions, value)
+                self._entries.move_to_end(full_key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                return copy(value) if copy is not None else value
 
     # -- maintenance ------------------------------------------------------
 
     def invalidate(self, name: str | None = None) -> int:
         """Drop entries (all of them, or those of one function name)."""
-        if name is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-            return dropped
-        victims = [k for k in self._entries if k[0] == name]
-        for k in victims:
-            del self._entries[k]
-        return len(victims)
+        with self._lock:
+            if name is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            victims = [k for k in self._entries if k[0] == name]
+            for k in victims:
+                del self._entries[k]
+            return len(victims)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self.stats.reset()
+        with self._lock:
+            self._entries.clear()
+            self.stats.reset()
 
 
 class Memo:

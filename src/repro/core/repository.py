@@ -15,6 +15,7 @@ similarity) run on top of this facade.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Iterable, Mapping
 
 from repro.db import Column, Database, ForeignKey, ManyToMany, TableSchema
@@ -61,6 +62,7 @@ class Repository:
         # similarity, recommendation, classification-pair export).
         self.cache = AnalyticsCache(self.db)
         self._search_engine = None
+        self._engine_init_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -315,13 +317,17 @@ class Repository:
         )
 
     def get_material(self, material_id: int) -> Material:
-        return self._row_to_material(self.db.table("materials").get(material_id))
+        with self.db.lock.read():
+            return self._row_to_material(
+                self.db.table("materials").get(material_id)
+            )
 
     def materials(self, collection: str | None = None) -> list[Material]:
-        table = self.db.table("materials")
-        rows = table.find(collection=collection) if collection else table.find()
-        rows.sort(key=lambda r: r["id"])
-        return [self._row_to_material(r) for r in rows]
+        with self.db.lock.read():
+            table = self.db.table("materials")
+            rows = table.find(collection=collection) if collection else table.find()
+            rows.sort(key=lambda r: r["id"])
+            return [self._row_to_material(r) for r in rows]
 
     def material_count(self, collection: str | None = None) -> int:
         if collection is None:
@@ -533,10 +539,11 @@ class Repository:
         """
         from .coverage import compute_coverage
 
-        return compute_coverage(
-            self, ontology_name,
-            collection=collection, material_ids=material_ids,
-        )
+        with self.db.lock.read():
+            return compute_coverage(
+                self, ontology_name,
+                collection=collection, material_ids=material_ids,
+            )
 
     def similarity(self, left_ids, right_ids=None, *, threshold: int = 2,
                    ontologies: Iterable[str] | None = None,
@@ -548,18 +555,21 @@ class Repository:
         """
         from .similarity import similarity_graph
 
-        return similarity_graph(
-            self, left_ids, right_ids,
-            threshold=threshold, ontologies=ontologies,
-            left_group=left_group, right_group=right_group,
-        )
+        with self.db.lock.read():
+            return similarity_graph(
+                self, left_ids, right_ids,
+                threshold=threshold, ontologies=ontologies,
+                left_group=left_group, right_group=right_group,
+            )
 
     def search_engine(self):
         """The repository's shared, version-tracking search engine."""
         from .search import SearchEngine
 
         if self._search_engine is None:
-            self._search_engine = SearchEngine(self)
+            with self._engine_init_lock:
+                if self._search_engine is None:
+                    self._search_engine = SearchEngine(self)
         return self._search_engine
 
     def search(self, text: str = "", filters=None, *, limit: int = 20):
@@ -579,17 +589,19 @@ class Repository:
         )
 
     def recommend(self, text: str = "", selected=(), *, top: int = 10):
-        return self.recommender().recommend(text, selected, top=top)
+        with self.db.lock.read():
+            return self.recommender().recommend(text, selected, top=top)
 
     # ------------------------------------------------------------- summary
 
     def stats(self) -> dict[str, int]:
         """Row counts of the main tables (used by reports and benches),
         plus the repository version and the analytics-cache counters."""
-        base = self.db.stats()
-        base["classification_links"] = len(self.material_classifications)
-        base["version"] = self.db.version
-        base["cache_entries"] = len(self.cache)
+        with self.db.lock.read():
+            base = self.db.stats()
+            base["classification_links"] = len(self.material_classifications)
+            base["version"] = self.db.version
+            base["cache_entries"] = len(self.cache)
         for key, value in self.cache.stats.as_dict().items():
             base[f"cache_{key}"] = value
         return base

@@ -9,6 +9,7 @@ TF-IDF substrate so "traditional search tools" queries work too.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -85,17 +86,23 @@ class SearchEngine:
         self._vectorizer: TfidfVectorizer | None = None
         self._matrix: np.ndarray | None = None
         self._indexed_version: int | None = None
+        # The engine is shared (Repository.search_engine memoizes one
+        # instance) and the lazy rebuild swaps several fields; a reentrant
+        # mutex keeps concurrent searches from observing a half-built
+        # index.
+        self._engine_lock = threading.RLock()
 
     def refresh(self) -> None:
-        self._materials = self.repo.materials()
-        texts = [m.text() for m in self._materials]
-        if texts:
-            self._vectorizer = TfidfVectorizer(min_df=1)
-            self._matrix = self._vectorizer.fit_transform(texts)
-        else:
-            self._vectorizer = None
-            self._matrix = None
-        self._indexed_version = getattr(self.repo, "version", None)
+        with self._engine_lock:
+            self._materials = self.repo.materials()
+            texts = [m.text() for m in self._materials]
+            if texts:
+                self._vectorizer = TfidfVectorizer(min_df=1)
+                self._matrix = self._vectorizer.fit_transform(texts)
+            else:
+                self._vectorizer = None
+                self._matrix = None
+            self._indexed_version = getattr(self.repo, "version", None)
 
     def _ensure_index(self) -> None:
         version = getattr(self.repo, "version", None)
@@ -123,6 +130,16 @@ class SearchEngine:
     ) -> list[SearchHit]:
         """Ranked results; with empty ``text`` returns facet matches with
         score 1.0 in repository order."""
+        with self.repo.db.lock.read(), self._engine_lock:
+            return self._search_locked(text, filters, limit=limit)
+
+    def _search_locked(
+        self,
+        text: str = "",
+        filters: SearchFilters | None = None,
+        *,
+        limit: int = 20,
+    ) -> list[SearchHit]:
         self._ensure_index()
         filters = filters or SearchFilters()
         subtree_sets = self._subtree_sets(filters)
@@ -158,6 +175,12 @@ class SearchEngine:
     ) -> list[SearchHit]:
         """Text-level nearest neighbours of a material (complements the
         classification-level similarity of :mod:`repro.core.similarity`)."""
+        with self.repo.db.lock.read(), self._engine_lock:
+            return self._similar_to_locked(material_id, limit=limit)
+
+    def _similar_to_locked(
+        self, material_id: int, *, limit: int = 10
+    ) -> list[SearchHit]:
         self._ensure_index()
         if self._matrix is None:
             return []

@@ -16,6 +16,7 @@ from .errors import (
     TransactionError,
     UniqueViolation,
 )
+from .locks import RWLock
 from .query import Query, query
 from .relations import ManyToMany
 from .schema import Column, ForeignKey, TableSchema
@@ -31,6 +32,7 @@ __all__ = [
     "ManyToMany",
     "NotNullViolation",
     "Query",
+    "RWLock",
     "RowNotFound",
     "SchemaError",
     "Table",

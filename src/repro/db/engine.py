@@ -29,15 +29,24 @@ from .errors import (
     SchemaError,
     TransactionError,
 )
+from .locks import RWLock
 from .schema import Column, ForeignKey, TableSchema
 from .table import Table
 
 
 class Database:
-    """A named collection of tables with cross-table integrity."""
+    """A named collection of tables with cross-table integrity.
+
+    Concurrency: ``lock`` is a reentrant reader-writer lock.  Every DML
+    and DDL entry point below takes the write side (so does a whole
+    ``transaction()`` scope); read paths — repository analytics, the web
+    layer's GET dispatch — take the read side.  Many readers proceed
+    together; writers are exclusive.
+    """
 
     def __init__(self, name: str = "carcs") -> None:
         self.name = name
+        self.lock = RWLock()
         self._tables: dict[str, Table] = {}
         self._tx_depth = 0
         # Stack of transaction frames; each frame is a list of undo
@@ -72,6 +81,10 @@ class Database:
     # -- DDL ----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:
+        with self.lock.write():
+            return self._create_table(schema)
+
+    def _create_table(self, schema: TableSchema) -> Table:
         if schema.name in self._tables:
             raise SchemaError(f"table {schema.name!r} already exists")
         for fk in schema.foreign_keys:
@@ -93,6 +106,10 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
+        with self.lock.write():
+            self._drop_table(name)
+
+    def _drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise SchemaError(f"no table {name!r}")
         for other in self._tables.values():
@@ -142,28 +159,34 @@ class Database:
                 )
 
     def insert(self, table_name: str, **values: Any) -> dict[str, Any]:
-        table = self.table(table_name)
-        # Validate FKs against a completed candidate row before committing.
-        candidate = table._complete_row(values)
-        self._check_fks_outbound(table, candidate)
-        return table.insert(**candidate)
+        with self.lock.write():
+            table = self.table(table_name)
+            # Validate FKs against a completed candidate row before committing.
+            candidate = table._complete_row(values)
+            self._check_fks_outbound(table, candidate)
+            return table.insert(**candidate)
 
     def update(self, table_name: str, pk: Any, **changes: Any) -> dict[str, Any]:
-        table = self.table(table_name)
-        fk_cols = {fk.column: fk for fk in table.schema.foreign_keys}
-        for name, value in changes.items():
-            fk = fk_cols.get(name)
-            if fk is not None and value is not None:
-                ref = self.table(fk.ref_table)
-                if not self._ref_exists(ref, fk.ref_column, value):
-                    raise ForeignKeyError(
-                        f"{table_name}.{name}={value!r} references missing "
-                        f"{fk.ref_table}.{fk.ref_column}"
-                    )
-        return table.update(pk, **changes)
+        with self.lock.write():
+            table = self.table(table_name)
+            fk_cols = {fk.column: fk for fk in table.schema.foreign_keys}
+            for name, value in changes.items():
+                fk = fk_cols.get(name)
+                if fk is not None and value is not None:
+                    ref = self.table(fk.ref_table)
+                    if not self._ref_exists(ref, fk.ref_column, value):
+                        raise ForeignKeyError(
+                            f"{table_name}.{name}={value!r} references missing "
+                            f"{fk.ref_table}.{fk.ref_column}"
+                        )
+            return table.update(pk, **changes)
 
     def delete(self, table_name: str, pk: Any) -> dict[str, Any]:
         """Delete honoring inbound foreign keys (restrict or cascade)."""
+        with self.lock.write():
+            return self._delete(table_name, pk)
+
+    def _delete(self, table_name: str, pk: Any) -> dict[str, Any]:
         table = self.table(table_name)
         row = table.get(pk)
         for other in self._tables.values():
@@ -180,7 +203,7 @@ class Database:
                         f"{len(referencing)} row(s) of {other.name!r}"
                     )
                 for r in referencing:
-                    self.delete(other.name, r[other.schema.primary_key])
+                    self._delete(other.name, r[other.schema.primary_key])
         return table.delete(pk)
 
     # -- transactions ---------------------------------------------------------
@@ -188,15 +211,20 @@ class Database:
     @contextmanager
     def transaction(self) -> Iterator["Database"]:
         """All-or-nothing scope; nested transactions roll back to their own
-        begin point (savepoint semantics)."""
-        self._begin()
-        try:
-            yield self
-        except BaseException:
-            self._rollback()
-            raise
-        else:
-            self._commit()
+        begin point (savepoint semantics).
+
+        The whole scope holds the write lock: concurrent readers never see
+        a half-applied transaction, and ``in_transaction``/version state
+        stays single-writer."""
+        with self.lock.write():
+            self._begin()
+            try:
+                yield self
+            except BaseException:
+                self._rollback()
+                raise
+            else:
+                self._commit()
 
     def _begin(self) -> None:
         self._tx_journal.append([])

@@ -1,0 +1,30 @@
+"""Observability substrate: metrics + structured request logging.
+
+The paper's prototype was a hosted web service with no way to answer
+"how fast is /coverage right now?" or "which routes are erroring?".
+This package provides the two primitives the ROADMAP's production target
+needs: a process-local :class:`MetricsRegistry` (counters, gauges,
+fixed-bucket latency histograms — all thread-safe) and a
+:class:`RequestLog` ring buffer of structured per-request records keyed
+by request id.  The web middleware chain feeds both; ``GET
+/api/v1/metrics`` exports the registry.
+"""
+
+from .logging import RequestLog, new_request_id
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestLog",
+    "new_request_id",
+]

@@ -1,19 +1,45 @@
 """In-process REST substrate (replaces the paper's Django/Heroku stack)."""
 
-from .api import CarCsApi
+from .api import API_PREFIX, CarCsApi
 from .client import Client
-from .http import HttpError, Request, Response, error_response, json_response
-from .router import Router
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    error_response,
+    json_response,
+    paginated,
+)
+from .middleware import (
+    ConditionalGetMiddleware,
+    ErrorMiddleware,
+    LockMiddleware,
+    LoggingMiddleware,
+    MetricsMiddleware,
+    RequestIdMiddleware,
+    compose,
+)
+from .router import Route, Router
 from .server import ApiServer
 
 __all__ = [
+    "API_PREFIX",
     "ApiServer",
     "CarCsApi",
     "Client",
+    "ConditionalGetMiddleware",
+    "ErrorMiddleware",
     "HttpError",
+    "LockMiddleware",
+    "LoggingMiddleware",
+    "MetricsMiddleware",
     "Request",
+    "RequestIdMiddleware",
     "Response",
+    "Route",
     "Router",
+    "compose",
     "error_response",
     "json_response",
+    "paginated",
 ]

@@ -5,10 +5,20 @@ Mirrors the resources the paper's prototype exposes at
 (Figure 1), ontology browsing with phrase search (Figure 1b), the
 coverage resource behind Figure 2, and the similarity resource behind
 Figure 3 — plus gap analysis and classification recommendation.
+
+The surface is versioned: every resource lives under ``/api/v1/...``,
+with the historical unprefixed paths kept as deprecated aliases (they
+dispatch identically but answer with a ``Deprecation: true`` header).
+``GET /api/v1`` lists the route table; ``GET /api/v1/metrics`` and
+``GET /api/v1/healthz`` expose the observability layer.  All requests
+flow through the middleware chain in :mod:`repro.web.middleware` —
+request ids, metrics, structured logging, the 500 boundary, the
+repository reader-writer lock, and conditional GET.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.core.classification import ClassificationSet
@@ -17,16 +27,35 @@ from repro.core.material import CourseLevel, Material, MaterialKind
 from repro.core.ontology import BloomLevel
 from repro.core.repository import Repository
 from repro.core.search import SearchFilters
+from repro.obs import MetricsRegistry, RequestLog
 
 from .http import (
     HttpError,
     Request,
     Response,
-    etag_matches,
     json_response,
-    not_modified,
+    paginated,
+)
+from .middleware import (
+    ConditionalGetMiddleware,
+    ErrorMiddleware,
+    LockMiddleware,
+    LoggingMiddleware,
+    MetricsMiddleware,
+    RequestIdMiddleware,
+    compose,
 )
 from .router import Router
+
+#: Version prefix every canonical route is mounted under.
+API_PREFIX = "/api/v1"
+
+#: Paths whose payload changes without a repository mutation — they are
+#: exempt from the version-derived ETag and never 304.
+UNCONDITIONAL_PATHS = (
+    f"{API_PREFIX}/metrics",
+    f"{API_PREFIX}/healthz",
+)
 
 
 def _material_payload(repo: Repository, material: Material) -> dict[str, Any]:
@@ -54,39 +83,51 @@ def _material_payload(repo: Repository, material: Material) -> dict[str, Any]:
 
 
 class CarCsApi:
-    """Application object: a router bound to one repository.
+    """Application object: a middleware pipeline around a routed repository.
 
     Every successful GET carries an ``ETag`` derived from the repository's
     mutation version; a GET with a matching ``If-None-Match`` validator
     short-circuits to an empty ``304 Not Modified`` *before* dispatch, so
-    HTTP clients polling ``/coverage`` or ``/similarity`` between
-    mutations cost neither recomputation nor payload bytes.
+    HTTP clients polling ``/api/v1/coverage`` or ``/api/v1/similarity``
+    between mutations cost neither recomputation nor payload bytes.
     """
 
-    def __init__(self, repo: Repository) -> None:
+    def __init__(
+        self,
+        repo: Repository,
+        *,
+        metrics: MetricsRegistry | None = None,
+        request_log: RequestLog | None = None,
+    ) -> None:
         self.repo = repo
         self.router = Router()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.request_log = (
+            request_log if request_log is not None else RequestLog()
+        )
         self._search = repo.search_engine()
+        self._started = time.monotonic()
         self._register()
+        self.middlewares = [
+            RequestIdMiddleware(),
+            MetricsMiddleware(self.metrics),
+            LoggingMiddleware(self.request_log),
+            ErrorMiddleware(self.metrics, self.request_log),
+            LockMiddleware(repo.db),
+            ConditionalGetMiddleware(self._etag, UNCONDITIONAL_PATHS),
+        ]
+        self._pipeline = compose(self.middlewares, self.router.dispatch)
 
     def _etag(self) -> str:
         return f'"carcs-v{self.repo.version}"'
 
     def __call__(self, request: Request) -> Response:
-        if request.method != "GET":
-            return self.router.dispatch(request)
-        etag = self._etag()
-        if etag_matches(request.header("if-none-match"), etag):
-            return not_modified(etag)
-        response = self.router.dispatch(request)
-        if response.ok:
-            response.headers.setdefault("etag", etag)
-        return response
+        return self._pipeline(request)
 
     # ------------------------------------------------------------ helpers
 
     def _material_or_404(self, request: Request) -> Material:
-        mid = int(request.params["id"])
+        mid = request.params["id"]
         try:
             return self.repo.get_material(mid)
         except Exception:
@@ -120,7 +161,53 @@ class CarCsApi:
     def _register(self) -> None:
         router = self.router
 
-        @router.route("GET", "/assignments")
+        def route(method: str, path: str):
+            """Mount under ``/api/v1`` + keep the unprefixed path as a
+            deprecated alias that still dispatches."""
+
+            def register(handler):
+                router.add(method, API_PREFIX + path, handler)
+                router.add(method, path, handler, deprecated=True)
+                return handler
+
+            return register
+
+        @router.route("GET", API_PREFIX)
+        def api_index(request: Request) -> Response:
+            return json_response({
+                "service": "carcs",
+                "api_version": "v1",
+                "routes": [
+                    {"method": r.method, "path": r.pattern}
+                    for r in router.routes() if not r.deprecated
+                ],
+            })
+
+        @router.route("GET", f"{API_PREFIX}/healthz")
+        def healthz(request: Request) -> Response:
+            return json_response({
+                "status": "ok",
+                "version": self.repo.version,
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+            })
+
+        @router.route("GET", f"{API_PREFIX}/metrics")
+        def metrics(request: Request) -> Response:
+            # Mirror the repository/cache counters into gauges at scrape
+            # time so one export carries the whole picture: per-route
+            # request counts, latency histograms, db versions, cache
+            # hits/misses.
+            for key, value in self.repo.stats().items():
+                self.metrics.gauge(f"carcs_{key}").set(value)
+            self.metrics.gauge("carcs_uptime_seconds").set(
+                round(time.monotonic() - self._started, 3)
+            )
+            self.metrics.gauge("carcs_request_log_dropped").set(
+                self.request_log.dropped
+            )
+            return json_response({"metrics": self.metrics.export()})
+
+        @route("GET", "/assignments")
         def list_assignments(request: Request) -> Response:
             from dataclasses import replace
 
@@ -143,18 +230,18 @@ class CarCsApi:
             if under:
                 filters = replace(filters, under=filters.under + (under,))
             text = parsed.text
-            limit = request.query_int("limit", 100) or 100
-            hits = self._search.search(text, filters, limit=limit)
-            return json_response({
-                "count": len(hits),
-                "results": [
-                    {"id": h.material.id, "title": h.material.title,
-                     "collection": h.material.collection, "score": h.score}
-                    for h in hits
-                ],
-            })
+            # Rank everything, then window: `total` must count the full
+            # result set, not just the requested page.
+            hits = self._search.search(
+                text, filters, limit=max(self.repo.material_count(), 1),
+            )
+            return json_response(paginated([
+                {"id": h.material.id, "title": h.material.title,
+                 "collection": h.material.collection, "score": h.score}
+                for h in hits
+            ], request, default_limit=100))
 
-        @router.route("POST", "/assignments")
+        @route("POST", "/assignments")
         def create_assignment(request: Request) -> Response:
             body = request.json()
             if "title" not in body:
@@ -185,12 +272,12 @@ class CarCsApi:
                 raise HttpError(400, str(exc))
             return json_response(_material_payload(self.repo, stored), status=201)
 
-        @router.route("GET", "/assignments/<int:id>")
+        @route("GET", "/assignments/<int:id>")
         def get_assignment(request: Request) -> Response:
             material = self._material_or_404(request)
             return json_response(_material_payload(self.repo, material))
 
-        @router.route("PATCH", "/assignments/<int:id>")
+        @route("PATCH", "/assignments/<int:id>")
         def update_assignment(request: Request) -> Response:
             material = self._material_or_404(request)
             body = request.json()
@@ -202,14 +289,14 @@ class CarCsApi:
             updated = self.repo.update_material(material.id, **changes)
             return json_response(_material_payload(self.repo, updated))
 
-        @router.route("DELETE", "/assignments/<int:id>")
+        @route("DELETE", "/assignments/<int:id>")
         def delete_assignment(request: Request) -> Response:
             material = self._material_or_404(request)
             assert material.id is not None
             self.repo.delete_material(material.id)
             return json_response({"deleted": material.id})
 
-        @router.route("POST", "/assignments/<int:id>/classifications")
+        @route("POST", "/assignments/<int:id>/classifications")
         def add_classification(request: Request) -> Response:
             material = self._material_or_404(request)
             body = request.json()
@@ -227,7 +314,7 @@ class CarCsApi:
                 status=201,
             )
 
-        @router.route("DELETE", "/assignments/<int:id>/classifications")
+        @route("DELETE", "/assignments/<int:id>/classifications")
         def remove_classification(request: Request) -> Response:
             material = self._material_or_404(request)
             key = request.query_one("key")
@@ -239,7 +326,7 @@ class CarCsApi:
                 raise HttpError(404, f"material not classified under {key!r}")
             return json_response({"removed": key})
 
-        @router.route("GET", "/ontologies")
+        @route("GET", "/ontologies")
         def list_ontologies(request: Request) -> Response:
             return json_response({
                 "ontologies": [
@@ -249,7 +336,7 @@ class CarCsApi:
                 ]
             })
 
-        @router.route("GET", "/ontologies/<name>/entries")
+        @route("GET", "/ontologies/<name>/entries")
         def search_entries(request: Request) -> Response:
             name = request.params["name"]
             try:
@@ -257,21 +344,17 @@ class CarCsApi:
             except KeyError as exc:
                 raise HttpError(404, str(exc))
             phrase = request.query_one("search", "") or ""
-            limit = request.query_int("limit", 50) or 50
             if phrase:
-                nodes = onto.search(phrase, limit=limit)
+                nodes = onto.search(phrase, limit=len(onto))
             else:
-                nodes = onto.nodes()[:limit]
-            return json_response({
-                "count": len(nodes),
-                "results": [
-                    {"key": n.key, "label": n.label, "kind": n.kind.value,
-                     "path": onto.path_string(n.key)}
-                    for n in nodes
-                ],
-            })
+                nodes = onto.nodes()
+            return json_response(paginated([
+                {"key": n.key, "label": n.label, "kind": n.kind.value,
+                 "path": onto.path_string(n.key)}
+                for n in nodes
+            ], request, default_limit=50))
 
-        @router.route("GET", "/coverage")
+        @route("GET", "/coverage")
         def coverage(request: Request) -> Response:
             collection = request.query_one("collection")
             ontology = request.query_one("ontology")
@@ -294,7 +377,7 @@ class CarCsApi:
                 "entries_touched": len(report.rollup_counts),
             })
 
-        @router.route("GET", "/similarity")
+        @route("GET", "/similarity")
         def similarity(request: Request) -> Response:
             left = request.query_one("left")
             right = request.query_one("right")
@@ -322,7 +405,7 @@ class CarCsApi:
                 ],
             })
 
-        @router.route("GET", "/gaps")
+        @route("GET", "/gaps")
         def gaps(request: Request) -> Response:
             reference = request.query_one("reference")
             candidate = request.query_one("candidate")
@@ -356,7 +439,7 @@ class CarCsApi:
                 ],
             })
 
-        @router.route("POST", "/recommend")
+        @route("POST", "/recommend")
         def recommend(request: Request) -> Response:
             body = request.json()
             text = body.get("text", "")
@@ -373,7 +456,7 @@ class CarCsApi:
                 ]
             })
 
-        @router.route("GET", "/assignments/<int:id>/variants")
+        @route("GET", "/assignments/<int:id>/variants")
         def variants(request: Request) -> Response:
             from repro.analysis.variants import find_variants
 
@@ -398,7 +481,7 @@ class CarCsApi:
                 ],
             })
 
-        @router.route("GET", "/assignments/<int:id>/lint")
+        @route("GET", "/assignments/<int:id>/lint")
         def lint(request: Request) -> Response:
             from repro.analysis.consistency import lint_material
 
@@ -412,7 +495,7 @@ class CarCsApi:
                 ],
             })
 
-        @router.route("GET", "/plan")
+        @route("GET", "/plan")
         def plan(request: Request) -> Response:
             from repro.analysis.planner import core_targets, plan_course
             from repro.core.ontology import Tier
@@ -439,6 +522,6 @@ class CarCsApi:
                 "uncovered": sorted(course.uncovered),
             })
 
-        @router.route("GET", "/stats")
+        @route("GET", "/stats")
         def stats(request: Request) -> Response:
             return json_response(self.repo.stats())

@@ -33,8 +33,15 @@ class Request:
     query: dict[str, list[str]] = field(default_factory=dict)
     body: Any = None
     headers: dict[str, str] = field(default_factory=dict)
-    # Filled by the router when the route matches:
-    params: dict[str, str] = field(default_factory=dict)
+    # Filled by the router when the route matches.  Values are typed
+    # according to the route pattern (``<int:id>`` arrives as ``int``).
+    params: dict[str, Any] = field(default_factory=dict)
+    # Stamped by the request-id middleware before dispatch.
+    request_id: str = ""
+    # Filled by the router on a match: the canonical route pattern (the
+    # low-cardinality label metrics aggregate on) and its deprecation flag.
+    route_pattern: str | None = None
+    route_deprecated: bool = False
 
     @classmethod
     def build(
@@ -98,6 +105,16 @@ class Response:
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
+    @property
+    def error(self) -> dict[str, Any] | None:
+        """The error envelope (``{"code", "message", "request_id"}``) of a
+        4xx/5xx response, or ``None`` on success."""
+        if isinstance(self.payload, dict):
+            envelope = self.payload.get("error")
+            if isinstance(envelope, dict):
+                return envelope
+        return None
+
     def json(self) -> Any:
         return self.payload
 
@@ -113,8 +130,39 @@ def json_response(payload: Any, status: int = 200) -> Response:
                     headers={"content-type": "application/json"})
 
 
-def error_response(status: int, message: str) -> Response:
-    return json_response({"error": message, "status": status}, status=status)
+def error_response(status: int, message: str, request_id: str = "") -> Response:
+    """The uniform v1 error envelope.
+
+    Every 4xx/5xx the API emits has this shape; the request-id middleware
+    fills ``request_id`` in for envelopes created below it in the chain.
+    """
+    return json_response(
+        {"error": {"code": status, "message": message,
+                   "request_id": request_id}},
+        status=status,
+    )
+
+
+def paginated(items: list, request: Request, *,
+              default_limit: int) -> dict[str, Any]:
+    """Slice ``items`` by ``limit``/``offset`` query params into the
+    uniform list envelope ``{"items", "total", "limit", "offset"}``.
+
+    ``total`` counts the full result set before windowing, so clients can
+    page without a separate count request."""
+    limit = request.query_int("limit", default_limit)
+    offset = request.query_int("offset", 0)
+    assert limit is not None and offset is not None
+    if limit < 0:
+        raise HttpError(400, "query parameter 'limit' must be >= 0")
+    if offset < 0:
+        raise HttpError(400, "query parameter 'offset' must be >= 0")
+    return {
+        "items": list(items[offset:offset + limit]),
+        "total": len(items),
+        "limit": limit,
+        "offset": offset,
+    }
 
 
 def not_modified(etag: str) -> Response:

@@ -1,0 +1,205 @@
+"""The request pipeline: composable middleware around router dispatch.
+
+``CarCsApi.__call__`` used to inline its pre-dispatch logic (conditional
+GET); everything cross-cutting now lives here as middleware — small
+callables of ``(request, call_next) -> response`` composed into one
+handler.  The production chain, outermost first:
+
+1. :class:`RequestIdMiddleware` — stamps a per-request id (honouring an
+   inbound ``X-Request-Id``), echoes it as a response header, and fills
+   it into any error envelope produced further down.
+2. :class:`MetricsMiddleware` — times the whole dispatch; per-route
+   request counters by status class + latency histograms.
+3. :class:`LoggingMiddleware` — one structured record per request.
+4. :class:`ErrorMiddleware` — converts uncaught exceptions into clean
+   ``500`` envelopes instead of killing the server thread.
+5. :class:`LockMiddleware` — repository reader-writer lock: GETs share
+   the read side, mutating methods take the exclusive write side.
+6. :class:`ConditionalGetMiddleware` — ETag / If-None-Match 304
+   short-circuit (inside the lock, so the version read is consistent).
+
+Ordering matters: metrics/logging sit outside the error boundary so
+500s are counted and logged; the lock sits outside the conditional-GET
+check so the ETag comparison and the dispatch it guards see one
+repository version.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.obs import MetricsRegistry, RequestLog, new_request_id
+
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    error_response,
+    etag_matches,
+    not_modified,
+)
+
+Handler = Callable[[Request], Response]
+Middleware = Callable[[Request, Handler], Response]
+
+#: Route label used when no route matched (keeps metric cardinality
+#: bounded — unmatched paths are attacker-controlled strings).
+UNMATCHED = "<unmatched>"
+
+
+def compose(middlewares: Sequence[Middleware], endpoint: Handler) -> Handler:
+    """Fold ``middlewares`` (outermost first) around ``endpoint``."""
+    handler = endpoint
+    for middleware in reversed(middlewares):
+        def handler(request, _mw=middleware, _next=handler):
+            return _mw(request, _next)
+    return handler
+
+
+def route_label(request: Request) -> str:
+    """Low-cardinality metrics label: ``"GET /api/v1/assignments/<int:id>"``."""
+    return f"{request.method} {request.route_pattern or UNMATCHED}"
+
+
+class RequestIdMiddleware:
+    """Stamp/propagate request ids and surface them everywhere."""
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        request.request_id = (
+            request.header("x-request-id") or new_request_id()
+        )
+        response = call_next(request)
+        response.headers.setdefault("x-request-id", request.request_id)
+        envelope = response.error
+        if envelope is not None and not envelope.get("request_id"):
+            envelope["request_id"] = request.request_id
+        return response
+
+
+class MetricsMiddleware:
+    """Per-route request counters (by status class) + latency histograms."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        start = time.perf_counter()
+        try:
+            response = call_next(request)
+        except BaseException:
+            # Only reachable if no error boundary sits below us; count the
+            # blow-up before letting it propagate.
+            self._record(request, 500, time.perf_counter() - start)
+            raise
+        self._record(request, response.status, time.perf_counter() - start)
+        return response
+
+    def _record(self, request: Request, status: int, elapsed: float) -> None:
+        label = route_label(request)
+        self.registry.counter(
+            "http_requests_total",
+            route=label, status=f"{status // 100}xx",
+        ).inc()
+        self.registry.histogram(
+            "http_request_seconds", route=label,
+        ).observe(elapsed)
+
+
+class LoggingMiddleware:
+    """One structured record per request, correlated by request id."""
+
+    def __init__(self, log: RequestLog) -> None:
+        self.log = log
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        start = time.perf_counter()
+        response = call_next(request)
+        self.log.record(
+            request_id=request.request_id,
+            method=request.method,
+            path=request.path,
+            route=request.route_pattern or UNMATCHED,
+            status=response.status,
+            duration_ms=round((time.perf_counter() - start) * 1e3, 3),
+        )
+        return response
+
+
+class ErrorMiddleware:
+    """Uncaught exception -> clean 500 envelope (the thread survives)."""
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 log: RequestLog | None = None) -> None:
+        self.registry = registry
+        self.log = log
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        try:
+            return call_next(request)
+        except HttpError as exc:
+            # Handlers normally raise inside the router (which converts),
+            # but a middleware below us may raise too.
+            return error_response(exc.status, exc.message, request.request_id)
+        except Exception as exc:  # noqa: BLE001 — the 500 boundary
+            if self.registry is not None:
+                self.registry.counter(
+                    "http_exceptions_total", type=type(exc).__name__,
+                ).inc()
+            if self.log is not None:
+                self.log.record(
+                    request_id=request.request_id,
+                    method=request.method,
+                    path=request.path,
+                    event="unhandled_exception",
+                    exception=type(exc).__name__,
+                    detail=str(exc),
+                )
+            # The internal detail stays in the log; clients get a generic
+            # message plus the id that finds it.
+            return error_response(
+                500, "internal server error", request.request_id
+            )
+
+
+class LockMiddleware:
+    """Hold the database RW lock for the whole dispatch.
+
+    GET/HEAD share the read side (concurrent analytics reads), every
+    mutating method takes the exclusive write side — handlers then never
+    interleave with a writer mid-request."""
+
+    READ_METHODS = frozenset({"GET", "HEAD", "OPTIONS"})
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        lock = self.db.lock
+        scope = (lock.read() if request.method in self.READ_METHODS
+                 else lock.write())
+        with scope:
+            return call_next(request)
+
+
+class ConditionalGetMiddleware:
+    """ETag / If-None-Match revalidation for GETs.
+
+    ``exempt`` paths (metrics, health) change without a repository
+    mutation, so they never 304."""
+
+    def __init__(self, etag_fn: Callable[[], str],
+                 exempt: Iterable[str] = ()) -> None:
+        self.etag_fn = etag_fn
+        self.exempt = frozenset(exempt)
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        if request.method != "GET" or request.path in self.exempt:
+            return call_next(request)
+        etag = self.etag_fn()
+        if etag_matches(request.header("if-none-match"), etag):
+            return not_modified(etag)
+        response = call_next(request)
+        if response.ok:
+            response.headers.setdefault("etag", etag)
+        return response

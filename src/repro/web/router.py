@@ -2,13 +2,20 @@
 
 Routes are declared as ``"/assignments/<int:id>"``-style patterns; the
 router dispatches (method, path) to the first matching handler, filling
-``request.params``.  Unknown paths yield 404, known paths with the wrong
-method yield 405 — the behaviours REST clients depend on.
+``request.params`` with *converted* values — an ``<int:id>`` segment
+arrives as an ``int``, so handlers never re-cast by hand.  Unknown paths
+yield 404, known paths with the wrong method yield 405 — the behaviours
+REST clients depend on.
+
+A route may be registered as ``deprecated`` (the unprefixed aliases of
+the ``/api/v1`` surface): it still dispatches, but every response gains
+a ``Deprecation: true`` header so clients can spot their stale paths.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Callable
 
 from .http import HttpError, Request, Response, error_response
@@ -16,6 +23,12 @@ from .http import HttpError, Request, Response, error_response
 Handler = Callable[[Request], Response]
 
 _PARAM = re.compile(r"<(?:(int|str):)?([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+# Applied to raw (string) match groups before the handler runs.
+_CONVERTERS: dict[str, Callable[[str], object]] = {
+    "int": int,
+    "str": str,
+}
 
 
 def _compile(pattern: str) -> tuple[re.Pattern, dict[str, str]]:
@@ -34,15 +47,31 @@ def _compile(pattern: str) -> tuple[re.Pattern, dict[str, str]]:
     return re.compile(f"^{regex}/?$"), types
 
 
+@dataclass(frozen=True)
+class Route:
+    """One (method, pattern) -> handler binding."""
+
+    method: str
+    pattern: str                 # the source pattern, e.g. "/things/<int:id>"
+    regex: re.Pattern
+    types: dict[str, str]
+    handler: Handler
+    deprecated: bool = False
+
+
 class Router:
     """Ordered route table."""
 
     def __init__(self) -> None:
-        self._routes: list[tuple[str, re.Pattern, dict[str, str], Handler]] = []
+        self._routes: list[Route] = []
 
-    def add(self, method: str, pattern: str, handler: Handler) -> None:
+    def add(self, method: str, pattern: str, handler: Handler, *,
+            deprecated: bool = False) -> None:
         regex, types = _compile(pattern)
-        self._routes.append((method.upper(), regex, types, handler))
+        self._routes.append(Route(
+            method=method.upper(), pattern=pattern, regex=regex,
+            types=types, handler=handler, deprecated=deprecated,
+        ))
 
     def route(self, method: str, pattern: str):
         """Decorator form: ``@router.route("GET", "/things/<int:id>")``."""
@@ -55,22 +84,36 @@ class Router:
 
     def dispatch(self, request: Request) -> Response:
         path_matched = False
-        for method, regex, types, handler in self._routes:
-            match = regex.match(request.path)
+        for route in self._routes:
+            match = route.regex.match(request.path)
             if match is None:
                 continue
             path_matched = True
-            if method != request.method:
+            if route.method != request.method:
                 continue
-            request.params = dict(match.groupdict())
+            request.params = {
+                name: _CONVERTERS[route.types.get(name, "str")](value)
+                for name, value in match.groupdict().items()
+            }
+            request.route_pattern = route.pattern
+            request.route_deprecated = route.deprecated
             try:
-                return handler(request)
+                response = route.handler(request)
             except HttpError as exc:
-                return error_response(exc.status, exc.message)
+                response = error_response(
+                    exc.status, exc.message, request.request_id
+                )
+            if route.deprecated:
+                response.headers.setdefault("deprecation", "true")
+            return response
         if path_matched:
-            return error_response(405, f"method {request.method} not allowed")
-        return error_response(404, f"no route for {request.path}")
+            return error_response(
+                405, f"method {request.method} not allowed", request.request_id
+            )
+        return error_response(
+            404, f"no route for {request.path}", request.request_id
+        )
 
-    def routes(self) -> list[tuple[str, str]]:
-        """(method, pattern source) pairs — the API index."""
-        return [(m, r.pattern) for m, r, _, _ in self._routes]
+    def routes(self) -> list[Route]:
+        """The route table in registration order — the API index."""
+        return list(self._routes)

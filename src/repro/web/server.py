@@ -2,8 +2,12 @@
 
 The in-process application object is transport-agnostic; this adapter
 binds it to a TCP socket so the prototype can actually be browsed or
-curl'ed, standing in for the paper's Heroku deployment.  Intended for
-local use and tests — single-threaded by default, threaded on request.
+curl'ed, standing in for the paper's Heroku deployment.  Threaded by
+default — the application pipeline is concurrency-safe (reader-writer
+lock around the repository, locked caches, thread-safe metrics), so one
+slow ``/similarity`` no longer blocks every other client.  Pass
+``threaded=False`` for a strictly serial server (e.g. when bisecting a
+concurrency bug).
 """
 
 from __future__ import annotations
@@ -75,7 +79,7 @@ class ApiServer:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
-        threaded: bool = False,
+        threaded: bool = True,
     ) -> None:
         server_cls = ThreadingHTTPServer if threaded else HTTPServer
         self._httpd = server_cls((host, port), _make_handler(app))

@@ -1,0 +1,146 @@
+"""RWLock semantics: shared readers, exclusive writers, reentrancy."""
+
+import threading
+import time
+
+import pytest
+
+from repro.db.locks import RWLock
+
+WAIT = 5.0  # generous thread-sync timeout; tests fail fast on deadlock
+
+
+class TestReentrancy:
+    def test_read_inside_read(self):
+        lock = RWLock()
+        with lock.read():
+            with lock.read():
+                assert lock.read_held
+        assert not lock.read_held
+
+    def test_write_inside_write(self):
+        lock = RWLock()
+        with lock.write():
+            with lock.write():
+                assert lock.write_held
+        assert not lock.write_held
+
+    def test_read_inside_write(self):
+        lock = RWLock()
+        with lock.write():
+            with lock.read():
+                assert lock.read_held and lock.write_held
+
+    def test_upgrade_is_rejected(self):
+        lock = RWLock()
+        with lock.read():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+        # The failed upgrade must not corrupt state: a writer can proceed.
+        with lock.write():
+            pass
+
+    def test_unbalanced_release_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestSharingAndExclusion:
+    def test_two_readers_hold_simultaneously(self):
+        lock = RWLock()
+        first_in = threading.Event()
+        second_in = threading.Event()
+
+        def reader(my_event, other_event):
+            with lock.read():
+                my_event.set()
+                # Both readers must be inside at once for this to pass.
+                assert other_event.wait(WAIT)
+
+        a = threading.Thread(target=reader, args=(first_in, second_in))
+        b = threading.Thread(target=reader, args=(second_in, first_in))
+        a.start(); b.start()
+        a.join(WAIT); b.join(WAIT)
+        assert not a.is_alive() and not b.is_alive()
+
+    def test_writer_excludes_reader(self):
+        lock = RWLock()
+        order = []
+        writer_in = threading.Event()
+        release_writer = threading.Event()
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+                assert release_writer.wait(WAIT)
+                order.append("writer-done")
+
+        def reader():
+            assert writer_in.wait(WAIT)
+            with lock.read():
+                order.append("reader-in")
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start(); r.start()
+        assert writer_in.wait(WAIT)
+        time.sleep(0.05)          # give the reader a chance to (wrongly) enter
+        assert order == []        # reader is blocked behind the writer
+        release_writer.set()
+        w.join(WAIT); r.join(WAIT)
+        assert order == ["writer-done", "reader-in"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: under a stream of readers the writer gets in
+        before readers that arrived after it."""
+        lock = RWLock()
+        reader_in = threading.Event()
+        release_first_reader = threading.Event()
+        order = []
+
+        def first_reader():
+            with lock.read():
+                reader_in.set()
+                assert release_first_reader.wait(WAIT)
+
+        def writer():
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read():
+                order.append("late-reader")
+
+        r1 = threading.Thread(target=first_reader)
+        r1.start()
+        assert reader_in.wait(WAIT)
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)          # writer is now queued behind r1
+        r2 = threading.Thread(target=late_reader)
+        r2.start()
+        time.sleep(0.05)
+        release_first_reader.set()
+        for t in (r1, w, r2):
+            t.join(WAIT)
+        assert order[0] == "writer"
+
+    def test_concurrent_counter_mutation_is_exclusive(self):
+        """A read-modify-write under the write lock never loses updates."""
+        lock = RWLock()
+        state = {"n": 0}
+
+        def bump():
+            for _ in range(2000):
+                with lock.write():
+                    state["n"] += 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(WAIT)
+        assert state["n"] == 8000

@@ -1,0 +1,148 @@
+"""The observability substrate: metrics math + structured request log."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    RequestLog,
+    new_request_id,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        registry = MetricsRegistry()
+        c = registry.counter("events_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_labelled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("req", route="a").inc()
+        registry.counter("req", route="b").inc(2)
+        assert registry.counter("req", route="a").value == 1
+        assert registry.counter("req", route="b").value == 2
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+        c = registry.counter("hot")
+
+        def spin():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistogramBucketMath:
+    def test_observations_land_in_correct_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.9, 100.0):
+            h.observe(v)
+        # bounds are inclusive upper edges: 1.0 -> first bucket, 2.0 -> second
+        assert h.counts == [2, 2, 1, 1]   # last slot is +inf
+        assert h.count == 6
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 100.0)
+
+    def test_cumulative_is_monotone_and_ends_at_total(self):
+        h = Histogram(buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        cumulative = h.cumulative()
+        counts = [n for _, n in cumulative]
+        assert counts == sorted(counts)
+        assert cumulative[-1] == (float("inf"), 4)
+
+    def test_quantile_estimates_bucket_upper_bound(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for _ in range(90):
+            h.observe(0.5)
+        for _ in range(10):
+            h.observe(3.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) == 4.0
+
+    def test_quantile_of_empty_histogram(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_rejects_empty_or_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_sorted_and_subsecond_heavy(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert sum(1 for b in DEFAULT_LATENCY_BUCKETS if b < 1.0) >= 8
+
+    def test_export_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", route="GET /x").inc()
+        registry.histogram("latency", route="GET /x").observe(0.003)
+        registry.gauge("depth").set(2)
+        out = registry.export()
+        assert out["counters"]["requests{route=GET /x}"]["value"] == 1
+        assert out["gauges"]["depth"]["value"] == 2
+        hist = out["histograms"]["latency{route=GET /x}"]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1]["le"] == "+inf"
+
+
+class TestRequestLog:
+    def test_records_are_structured_and_stamped(self):
+        log = RequestLog()
+        entry = log.record(request_id="abc", method="GET", status=200)
+        assert entry["request_id"] == "abc"
+        assert entry["ts"] > 0
+        assert log.tail(1)[0]["method"] == "GET"
+
+    def test_ring_bound_and_dropped_counter(self):
+        log = RequestLog(capacity=3)
+        for i in range(5):
+            log.record(request_id=str(i))
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [r["request_id"] for r in log.tail()] == ["2", "3", "4"]
+
+    def test_find_by_request_id(self):
+        log = RequestLog()
+        log.record(request_id="one", status=200)
+        log.record(request_id="two", status=500)
+        assert log.find("two")[0]["status"] == 500
+        assert log.find("nope") == []
+
+    def test_request_ids_are_unique(self):
+        ids = {new_request_id() for _ in range(1000)}
+        assert len(ids) == 1000

@@ -10,18 +10,18 @@ from repro.web import CarCsApi, Client
 
 @pytest.fixture(scope="module")
 def client():
-    """A seeded, module-scoped API client.
+    """A seeded, module-scoped API client pinned to the v1 surface.
 
     Mutating tests create their own materials and clean up via DELETE.
     """
-    return Client(CarCsApi(seed_all()))
+    return Client(CarCsApi(seed_all()), root="/api/v1")
 
 
 @pytest.fixture()
 def empty_client():
     repo = Repository()
     seed_ontologies(repo)
-    return Client(CarCsApi(repo))
+    return Client(CarCsApi(repo), root="/api/v1")
 
 
 class TestAssignmentCrud:
@@ -120,32 +120,47 @@ class TestClassificationEditing:
 class TestListingAndSearch:
     def test_list_by_collection(self, client):
         r = client.get("/assignments?collection=peachy")
-        assert r.json()["count"] == 11
+        assert r.json()["total"] == 11
+        assert len(r.json()["items"]) == 11
 
     def test_text_search_ranks(self, client):
         r = client.get("/assignments?q=hurricane+storm+track")
-        titles = [x["title"] for x in r.json()["results"]]
+        titles = [x["title"] for x in r.json()["items"]]
         assert "Hurricane Tracker" in titles[:3]
 
     def test_filter_under_subtree(self, client):
         r = client.get("/assignments?under=PDC12/PROG&collection=nifty")
-        assert r.json()["count"] == 0
+        assert r.json()["total"] == 0
         r = client.get("/assignments?under=PDC12/PROG&collection=peachy")
-        assert r.json()["count"] == 11
+        assert r.json()["total"] == 11
 
     def test_facet_query_language_in_q(self, client):
         r = client.get("/assignments?q=collection:peachy+fire")
-        titles = [x["title"] for x in r.json()["results"]]
+        titles = [x["title"] for x in r.json()["items"]]
         assert titles and all("Fire" in t for t in titles[:1])
 
     def test_bad_facet_yields_400(self, client):
         r = client.get("/assignments?q=nonsense:value")
         assert r.status == 400
-        assert "unknown facet" in r.json()["error"]
+        assert "unknown facet" in r.json()["error"]["message"]
 
     def test_year_facet(self, client):
         r = client.get("/assignments?q=year:2003..2004+collection:nifty")
-        assert 0 < r.json()["count"] <= 5
+        assert 0 < r.json()["total"] <= 5
+
+    def test_pagination_windows_and_counts(self, client):
+        full = client.get("/assignments?collection=nifty").json()
+        assert full["total"] == 65
+        page = client.get(
+            "/assignments?collection=nifty&limit=10&offset=20"
+        ).json()
+        assert page["total"] == 65
+        assert page["limit"] == 10 and page["offset"] == 20
+        assert page["items"] == full["items"][20:30]
+
+    def test_pagination_rejects_negative_params(self, client):
+        assert client.get("/assignments?limit=-1").status == 400
+        assert client.get("/assignments?offset=-5").status == 400
 
 
 class TestOntologyResources:
@@ -158,8 +173,15 @@ class TestOntologyResources:
 
     def test_entry_search_highlights_phrase(self, client):
         r = client.get("/ontologies/CS13/entries?search=critical+path")
-        labels = [e["label"] for e in r.json()["results"]]
+        labels = [e["label"] for e in r.json()["items"]]
         assert any("Critical path" in l for l in labels)
+
+    def test_entry_browse_paginates(self, client):
+        first = client.get("/ontologies/PDC12/entries?limit=5").json()
+        assert first["limit"] == 5 and len(first["items"]) == 5
+        second = client.get("/ontologies/PDC12/entries?limit=5&offset=5").json()
+        assert second["items"] != first["items"]
+        assert second["total"] == first["total"] > 10
 
     def test_entry_search_unknown_ontology(self, client):
         assert client.get("/ontologies/NOPE/entries").status == 404
@@ -220,7 +242,7 @@ class TestFigureResources:
         # the sequential integrator is the corpus's one lint finding
         integrator = client.get(
             "/assignments?q=rectangle+method+collection:itcs3145"
-        ).json()["results"][0]
+        ).json()["items"][0]
         r = client.get(f"/assignments/{integrator['id']}/lint")
         assert r.json()["findings"][0]["rule"] == "cross-ontology"
 

@@ -75,7 +75,19 @@ class TestResponse:
         r = error_response(404, "missing")
         assert not r.ok
         assert r.status == 404
-        assert r.json()["error"] == "missing"
+        assert r.json()["error"] == {
+            "code": 404, "message": "missing", "request_id": "",
+        }
+        assert r.error["message"] == "missing"
+
+    def test_error_response_carries_request_id(self):
+        r = error_response(500, "boom", "req-123")
+        assert r.error == {
+            "code": 500, "message": "boom", "request_id": "req-123",
+        }
+
+    def test_error_property_none_on_success(self):
+        assert json_response({"ok": True}).error is None
 
     def test_text_renders_json(self):
         assert '"x": 1' in json_response({"x": 1}).text()

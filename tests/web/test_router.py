@@ -36,8 +36,9 @@ class TestDispatch:
         assert r.json() == ["a", "b"]
 
     def test_int_param_extracted(self):
+        # <int:...> params are converted by the router: handlers get ints.
         r = make_router().dispatch(Request.build("GET", "/things/42"))
-        assert r.json() == {"id": "42"}
+        assert r.json() == {"id": 42}
 
     def test_int_param_rejects_non_numeric(self):
         r = make_router().dispatch(Request.build("GET", "/things/abc"))
@@ -70,8 +71,36 @@ class TestDispatch:
     def test_http_error_becomes_response(self):
         r = make_router().dispatch(Request.build("GET", "/boom"))
         assert r.status == 418
-        assert r.json()["error"] == "teapot"
+        assert r.json()["error"]["message"] == "teapot"
+        assert r.json()["error"]["code"] == 418
 
     def test_routes_listing(self):
         table = make_router().routes()
-        assert ("GET", "^/things/?$") in table
+        assert ("GET", "/things") in [(r.method, r.pattern) for r in table]
+
+    def test_deprecated_route_gets_header(self):
+        router = make_router()
+        router.add(
+            "GET", "/old-things",
+            lambda request: json_response(["a"]), deprecated=True,
+        )
+        r = router.dispatch(Request.build("GET", "/old-things"))
+        assert r.ok
+        assert r.headers["deprecation"] == "true"
+        # Canonical routes carry no deprecation header.
+        fresh = router.dispatch(Request.build("GET", "/things"))
+        assert "deprecation" not in fresh.headers
+
+    def test_typed_param_conversion_in_dispatch(self):
+        captured = {}
+
+        router = Router()
+
+        @router.route("GET", "/pair/<int:left>/<right>")
+        def pair(request):
+            captured.update(request.params)
+            return json_response(None)
+
+        router.dispatch(Request.build("GET", "/pair/7/seven"))
+        assert captured == {"left": 7, "right": "seven"}
+        assert isinstance(captured["left"], int)
