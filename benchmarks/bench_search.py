@@ -1,0 +1,144 @@
+"""SEARCH — incremental index maintenance vs rebuild-the-world.
+
+The tentpole claim for the inverted-index search path: maintaining the
+BM25 index through the database change journal makes a single-document
+mutation O(changed docs), not O(corpus).  At 10⁴ materials a one-row
+PATCH must be at least 10× cheaper to absorb than a full refit, and
+query latency over the incremental index must match the rebuilt one
+(they are bit-identical — tests/core/test_search_index.py proves it;
+here we document the throughput).
+
+Run with ``-s`` to see the measured table; the numbers feed
+EXPERIMENTS.md §SEARCH.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.repository import Repository
+from repro.core.search import MODE_BM25, MODE_DENSE, SearchEngine, SearchFilters
+from repro.corpus.generator import GeneratorConfig, seed_synthetic
+from repro.corpus.seed import seed_ontologies
+
+SEARCH_SCALE_N = 10_000
+QUERIES = (
+    "parallel graph traversal",
+    "sorting with threads",
+    "matrix multiply cuda",
+    "monte carlo simulation",
+    "message passing broadcast",
+)
+
+
+@pytest.fixture(scope="module")
+def search_repo():
+    repo = Repository()
+    seed_ontologies(repo)
+    ids = seed_synthetic(
+        repo, "CS13",
+        GeneratorConfig(n_materials=SEARCH_SCALE_N, collection="bulk"),
+    )
+    return repo, ids
+
+
+def test_cold_build_time(search_repo):
+    """Document the cost of a from-scratch index build at n=10⁴."""
+    repo, _ = search_repo
+    engine = SearchEngine(repo, mode=MODE_BM25)
+    t0 = time.perf_counter()
+    engine.refresh()
+    build_s = time.perf_counter() - t0
+    stats = engine.stats()
+    print(f"\nSEARCH cold build n={SEARCH_SCALE_N}: {build_s * 1e3:.1f} ms, "
+          f"{stats['terms']} terms, {stats['postings']} postings")
+    assert stats["docs"] == SEARCH_SCALE_N
+
+
+def test_single_doc_update_beats_full_rebuild(search_repo):
+    """The acceptance gate: absorbing one PATCH through the change
+    journal must be ≥10× cheaper than refitting the whole index."""
+    repo, ids = search_repo
+    engine = SearchEngine(repo, mode=MODE_BM25)
+    engine.refresh()
+
+    # Full rebuild cost (best-of-3 to be scheduler-proof).
+    rebuild_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        engine.refresh()
+        rebuild_s = min(rebuild_s, time.perf_counter() - t0)
+
+    # Single-document delta cost: PATCH one row, then let ensure_fresh()
+    # catch up through the journal.  Best-of-3, touching a different
+    # material each round so every measurement does real work.
+    update_s = float("inf")
+    for i in range(3):
+        repo.update_material(ids[i], title=f"incremental probe {i}",
+                             description="delta maintenance benchmark")
+        t0 = time.perf_counter()
+        engine.ensure_fresh()
+        update_s = min(update_s, time.perf_counter() - t0)
+
+    assert engine.docs_reindexed >= 3
+    speedup = rebuild_s / update_s if update_s else float("inf")
+    print(f"\nSEARCH single-doc update n={SEARCH_SCALE_N}: "
+          f"rebuild {rebuild_s * 1e3:.1f} ms, delta {update_s * 1e6:.1f} µs, "
+          f"{speedup:,.0f}x")
+    assert update_s * 10 <= rebuild_s, (
+        f"delta update only {speedup:.1f}x cheaper than rebuild "
+        f"(rebuild {rebuild_s:.4f}s, update {update_s:.4f}s)"
+    )
+
+
+def test_query_throughput(search_repo):
+    """Queries/second over the warm BM25 index at n=10⁴, text-only and
+    facet-narrowed (facet intersection shrinks the scoring set)."""
+    repo, _ = search_repo
+    engine = SearchEngine(repo, mode=MODE_BM25)
+    engine.refresh()
+
+    rounds = 20
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for q in QUERIES:
+            engine.search(q, limit=10)
+    text_s = (time.perf_counter() - t0) / (rounds * len(QUERIES))
+
+    filters = SearchFilters(collections=("bulk",), years=(2012, 2018))
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for q in QUERIES:
+            engine.search(q, filters, limit=10)
+    facet_s = (time.perf_counter() - t0) / (rounds * len(QUERIES))
+
+    print(f"\nSEARCH query throughput n={SEARCH_SCALE_N}: "
+          f"text {1 / text_s:,.0f} q/s ({text_s * 1e3:.2f} ms), "
+          f"faceted {1 / facet_s:,.0f} q/s ({facet_s * 1e3:.2f} ms)")
+    assert engine.search(QUERIES[0], limit=10)
+
+
+def test_bm25_vs_dense_query_latency(search_repo):
+    """Escape-hatch comparison: the dense TF-IDF path scores the whole
+    corpus per query; BM25 touches only the query terms' postings."""
+    repo, _ = search_repo
+    bm25 = SearchEngine(repo, mode=MODE_BM25)
+    dense = SearchEngine(repo, mode=MODE_DENSE)
+    bm25.refresh()
+    dense.refresh()
+
+    def best_of(engine, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for q in QUERIES:
+                engine.search(q, limit=10)
+            best = min(best, (time.perf_counter() - t0) / len(QUERIES))
+        return best
+
+    bm25_s, dense_s = best_of(bm25), best_of(dense)
+    print(f"\nSEARCH bm25 vs dense n={SEARCH_SCALE_N}: "
+          f"bm25 {bm25_s * 1e3:.2f} ms/q, dense {dense_s * 1e3:.2f} ms/q, "
+          f"{dense_s / bm25_s:.1f}x")

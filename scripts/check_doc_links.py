@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Relative-link checker for the documentation set.
+
+Walks the markdown files CI guards (``docs/*.md`` plus the top-level
+README/DESIGN/EXPERIMENTS/ROADMAP) and verifies that every relative
+markdown link — ``[text](path)`` and reference-style ``[text]: path`` —
+resolves to a file that exists.  External (``http``/``https``/
+``mailto``) links and pure in-page ``#anchors`` are skipped; a
+``path#anchor`` link is checked for the file only.
+
+Exit status 1 lists every broken link as ``file:line: target``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_GLOBS = ("docs/*.md", "README.md", "DESIGN.md", "EXPERIMENTS.md",
+             "ROADMAP.md", "CHANGES.md")
+
+# Inline [text](target) — target ends at the first unnested ")".
+_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style "[label]: target" at line start.
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def targets_in(text: str) -> list[tuple[int, str]]:
+    """(line number, link target) for every markdown link in ``text``."""
+    found: list[tuple[int, str]] = []
+    for pattern in (_INLINE, _REFERENCE):
+        for match in pattern.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            found.append((line, match.group(1)))
+    return sorted(found)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    for line, target in targets_in(path.read_text()):
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            rel = path.relative_to(REPO_ROOT)
+            errors.append(f"{rel}:{line}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    errors = [err for path in files for err in check_file(path)]
+    if errors:
+        sys.stderr.write("\n".join(errors) + "\n")
+        return 1
+    print(f"doc links ok: {len(files)} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

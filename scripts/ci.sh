@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 
 python -m compileall -q src
 PYTHONPATH=src python -m pytest -x -q tests/
+
+# Docs gate: the generated API reference must match the live route
+# table, and every relative doc link must resolve.
+PYTHONPATH=src python scripts/gen_api_docs.py --check
+python scripts/check_doc_links.py

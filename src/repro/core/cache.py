@@ -25,6 +25,15 @@ Correctness rules:
 The global kill switch honours the ``CARCS_CACHE`` environment variable
 (``CARCS_CACHE=off`` disables every cache in the process) so benchmarks
 can measure cold behaviour without code changes.
+
+Scope note: this cache invalidates **whole entries** on any dependency
+version drift, which is the right contract for results that genuinely
+depend on the full corpus (coverage, similarity, the recommender fit).
+State that can be repaired per document — the search engine's inverted
+index — deliberately lives *outside* this cache: it subscribes to the
+database change journal (:meth:`repro.db.Database.changes_since`) and
+patches only the touched documents' postings instead of discarding
+everything (see :mod:`repro.core.index`).
 """
 
 from __future__ import annotations
@@ -203,13 +212,20 @@ class AnalyticsCache:
 
     # -- maintenance ------------------------------------------------------
 
-    def invalidate(self, name: str | None = None) -> int:
-        """Drop entries (all of them, or those of one function name)."""
+    def invalidate(self, name: str | None = None, key: Any = None) -> int:
+        """Drop entries and return how many were dropped.
+
+        With no arguments everything goes; with ``name`` every entry of
+        that function; with ``name`` *and* ``key`` exactly one memoized
+        call (``key`` is frozen the same way lookups freeze arguments).
+        """
         with self._lock:
             if name is None:
                 dropped = len(self._entries)
                 self._entries.clear()
                 return dropped
+            if key is not None:
+                return 1 if self._entries.pop((name, freeze(key)), None) else 0
             victims = [k for k in self._entries if k[0] == name]
             for k in victims:
                 del self._entries[k]

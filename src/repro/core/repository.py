@@ -420,6 +420,25 @@ class Repository:
             out.append((mid, entries.get(eid)["key"]))
         return out
 
+    @Memo(*_CLASSIFICATION_TABLES)
+    def classification_keys(self) -> dict[int, frozenset[str]]:
+        """Material id → frozenset of classified ontology keys, for every
+        material, loaded in one pass over the link table.
+
+        This is the batch form of :meth:`classification_of` that the
+        search paths use: one call per query/rebuild instead of one
+        link-table query per material.  The result is memoized on the
+        classification tables' versions and **shared** — treat it as
+        read-only (keys are frozensets, so accidental mutation is hard).
+        """
+        entries = self.db.table("ontology_entries")
+        keys: dict[int, set[str]] = {
+            r["id"]: set() for r in self.db.table("materials")
+        }
+        for mid, eid in self.material_classifications.pairs():
+            keys.setdefault(mid, set()).add(str(entries.get(eid)["key"]))
+        return {mid: frozenset(ks) for mid, ks in keys.items()}
+
     # ------------------------------------------------------ users & curation
 
     def add_user(self, name: str, role: Role) -> int:
@@ -573,8 +592,10 @@ class Repository:
         return self._search_engine
 
     def search(self, text: str = "", filters=None, *, limit: int = 20):
-        """Facet + full-text search; the TF-IDF index rebuilds only when
-        the repository version has moved since the last query."""
+        """Facet + full-text search.  The BM25 inverted index catches up
+        incrementally from the db change journal when the repository
+        version has moved; ``CARCS_SEARCH=dense`` selects the legacy
+        TF-IDF path, which refits on version drift instead."""
         return self.search_engine().search(text, filters, limit=limit)
 
     def recommender(self):
@@ -596,7 +617,8 @@ class Repository:
 
     def stats(self) -> dict[str, int]:
         """Row counts of the main tables (used by reports and benches),
-        plus the repository version and the analytics-cache counters."""
+        plus the repository version, the analytics-cache counters and —
+        once a search engine exists — the search-index counters."""
         with self.db.lock.read():
             base = self.db.stats()
             base["classification_links"] = len(self.material_classifications)
@@ -604,4 +626,7 @@ class Repository:
             base["cache_entries"] = len(self.cache)
         for key, value in self.cache.stats.as_dict().items():
             base[f"cache_{key}"] = value
+        if self._search_engine is not None:
+            for key, value in self._search_engine.stats().items():
+                base[f"search_{key}"] = value
         return base

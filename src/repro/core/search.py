@@ -3,22 +3,75 @@
 Section III-A: "one can explicitly filter against a group of features
 that is of interest to an instructor looking for material" — course
 level, language, dataset use, kind, collection, and (most importantly)
-classification under an ontology subtree.  Full-text ranking uses the
-TF-IDF substrate so "traditional search tools" queries work too.
+classification under an ontology subtree.  Full-text ranking answers the
+"traditional search tools" queries.
+
+Two interchangeable backends live behind one :class:`SearchEngine`
+surface, selected by the ``CARCS_SEARCH`` environment variable:
+
+* ``bm25`` (default) — the incrementally maintained inverted index of
+  :mod:`repro.core.index`: facet posting sets intersected before BM25
+  scoring, kept current by replaying the database **change journal**
+  (:meth:`repro.db.Database.changes_since`).  A single insert or PATCH
+  re-indexes only the affected document; a full rebuild happens only
+  when the bounded journal has been outrun or a non-delta-able change
+  (DDL, ontology edit, facet-name rename) appears.
+* ``dense`` — the original TF-IDF + cosine path, retained as an escape
+  hatch and as the reference the benchmarks compare against.  It refits
+  the vectorizer whenever the repository version moves.
+
+Both modes share tokenization (:func:`repro.core.index.text_tokens`)
+and both guard against the aborted-transaction trap: an index built from
+uncommitted state is never kept, because rollback would re-use its
+version numbers for different content.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.db.errors import RowNotFound
 from repro.text import TfidfVectorizer, cosine_matrix
 
+from .index import MaterialIndex, text_tokens
 from .material import CourseLevel, Material, MaterialKind
 from .repository import Repository
+
+#: Environment variable selecting the backend (``bm25`` | ``dense``).
+ENV_MODE = "CARCS_SEARCH"
+MODE_BM25 = "bm25"
+MODE_DENSE = "dense"
+
+#: Tables whose change-journal entries map to one affected material and
+#: are therefore delta-maintainable (column holding the material id is
+#: ``materials_id`` for every link table, ``id`` for materials itself).
+_LINK_TABLES = frozenset((
+    "material_authors", "material_tags", "material_datasets",
+    "material_languages", "material_classifications",
+))
+
+#: Tables whose mutations cannot change any search result: skipping them
+#: means user sign-ups and curation-workflow writes no longer invalidate
+#: the index at all (the dense path rebuilt on *every* version bump).
+_IRRELEVANT_TABLES = frozenset(("users", "submissions", "suggestions"))
+
+#: Facet-name tables: inserts are inert (a name row affects nothing
+#: until a link row references it, and that link has its own journal
+#: entry); updates/deletes would rename facets under indexed documents,
+#: which no repository API currently does — full rebuild if ever seen.
+_NAME_TABLES = frozenset(("authors", "tags", "datasets", "languages"))
+
+
+def env_mode() -> str:
+    """Backend selected by ``CARCS_SEARCH`` (unset/unknown → ``bm25``)."""
+    raw = os.environ.get(ENV_MODE, MODE_BM25).strip().lower()
+    return MODE_DENSE if raw == MODE_DENSE else MODE_BM25
 
 
 @dataclass
@@ -73,27 +126,84 @@ class SearchHit:
 class SearchEngine:
     """Combined facet + full-text search over one repository.
 
-    The TF-IDF index is built lazily from material titles/descriptions and
-    rebuilt automatically whenever the repository's mutation version has
-    moved since the last query — no manual invalidation needed (the old
-    row-count heuristic missed in-place edits such as a PATCHed title).
-    :meth:`refresh` remains available to force an eager rebuild.
+    The index is maintained lazily: a query first reconciles with the
+    repository's mutation version.  In ``bm25`` mode reconciliation is
+    incremental (replay the change journal, re-resolve only the touched
+    materials); in ``dense`` mode it is a full refit.  :meth:`refresh`
+    forces an eager full rebuild in either mode.
+
+    Attach a :class:`repro.obs.MetricsRegistry` via :attr:`metrics` (the
+    API layer does) to get index-size gauges, incremental-vs-full
+    rebuild counters and a search latency histogram.
     """
 
-    def __init__(self, repo: Repository) -> None:
+    def __init__(self, repo: Repository, *, mode: str | None = None) -> None:
         self.repo = repo
+        self.mode = mode if mode in (MODE_BM25, MODE_DENSE) else env_mode()
+        #: Optional MetricsRegistry; set by the web layer.
+        self.metrics = None
+        # dense-mode state
         self._materials: list[Material] = []
         self._vectorizer: TfidfVectorizer | None = None
         self._matrix: np.ndarray | None = None
+        # bm25-mode state
+        self._index = MaterialIndex()
         self._indexed_version: int | None = None
+        # maintenance counters (numeric only; merged into Repository.stats)
+        self.full_rebuilds = 0
+        self.delta_catchups = 0
+        self.docs_reindexed = 0
+        self.searches = 0
         # The engine is shared (Repository.search_engine memoizes one
-        # instance) and the lazy rebuild swaps several fields; a reentrant
+        # instance) and reconciliation swaps several fields; a reentrant
         # mutex keeps concurrent searches from observing a half-built
         # index.
         self._engine_lock = threading.RLock()
 
+    # ------------------------------------------------------------ stats
+
+    def stats(self) -> dict[str, int]:
+        """Numeric maintenance/size counters (``Repository.stats`` merges
+        these under a ``search_`` prefix; ``/api/v1/metrics`` re-exports
+        them as gauges)."""
+        out = {
+            "full_rebuilds": self.full_rebuilds,
+            "delta_catchups": self.delta_catchups,
+            "docs_reindexed": self.docs_reindexed,
+            "searches": self.searches,
+        }
+        if self.mode == MODE_BM25:
+            out.update(self._index.stats())
+        else:
+            out["docs"] = len(self._materials)
+            vocab = self._vectorizer.vocabulary if self._vectorizer else None
+            out["terms"] = len(vocab) if vocab is not None else 0
+        return out
+
+    def _record_rebuild(self, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "carcs_search_rebuilds_total", kind=kind
+            ).inc()
+            for name, value in self._index.stats().items():
+                self.metrics.gauge(f"carcs_search_index_{name}").set(value)
+
+    # ------------------------------------------------------- maintenance
+
     def refresh(self) -> None:
+        """Force a full rebuild of the active backend's index."""
         with self._engine_lock:
+            self._refresh_locked()
+
+    def _refresh_locked(self) -> None:
+        if self.mode == MODE_BM25:
+            index = MaterialIndex()
+            keys_by_id = self.repo.classification_keys()
+            for material in self.repo.materials():
+                assert material.id is not None
+                index.add(material, keys_by_id.get(material.id, frozenset()))
+            self._index = index
+        else:
             self._materials = self.repo.materials()
             texts = [m.text() for m in self._materials]
             if texts:
@@ -102,16 +212,88 @@ class SearchEngine:
             else:
                 self._vectorizer = None
                 self._matrix = None
-            self._indexed_version = getattr(self.repo, "version", None)
+        self.full_rebuilds += 1
+        self._record_rebuild("full")
+        # An index built from uncommitted state must not survive the
+        # transaction: rollback restores version counters, so keeping it
+        # could serve phantom rows under a re-used version number.
+        if self.repo.db.in_transaction:
+            self._indexed_version = None
+        else:
+            self._indexed_version = self.repo.version
+
+    def ensure_fresh(self) -> None:
+        """Reconcile the index with the repository version (public form
+        of the lazy step every query performs; benchmarks time this)."""
+        with self.repo.db.lock.read(), self._engine_lock:
+            self._ensure_index()
 
     def _ensure_index(self) -> None:
-        version = getattr(self.repo, "version", None)
+        version = self.repo.version
+        # An index built inside a transaction records no version, so this
+        # equality can only hold for committed state.
+        if self._indexed_version == version:
+            return
         if (
-            self._indexed_version is None
-            or version is None
-            or version != self._indexed_version
+            self.mode == MODE_BM25
+            and self._indexed_version is not None
+            and not self.repo.db.in_transaction
         ):
-            self.refresh()
+            changes = self.repo.db.changes_since(self._indexed_version)
+            if changes is not None and self._apply_changes(changes):
+                self._indexed_version = version
+                self.delta_catchups += 1
+                self._record_rebuild("delta")
+                return
+        self._refresh_locked()
+
+    def _apply_changes(self, changes) -> bool:
+        """Catch the index up by re-resolving only the touched materials.
+
+        Returns ``False`` when a change cannot be mapped to a bounded set
+        of materials (DDL, ontology-entry or facet-name edits) — the
+        caller then falls back to a full rebuild.
+        """
+        affected: set[int] = set()
+        for change in changes:
+            if change.table in _IRRELEVANT_TABLES:
+                continue
+            if change.table == "materials":
+                affected.add(change.pk)
+            elif change.table in _LINK_TABLES:
+                assert change.row is not None
+                affected.add(change.row["materials_id"])
+            elif (
+                change.op == "insert"
+                and (change.table in _NAME_TABLES
+                     or change.table == "ontology_entries")
+            ):
+                continue  # inert until something links to the new row
+            else:
+                return False
+        keys_of = None
+        if len(affected) > 1:
+            # One batched pass beats per-material link-table queries as
+            # soon as several documents changed together (bulk imports).
+            keys_of = self.repo.classification_keys()
+        for mid in affected:
+            try:
+                material = self.repo.get_material(mid)
+            except RowNotFound:
+                self._index.remove(mid)
+            else:
+                keys = (
+                    keys_of.get(mid, frozenset()) if keys_of is not None
+                    else frozenset(
+                        str(item.key)
+                        for item in self.repo.classification_of(mid).items()
+                    )
+                )
+                self._index.reindex(material, keys)
+            self.docs_reindexed += 1
+        return True
+
+    # ------------------------------------------------------------ search
 
     def _subtree_sets(self, filters: SearchFilters) -> list[frozenset[str]]:
         sets = []
@@ -129,9 +311,15 @@ class SearchEngine:
         limit: int = 20,
     ) -> list[SearchHit]:
         """Ranked results; with empty ``text`` returns facet matches with
-        score 1.0 in repository order."""
+        score 1.0 in repository (id) order."""
+        started = time.perf_counter()
         with self.repo.db.lock.read(), self._engine_lock:
-            return self._search_locked(text, filters, limit=limit)
+            hits = self._search_locked(text, filters, limit=limit)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "carcs_search_seconds", mode=self.mode
+            ).observe(time.perf_counter() - started)
+        return hits
 
     def _search_locked(
         self,
@@ -141,16 +329,40 @@ class SearchEngine:
         limit: int = 20,
     ) -> list[SearchHit]:
         self._ensure_index()
+        self.searches += 1
         filters = filters or SearchFilters()
         subtree_sets = self._subtree_sets(filters)
+        if self.mode == MODE_BM25:
+            return self._bm25_search(text, filters, subtree_sets, limit)
+        return self._dense_search(text, filters, subtree_sets, limit)
 
+    def _bm25_search(
+        self, text: str, filters: SearchFilters,
+        subtree_sets: list[frozenset[str]], limit: int,
+    ) -> list[SearchHit]:
+        candidates = self._index.candidates(filters, subtree_sets)
+        if not text.strip():
+            return [
+                SearchHit(self._index.docs[i], 1.0)
+                for i in sorted(candidates)[:limit]
+            ]
+        scores = self._index.score(text_tokens(text), candidates)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            SearchHit(self._index.docs[i], s) for i, s in ranked if s > 0.0
+        ][:limit]
+
+    def _dense_search(
+        self, text: str, filters: SearchFilters,
+        subtree_sets: list[frozenset[str]], limit: int,
+    ) -> list[SearchHit]:
+        # Classification key sets batch-loaded in one pass (previously one
+        # link-table query per material per search).
+        keys_by_id = self.repo.classification_keys()
         candidates: list[tuple[int, Material]] = []
         for idx, material in enumerate(self._materials):
             assert material.id is not None
-            keys = frozenset(
-                str(item.key)
-                for item in self.repo.classification_of(material.id).items()
-            )
+            keys = keys_by_id.get(material.id, frozenset())
             if filters.matches(material, keys, subtree_sets):
                 candidates.append((idx, material))
 
@@ -170,6 +382,8 @@ class SearchEngine:
         ]
         return hits[:limit]
 
+    # --------------------------------------------------------- similar-to
+
     def similar_to(
         self, material_id: int, *, limit: int = 10
     ) -> list[SearchHit]:
@@ -182,8 +396,20 @@ class SearchEngine:
         self, material_id: int, *, limit: int = 10
     ) -> list[SearchHit]:
         self._ensure_index()
+        if self.mode == MODE_BM25:
+            if material_id not in self._index:
+                raise KeyError(f"no material with id {material_id}")
+            tokens = self._index.doc_tokens(material_id)
+            candidates = set(self._index.docs)
+            candidates.discard(material_id)
+            scores = self._index.score(tokens, candidates)
+            ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+            return [
+                SearchHit(self._index.docs[i], s)
+                for i, s in ranked if s > 0.0
+            ][:limit]
         if self._matrix is None:
-            return []
+            raise KeyError(f"no material with id {material_id}")
         try:
             row = next(
                 i for i, m in enumerate(self._materials) if m.id == material_id

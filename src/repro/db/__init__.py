@@ -5,7 +5,7 @@ relational store: typed schemas, primary/unique/foreign-key constraints,
 hash indexes, many-to-many link tables, lazy queries, and transactions.
 """
 
-from .engine import Database
+from .engine import Change, Database
 from .errors import (
     DatabaseError,
     ForeignKeyError,
@@ -23,6 +23,7 @@ from .schema import Column, ForeignKey, TableSchema
 from .table import Table
 
 __all__ = [
+    "Change",
     "Column",
     "Database",
     "DatabaseError",

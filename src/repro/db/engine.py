@@ -17,11 +17,23 @@ that lets bulk seeding of 10^4-material corpora stay linear.
 The database also exposes a **monotonic version counter** (one bump per
 committed mutation across all tables, restored on rollback) plus per-table
 versions; the analytics cache and the HTTP ETag layer key on these.
+
+On top of the version counter sits a bounded **change journal**: every
+mutation appends one :class:`Change` record (version, table, op, pk, row
+snapshot), and rollback pops the records of the aborted frame, so the
+retained journal always describes exactly the committed history.
+Incremental consumers — the search index in :mod:`repro.core.search` —
+call :meth:`Database.changes_since` to catch up in O(changed rows)
+instead of rebuilding from the whole database; when the bounded journal
+no longer reaches back far enough, ``changes_since`` returns ``None``
+and the consumer falls back to a full rebuild.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from .errors import (
@@ -32,6 +44,31 @@ from .errors import (
 from .locks import RWLock
 from .schema import Column, ForeignKey, TableSchema
 from .table import Table
+
+#: Default bound of the change journal.  Large enough that a read-heavy
+#: deployment's occasional writes always catch up incrementally; small
+#: enough that bulk seeding cannot hold the whole history in memory.
+CHANGELOG_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class Change:
+    """One committed mutation, as retained by the change journal.
+
+    ``version`` is the database-wide version the mutation produced (the
+    journal is contiguous in this field), ``op`` is one of ``insert`` /
+    ``update`` / ``delete`` / ``create_table`` / ``drop_table``, and
+    ``row`` is a snapshot of the affected row — the *new* row for
+    inserts and updates, the *removed* row for deletes, ``None`` for
+    DDL.  The snapshot is what lets consumers of link-table deletes
+    resolve which parent row was affected after the link is gone.
+    """
+
+    version: int
+    table: str
+    op: str
+    pk: Any = None
+    row: dict[str, Any] | None = None
 
 
 class Database:
@@ -44,7 +81,8 @@ class Database:
     together; writers are exclusive.
     """
 
-    def __init__(self, name: str = "carcs") -> None:
+    def __init__(self, name: str = "carcs", *,
+                 changelog_size: int = CHANGELOG_SIZE) -> None:
         self.name = name
         self.lock = RWLock()
         self._tables: dict[str, Table] = {}
@@ -57,6 +95,11 @@ class Database:
         # insert/update/delete on any table (and on DDL), rolled back with
         # aborted transactions.  The cheap freshness token for caches.
         self._version = 0
+        # Bounded journal of Change records, newest on the right; evicts
+        # oldest-first, so the retained suffix is always contiguous in
+        # `version`.  Mutations inside an aborted transaction pop their
+        # own records, keeping the journal committed-history-only.
+        self._changes: deque[Change] = deque(maxlen=changelog_size)
 
     # -- versions -------------------------------------------------------------
 
@@ -73,10 +116,44 @@ class Database:
         if self._tx_journal:
             self._tx_journal[-1].append(undo)
 
-    def _bump_ddl(self) -> None:
+    def _log_change(self, table: str, op: str, pk: Any = None,
+                    row: dict[str, Any] | None = None) -> None:
+        """Append one :class:`Change` at the current version.
+
+        Inside a transaction the undo closure pops the record again —
+        identity-checked, so a record already evicted by the ``maxlen``
+        bound is simply skipped (its successors were popped first, which
+        keeps the retained suffix contiguous either way).
+        """
+        change = Change(self._version, table, op, pk, row)
+        self._changes.append(change)
+
+        def undo() -> None:
+            if self._changes and self._changes[-1] is change:
+                self._changes.pop()
+
+        self._record(undo)
+
+    def changes_since(self, version: int) -> list[Change] | None:
+        """Committed changes with ``change.version > version``, oldest
+        first — or ``None`` when the bounded journal no longer reaches
+        back that far (or ``version`` is from a rolled-back future), in
+        which case the caller must fall back to a full recomputation.
+        """
+        with self.lock.read():
+            if version == self._version:
+                return []
+            if version > self._version:
+                return None  # observed inside a transaction since aborted
+            if not self._changes or self._changes[0].version > version + 1:
+                return None  # journal truncated past the requested point
+            return [c for c in self._changes if c.version > version]
+
+    def _bump_ddl(self, table: str, op: str) -> None:
         prev = self._version
         self._version += 1
         self._record(lambda: setattr(self, "_version", prev))
+        self._log_change(table, op)
 
     # -- DDL ----------------------------------------------------------------
 
@@ -98,7 +175,7 @@ class Database:
         self._tables[schema.name] = table
         # Tables created inside an aborted transaction vanish on rollback.
         self._record(lambda: self._tables.pop(schema.name, None))
-        self._bump_ddl()
+        self._bump_ddl(schema.name, "create_table")
         # Index FK columns automatically: reverse lookups (who references
         # this row?) dominate delete checks and join traversals.
         for fk in schema.foreign_keys:
@@ -123,7 +200,7 @@ class Database:
         table = self._tables.pop(name)
         # A table dropped inside an aborted transaction comes back intact.
         self._record(lambda: self._tables.__setitem__(name, table))
-        self._bump_ddl()
+        self._bump_ddl(name, "drop_table")
 
     def table(self, name: str) -> Table:
         try:

@@ -10,7 +10,9 @@ Every table carries a **mutation version**: a monotonic counter bumped on
 each successful insert/update/delete.  The analytics cache
 (:mod:`repro.core.cache`) keys memoized results on these versions, so a
 result is reusable exactly as long as the tables it was derived from are
-untouched.  Inside a :meth:`repro.db.engine.Database.transaction`, each
+untouched.  Each mutation additionally appends a :class:`repro.db.Change`
+record to the database's bounded change journal, which delta consumers
+(the incremental search index) replay to avoid full rebuilds.  Inside a :meth:`repro.db.engine.Database.transaction`, each
 mutation also records an **undo closure** in the transaction journal;
 rollback replays the closures in reverse, restoring rows, unique and
 secondary indexes, the id sequence and the version counters to their
@@ -102,8 +104,14 @@ class Table:
         if db is not None and db._tx_journal:
             db._tx_journal[-1].append(undo)
 
-    def _record_mutation(self, undo_data: Callable[[], None]) -> None:
-        """Bump version counters and journal the inverse operation."""
+    def _record_mutation(self, undo_data: Callable[[], None], *,
+                         op: str, pk: Any, row: dict[str, Any]) -> None:
+        """Bump version counters, log the change, journal the inverse.
+
+        ``row`` is snapshotted into the database change journal (new row
+        for insert/update, removed row for delete) so incremental
+        consumers can resolve what the mutation touched after the fact.
+        """
         prev_version = self._version
         self._version += 1
         db = self._db
@@ -111,6 +119,7 @@ class Table:
             return
         prev_db_version = db._version
         db._version += 1
+        db._log_change(self.name, op, pk, dict(row))
         if db._tx_journal:
             def undo() -> None:
                 undo_data()
@@ -188,7 +197,7 @@ class Table:
             self._raw_remove(pk, row)
             self._next_id = prev_next_id
 
-        self._record_mutation(undo)
+        self._record_mutation(undo, op="insert", pk=pk, row=row)
         return dict(row)
 
     def update(self, pk: Any, **changes: Any) -> dict[str, Any]:
@@ -224,7 +233,7 @@ class Table:
             self._raw_remove(pk, new)
             self._raw_put(pk, old)
 
-        self._record_mutation(undo)
+        self._record_mutation(undo, op="update", pk=pk, row=new)
         return dict(new)
 
     def delete(self, pk: Any) -> dict[str, Any]:
@@ -236,7 +245,9 @@ class Table:
         # Journal a private copy: the popped dict is handed to the caller,
         # who may mutate it before a rollback replays the undo.
         saved = dict(row)
-        self._record_mutation(lambda: self._raw_put(pk, saved))
+        self._record_mutation(
+            lambda: self._raw_put(pk, saved), op="delete", pk=pk, row=saved,
+        )
         return row
 
     # -- reads ------------------------------------------------------------

@@ -106,6 +106,9 @@ class CarCsApi:
             request_log if request_log is not None else RequestLog()
         )
         self._search = repo.search_engine()
+        # Index-size gauges, rebuild counters and the search latency
+        # histogram land in the same registry /api/v1/metrics exports.
+        self._search.metrics = self.metrics
         self._started = time.monotonic()
         self._register()
         self.middlewares = [
@@ -155,6 +158,29 @@ class CarCsApi:
         if not rows:
             raise HttpError(404, f"no materials in collection {collection!r}")
         return sorted(r["id"] for r in rows)
+
+    def _parse_search_request(self, request: Request):
+        """Shared by ``/search`` and ``/assignments``: the ``q`` facet
+        query language plus the ``collection``/``under`` shorthand
+        parameters, folded into one (text, filters) pair."""
+        from dataclasses import replace
+
+        from ..core.query_language import QuerySyntaxError, parse_query
+
+        try:
+            parsed = parse_query(request.query_one("q", "") or "")
+        except QuerySyntaxError as exc:
+            raise HttpError(400, str(exc))
+        filters = parsed.filters
+        collection = request.query_one("collection")
+        if collection:
+            filters = replace(
+                filters, collections=filters.collections + (collection,)
+            )
+        under = request.query_one("under")
+        if under:
+            filters = replace(filters, under=filters.under + (under,))
+        return parsed.text, filters
 
     # ------------------------------------------------------------ routes
 
@@ -209,27 +235,9 @@ class CarCsApi:
 
         @route("GET", "/assignments")
         def list_assignments(request: Request) -> Response:
-            from dataclasses import replace
-
-            from .. core.query_language import QuerySyntaxError, parse_query
-
-            collection = request.query_one("collection")
-            raw_query = request.query_one("q", "") or ""
-            under = request.query_one("under")
             # `q` accepts the facet query language, e.g.
             # "language:python under:PDC12/PROG monte carlo".
-            try:
-                parsed = parse_query(raw_query)
-            except QuerySyntaxError as exc:
-                raise HttpError(400, str(exc))
-            filters = parsed.filters
-            if collection:
-                filters = replace(
-                    filters, collections=filters.collections + (collection,)
-                )
-            if under:
-                filters = replace(filters, under=filters.under + (under,))
-            text = parsed.text
+            text, filters = self._parse_search_request(request)
             # Rank everything, then window: `total` must count the full
             # result set, not just the requested page.
             hits = self._search.search(
@@ -240,6 +248,40 @@ class CarCsApi:
                  "collection": h.material.collection, "score": h.score}
                 for h in hits
             ], request, default_limit=100))
+
+        @route("GET", "/search")
+        def search(request: Request) -> Response:
+            text, filters = self._parse_search_request(request)
+            hits = self._search.search(
+                text, filters, limit=max(self.repo.material_count(), 1),
+            )
+            payload = paginated([
+                {"id": h.material.id, "title": h.material.title,
+                 "kind": h.material.kind.value,
+                 "collection": h.material.collection, "score": h.score}
+                for h in hits
+            ], request, default_limit=20)
+            payload["mode"] = self._search.mode
+            return json_response(payload)
+
+        @route("GET", "/assignments/<int:id>/similar")
+        def similar_assignments(request: Request) -> Response:
+            material = self._material_or_404(request)
+            assert material.id is not None
+            try:
+                hits = self._search.similar_to(
+                    material.id, limit=request.query_int("limit", 10) or 10,
+                )
+            except KeyError as exc:
+                raise HttpError(404, str(exc))
+            return json_response({
+                "material": material.title,
+                "similar": [
+                    {"id": h.material.id, "title": h.material.title,
+                     "collection": h.material.collection, "score": h.score}
+                    for h in hits
+                ],
+            })
 
         @route("POST", "/assignments")
         def create_assignment(request: Request) -> Response:

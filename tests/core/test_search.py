@@ -1,4 +1,12 @@
-"""Faceted + full-text search."""
+"""Faceted + full-text search.
+
+Every test here runs against both backends — the incremental BM25
+inverted index (default) and the dense TF-IDF escape hatch
+(``CARCS_SEARCH=dense``) — since the two must agree on facet semantics
+and edge behaviour even where ranking formulas differ.
+"""
+
+import threading
 
 import pytest
 
@@ -8,8 +16,8 @@ from repro.core.search import SearchEngine, SearchFilters
 from repro.corpus import keys as K
 
 
-@pytest.fixture()
-def engine(fresh_repo):
+@pytest.fixture(params=["bm25", "dense"])
+def engine(fresh_repo, request):
     def add(title, desc, *, keys=(), **mat):
         cs = ClassificationSet()
         for key in keys:
@@ -29,7 +37,7 @@ def engine(fresh_repo):
         keys=[K.AL_BST], languages=("Java",),
         course_level=CourseLevel.CS2, collection="intro", year=2012,
         kind=MaterialKind.LECTURE_SLIDES, tags=("trees",))
-    return SearchEngine(fresh_repo)
+    return SearchEngine(fresh_repo, mode=request.param)
 
 
 class TestFullText:
@@ -121,3 +129,87 @@ class TestSimilarTo:
         )
         hits = engine.search("graph coloring")
         assert hits and hits[0].material.title == "Graph coloring"
+
+
+class TestEdgeCases:
+    """The corners the original suite missed (ISSUE 3 satellite)."""
+
+    @pytest.fixture(params=["bm25", "dense"])
+    def empty_engine(self, fresh_repo, request):
+        return SearchEngine(fresh_repo, mode=request.param)
+
+    def test_empty_corpus_text_search(self, empty_engine):
+        assert empty_engine.search("anything at all") == []
+
+    def test_empty_corpus_facet_search(self, empty_engine):
+        assert empty_engine.search(
+            "", SearchFilters(collections=("nowhere",))
+        ) == []
+
+    def test_empty_corpus_similar_to(self, empty_engine):
+        with pytest.raises(KeyError):
+            empty_engine.similar_to(1)
+
+    def test_stopword_only_query_matches_nothing(self, engine):
+        # Every token is removed by the stopword list, so the query
+        # carries no signal; both backends must return nothing rather
+        # than everything.
+        assert engine.search("the and of is was") == []
+
+    def test_facet_filter_with_zero_candidates(self, engine):
+        assert engine.search(
+            "sort", SearchFilters(collections=("no-such-collection",))
+        ) == []
+        assert engine.search(
+            "", SearchFilters(tags=("no-such-tag",), languages=("python",))
+        ) == []
+
+    def test_similar_to_just_deleted_material(self, engine, fresh_repo):
+        victim = fresh_repo.materials()[0]
+        assert engine.similar_to(victim.id) is not None  # warm index
+        fresh_repo.delete_material(victim.id)
+        with pytest.raises(KeyError):
+            engine.similar_to(victim.id)
+
+    def test_deleted_material_leaves_search_results(self, engine, fresh_repo):
+        victim = fresh_repo.materials()[0]  # the OpenMP material
+        assert engine.search("openmp")
+        fresh_repo.delete_material(victim.id)
+        assert engine.search("openmp") == []
+
+    def test_mutation_during_search_under_rwlock(self, engine, fresh_repo):
+        """Concurrent searches and writes serialize on the repository
+        RWLock: no crash, no half-built index, and the final state
+        matches a from-scratch engine."""
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def searcher():
+            try:
+                while not stop.is_set():
+                    for hit in engine.search("sort parallel tree"):
+                        assert hit.score > 0.0
+                    engine.search("", SearchFilters(collections=("intro",)))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=searcher) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(25):
+                m = fresh_repo.add_material(
+                    Material(title=f"churn {i}", description="sort graph")
+                )
+                fresh_repo.update_material(m.id, description="parallel scan")
+                fresh_repo.delete_material(m.id)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert errors == []
+        reference = SearchEngine(fresh_repo, mode=engine.mode)
+        reference.refresh()
+        got = [(h.material.id, h.score) for h in engine.search("sort")]
+        want = [(h.material.id, h.score) for h in reference.search("sort")]
+        assert got == want
