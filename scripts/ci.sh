@@ -12,3 +12,7 @@ PYTHONPATH=src python -m pytest -x -q tests/
 # table, and every relative doc link must resolve.
 PYTHONPATH=src python scripts/gen_api_docs.py --check
 python scripts/check_doc_links.py
+
+# Observability gate: sampled tracing must stay within its 10%
+# warm-path overhead budget (docs/architecture.md, "Observability").
+PYTHONPATH=src python -m pytest -q benchmarks/bench_obs.py

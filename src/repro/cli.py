@@ -15,6 +15,7 @@ Examples::
     carcs recommend "parallel loops over an image with OpenMP"
     carcs plan --ontology PDC12 --tier core
     carcs diff PDC12 PDC19
+    carcs trace coverage --collection itcs3145 --ontology PDC12
     carcs export snapshot.json ; carcs --snapshot snapshot.json stats
 """
 
@@ -220,6 +221,37 @@ def cmd_lint(repo: Repository, args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_trace(repo: Repository, args: argparse.Namespace) -> int:
+    """Run one repository operation fully traced and pretty-print the
+    span tree (wall/self/CPU time per layer)."""
+    from repro.obs import MODE_ALL, get_tracer, render_text
+
+    tracer = get_tracer()
+    tracer.configure(mode=MODE_ALL, slow_ms=args.slow_ms)
+    with tracer.trace(f"cli.{args.op}") as root:
+        if args.op == "search":
+            engine = SearchEngine(repo)
+            engine.search(args.query or "", SearchFilters(), limit=args.limit)
+        elif args.op == "coverage":
+            repo.coverage(args.ontology, collection=args.collection)
+        elif args.op == "similarity":
+            repo.similarity(
+                collection_ids(repo, args.left),
+                collection_ids(repo, args.right),
+                left_group=args.left, right_group=args.right,
+            )
+        elif args.op == "recommend":
+            repo.recommend(args.query or "parallel sorting", top=args.limit)
+        else:
+            repo.stats()
+    record = tracer.store.get(root.trace_id)
+    if record is None:  # pragma: no cover - mode=all always retains
+        print("trace was not retained", file=sys.stderr)
+        return 1
+    print(render_text(record))
+    return 0
+
+
 def cmd_serve(repo: Repository, args: argparse.Namespace) -> int:
     from repro.web import CarCsApi
     from repro.web.server import ApiServer
@@ -309,6 +341,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="lint classifications like an editor")
     p.add_argument("--collection", default=None)
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "trace", help="run one operation fully traced; print the span tree"
+    )
+    p.add_argument(
+        "op",
+        choices=("search", "coverage", "similarity", "recommend", "stats"),
+    )
+    p.add_argument("--query", default=None, help="search/recommend text")
+    p.add_argument("--collection", default=None)
+    p.add_argument("--ontology", default="PDC12")
+    p.add_argument("--left", default="nifty")
+    p.add_argument("--right", default="peachy")
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--slow-ms", type=float, default=100.0,
+                   help="slow-span threshold for the SLOW marker")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("serve", help="serve the REST API over HTTP")
     p.add_argument("--host", default="127.0.0.1")

@@ -44,6 +44,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
+from repro.obs import trace as _trace
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db import Database
 
@@ -182,33 +184,45 @@ class AnalyticsCache:
         # Computes read the db anyway, and taking the read side first means
         # a thread blocked on a writer is never *holding* the cache lock —
         # so writers and other readers cannot deadlock against the cache.
-        with self.db.lock.read():
-            with self._lock:
-                if not self.active or self.db.in_transaction:
-                    # Inside a transaction versions are not yet durable
-                    # (rollback restores them), so neither lookups nor
-                    # stores are safe.
-                    self.stats.bypasses += 1
-                    return compute()
-                versions = self.table_versions(tables)
-                full_key = (name, freeze(key))
-                entry = self._entries.get(full_key)
-                if entry is not None and entry[0] == versions:
-                    self.stats.hits += 1
+        # The span's ``key`` attribute is the raw (hashable) key object,
+        # not its repr: stringification happens if and when the trace is
+        # rendered, so traced lookups never pay repr() on the hot path.
+        with _trace.span("cache.get", name=name) as span_:
+            with self.db.lock.read():
+                with self._lock:
+                    if not self.active or self.db.in_transaction:
+                        # Inside a transaction versions are not yet durable
+                        # (rollback restores them), so neither lookups nor
+                        # stores are safe.
+                        self.stats.bypasses += 1
+                        if span_:
+                            span_.set(outcome="bypass", key=key)
+                        return compute()
+                    versions = self.table_versions(tables)
+                    full_key = (name, freeze(key))
+                    entry = self._entries.get(full_key)
+                    if entry is not None and entry[0] == versions:
+                        self.stats.hits += 1
+                        if span_:
+                            span_.set(outcome="hit", key=key)
+                        self._entries.move_to_end(full_key)
+                        value = entry[1]
+                        return copy(value) if copy is not None else value
+                    value = compute()
+                    if span_:
+                        span_.set(key=key)
+                    if entry is not None:
+                        self.stats.invalidations += 1
+                        span_.set(outcome="invalidation")
+                    else:
+                        self.stats.misses += 1
+                        span_.set(outcome="miss")
+                    self._entries[full_key] = (versions, value)
                     self._entries.move_to_end(full_key)
-                    value = entry[1]
+                    while len(self._entries) > self.maxsize:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
                     return copy(value) if copy is not None else value
-                value = compute()
-                if entry is not None:
-                    self.stats.invalidations += 1
-                else:
-                    self.stats.misses += 1
-                self._entries[full_key] = (versions, value)
-                self._entries.move_to_end(full_key)
-                while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
-                    self.stats.evictions += 1
-                return copy(value) if copy is not None else value
 
     # -- maintenance ------------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Iterable, Mapping
 
 from repro.db import Column, Database, ForeignKey, ManyToMany, TableSchema
 from repro.db.errors import RowNotFound
+from repro.obs import trace as _trace
 
 from .cache import AnalyticsCache, Memo
 from .classification import ClassificationSet, validate_against
@@ -406,19 +407,23 @@ class Repository:
 
         Memoized on the classification tables' versions; callers get a
         fresh list (the pairs themselves are immutable tuples)."""
-        entries = self.db.table("ontology_entries")
-        wanted: set[int] | None = None
-        if collection is not None:
-            wanted = {
-                r["id"]
-                for r in self.db.table("materials").find(collection=collection)
-            }
-        out = []
-        for mid, eid in self.material_classifications.pairs():
-            if wanted is not None and mid not in wanted:
-                continue
-            out.append((mid, entries.get(eid)["key"]))
-        return out
+        with _trace.span(
+            "repo.classification_pairs", collection=collection or "*"
+        ) as span_:
+            entries = self.db.table("ontology_entries")
+            wanted: set[int] | None = None
+            if collection is not None:
+                wanted = {
+                    r["id"]
+                    for r in self.db.table("materials").find(collection=collection)
+                }
+            out = []
+            for mid, eid in self.material_classifications.pairs():
+                if wanted is not None and mid not in wanted:
+                    continue
+                out.append((mid, entries.get(eid)["key"]))
+            span_.set(pairs=len(out))
+            return out
 
     @Memo(*_CLASSIFICATION_TABLES)
     def classification_keys(self) -> dict[int, frozenset[str]]:
@@ -431,13 +436,15 @@ class Repository:
         classification tables' versions and **shared** — treat it as
         read-only (keys are frozensets, so accidental mutation is hard).
         """
-        entries = self.db.table("ontology_entries")
-        keys: dict[int, set[str]] = {
-            r["id"]: set() for r in self.db.table("materials")
-        }
-        for mid, eid in self.material_classifications.pairs():
-            keys.setdefault(mid, set()).add(str(entries.get(eid)["key"]))
-        return {mid: frozenset(ks) for mid, ks in keys.items()}
+        with _trace.span("repo.classification_keys") as span_:
+            entries = self.db.table("ontology_entries")
+            keys: dict[int, set[str]] = {
+                r["id"]: set() for r in self.db.table("materials")
+            }
+            for mid, eid in self.material_classifications.pairs():
+                keys.setdefault(mid, set()).add(str(entries.get(eid)["key"]))
+            span_.set(materials=len(keys))
+            return {mid: frozenset(ks) for mid, ks in keys.items()}
 
     # ------------------------------------------------------ users & curation
 
@@ -558,11 +565,14 @@ class Repository:
         """
         from .coverage import compute_coverage
 
-        with self.db.lock.read():
-            return compute_coverage(
-                self, ontology_name,
-                collection=collection, material_ids=material_ids,
-            )
+        with _trace.span(
+            "repo.coverage", ontology=ontology_name, collection=collection or "*"
+        ):
+            with self.db.lock.read():
+                return compute_coverage(
+                    self, ontology_name,
+                    collection=collection, material_ids=material_ids,
+                )
 
     def similarity(self, left_ids, right_ids=None, *, threshold: int = 2,
                    ontologies: Iterable[str] | None = None,
@@ -574,12 +584,13 @@ class Repository:
         """
         from .similarity import similarity_graph
 
-        with self.db.lock.read():
-            return similarity_graph(
-                self, left_ids, right_ids,
-                threshold=threshold, ontologies=ontologies,
-                left_group=left_group, right_group=right_group,
-            )
+        with _trace.span("repo.similarity", threshold=threshold):
+            with self.db.lock.read():
+                return similarity_graph(
+                    self, left_ids, right_ids,
+                    threshold=threshold, ontologies=ontologies,
+                    left_group=left_group, right_group=right_group,
+                )
 
     def search_engine(self):
         """The repository's shared, version-tracking search engine."""
@@ -610,8 +621,10 @@ class Repository:
         )
 
     def recommend(self, text: str = "", selected=(), *, top: int = 10):
-        with self.db.lock.read():
-            return self.recommender().recommend(text, selected, top=top)
+        selected = tuple(selected)
+        with _trace.span("repo.recommend", top=top, selected=len(selected)):
+            with self.db.lock.read():
+                return self.recommender().recommend(text, selected, top=top)
 
     # ------------------------------------------------------------- summary
 

@@ -37,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.db.errors import RowNotFound
+from repro.obs import trace as _trace
 from repro.text import TfidfVectorizer, cosine_matrix
 
 from .index import MaterialIndex, text_tokens
@@ -196,22 +197,25 @@ class SearchEngine:
             self._refresh_locked()
 
     def _refresh_locked(self) -> None:
-        if self.mode == MODE_BM25:
-            index = MaterialIndex()
-            keys_by_id = self.repo.classification_keys()
-            for material in self.repo.materials():
-                assert material.id is not None
-                index.add(material, keys_by_id.get(material.id, frozenset()))
-            self._index = index
-        else:
-            self._materials = self.repo.materials()
-            texts = [m.text() for m in self._materials]
-            if texts:
-                self._vectorizer = TfidfVectorizer(min_df=1)
-                self._matrix = self._vectorizer.fit_transform(texts)
+        with _trace.span("search.rebuild", mode=self.mode) as span_:
+            if self.mode == MODE_BM25:
+                index = MaterialIndex()
+                keys_by_id = self.repo.classification_keys()
+                for material in self.repo.materials():
+                    assert material.id is not None
+                    index.add(material, keys_by_id.get(material.id, frozenset()))
+                self._index = index
+                span_.set(docs=len(index.docs))
             else:
-                self._vectorizer = None
-                self._matrix = None
+                self._materials = self.repo.materials()
+                texts = [m.text() for m in self._materials]
+                if texts:
+                    self._vectorizer = TfidfVectorizer(min_df=1)
+                    self._matrix = self._vectorizer.fit_transform(texts)
+                else:
+                    self._vectorizer = None
+                    self._matrix = None
+                span_.set(docs=len(self._materials))
         self.full_rebuilds += 1
         self._record_rebuild("full")
         # An index built from uncommitted state must not survive the
@@ -240,11 +244,20 @@ class SearchEngine:
             and not self.repo.db.in_transaction
         ):
             changes = self.repo.db.changes_since(self._indexed_version)
-            if changes is not None and self._apply_changes(changes):
-                self._indexed_version = version
-                self.delta_catchups += 1
-                self._record_rebuild("delta")
-                return
+            if changes is not None:
+                with _trace.span(
+                    "search.delta", changes=len(changes)
+                ) as span_:
+                    before = self.docs_reindexed
+                    applied = self._apply_changes(changes)
+                    span_.set(
+                        applied=applied, docs=self.docs_reindexed - before
+                    )
+                if applied:
+                    self._indexed_version = version
+                    self.delta_catchups += 1
+                    self._record_rebuild("delta")
+                    return
         self._refresh_locked()
 
     def _apply_changes(self, changes) -> bool:
@@ -313,8 +326,10 @@ class SearchEngine:
         """Ranked results; with empty ``text`` returns facet matches with
         score 1.0 in repository (id) order."""
         started = time.perf_counter()
-        with self.repo.db.lock.read(), self._engine_lock:
-            hits = self._search_locked(text, filters, limit=limit)
+        with _trace.span("search.query", mode=self.mode, limit=limit) as span_:
+            with self.repo.db.lock.read(), self._engine_lock:
+                hits = self._search_locked(text, filters, limit=limit)
+            span_.set(hits=len(hits))
         if self.metrics is not None:
             self.metrics.histogram(
                 "carcs_search_seconds", mode=self.mode
@@ -389,8 +404,9 @@ class SearchEngine:
     ) -> list[SearchHit]:
         """Text-level nearest neighbours of a material (complements the
         classification-level similarity of :mod:`repro.core.similarity`)."""
-        with self.repo.db.lock.read(), self._engine_lock:
-            return self._similar_to_locked(material_id, limit=limit)
+        with _trace.span("search.similar", material_id=material_id):
+            with self.repo.db.lock.read(), self._engine_lock:
+                return self._similar_to_locked(material_id, limit=limit)
 
     def _similar_to_locked(
         self, material_id: int, *, limit: int = 10

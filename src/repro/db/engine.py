@@ -31,10 +31,14 @@ and the consumer falls back to a full rebuild.
 
 from __future__ import annotations
 
+import os
+import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
+
+from repro.obs import trace as _trace
 
 from .errors import (
     ForeignKeyError,
@@ -49,6 +53,21 @@ from .table import Table
 #: deployment's occasional writes always catch up incrementally; small
 #: enough that bulk seeding cannot hold the whole history in memory.
 CHANGELOG_SIZE = 1024
+
+#: Slow-operation threshold (milliseconds) — operations at or above it
+#: land in the bounded slow-op log, with the active trace id when one
+#: exists.  Override per-database via ``slow_op_ms`` or process-wide via
+#: the environment.
+ENV_DB_SLOW_MS = "CARCS_DB_SLOW_MS"
+DEFAULT_SLOW_OP_MS = 50.0
+SLOW_OP_LOG_SIZE = 256
+
+
+def env_slow_op_ms() -> float:
+    try:
+        return float(os.environ.get(ENV_DB_SLOW_MS, DEFAULT_SLOW_OP_MS))
+    except ValueError:
+        return DEFAULT_SLOW_OP_MS
 
 
 @dataclass(frozen=True)
@@ -82,9 +101,18 @@ class Database:
     """
 
     def __init__(self, name: str = "carcs", *,
-                 changelog_size: int = CHANGELOG_SIZE) -> None:
+                 changelog_size: int = CHANGELOG_SIZE,
+                 slow_op_ms: float | None = None) -> None:
         self.name = name
         self.lock = RWLock()
+        # Slow-operation log: every traced entry point (DML, DDL,
+        # transactions, journal reads) that takes >= slow_op_ms lands
+        # here with the trace id that was active, so a slow request's
+        # trace and the db-side record cross-reference each other.
+        self.slow_op_ms = (
+            slow_op_ms if slow_op_ms is not None else env_slow_op_ms()
+        )
+        self._slow_ops: deque[dict[str, Any]] = deque(maxlen=SLOW_OP_LOG_SIZE)
         self._tables: dict[str, Table] = {}
         self._tx_depth = 0
         # Stack of transaction frames; each frame is a list of undo
@@ -100,6 +128,36 @@ class Database:
         # `version`.  Mutations inside an aborted transaction pop their
         # own records, keeping the journal committed-history-only.
         self._changes: deque[Change] = deque(maxlen=changelog_size)
+
+    # -- observability --------------------------------------------------------
+
+    @contextmanager
+    def _traced_op(self, op: str, table: str) -> Iterator[Any]:
+        """Span + slow-op accounting around one database entry point.
+
+        The span (``db.insert``, ``db.transaction``, ...) opens *before*
+        lock acquisition so lock wait is attributed to the operation
+        that suffered it; with no active trace the span is a no-op but
+        the slow-op log still records outliers (trace_id ``None``).
+        """
+        start = time.perf_counter()
+        with _trace.span(f"db.{op}", table=table) as span_:
+            try:
+                yield span_
+            finally:
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                if elapsed_ms >= self.slow_op_ms:
+                    self._slow_ops.append({
+                        "ts": time.time(),
+                        "op": op,
+                        "table": table,
+                        "duration_ms": round(elapsed_ms, 3),
+                        "trace_id": span_.trace_id if span_ else None,
+                    })
+
+    def slow_ops(self) -> list[dict[str, Any]]:
+        """The retained slow-operation records, oldest first."""
+        return list(self._slow_ops)
 
     # -- versions -------------------------------------------------------------
 
@@ -140,14 +198,20 @@ class Database:
         back that far (or ``version`` is from a rolled-back future), in
         which case the caller must fall back to a full recomputation.
         """
-        with self.lock.read():
-            if version == self._version:
-                return []
-            if version > self._version:
-                return None  # observed inside a transaction since aborted
-            if not self._changes or self._changes[0].version > version + 1:
-                return None  # journal truncated past the requested point
-            return [c for c in self._changes if c.version > version]
+        with self._traced_op("changes_since", "*") as span_:
+            with self.lock.read():
+                if version == self._version:
+                    return []
+                if version > self._version:
+                    # Observed inside a transaction since aborted.
+                    return None
+                if not self._changes or self._changes[0].version > version + 1:
+                    # Journal truncated past the requested point.
+                    return None
+                changes = [c for c in self._changes if c.version > version]
+                if span_:
+                    span_.set(since=version, changes=len(changes))
+                return changes
 
     def _bump_ddl(self, table: str, op: str) -> None:
         prev = self._version
@@ -158,7 +222,7 @@ class Database:
     # -- DDL ----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:
-        with self.lock.write():
+        with self._traced_op("create_table", schema.name), self.lock.write():
             return self._create_table(schema)
 
     def _create_table(self, schema: TableSchema) -> Table:
@@ -183,7 +247,7 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
-        with self.lock.write():
+        with self._traced_op("drop_table", name), self.lock.write():
             self._drop_table(name)
 
     def _drop_table(self, name: str) -> None:
@@ -236,7 +300,7 @@ class Database:
                 )
 
     def insert(self, table_name: str, **values: Any) -> dict[str, Any]:
-        with self.lock.write():
+        with self._traced_op("insert", table_name), self.lock.write():
             table = self.table(table_name)
             # Validate FKs against a completed candidate row before committing.
             candidate = table._complete_row(values)
@@ -244,7 +308,7 @@ class Database:
             return table.insert(**candidate)
 
     def update(self, table_name: str, pk: Any, **changes: Any) -> dict[str, Any]:
-        with self.lock.write():
+        with self._traced_op("update", table_name), self.lock.write():
             table = self.table(table_name)
             fk_cols = {fk.column: fk for fk in table.schema.foreign_keys}
             for name, value in changes.items():
@@ -260,7 +324,7 @@ class Database:
 
     def delete(self, table_name: str, pk: Any) -> dict[str, Any]:
         """Delete honoring inbound foreign keys (restrict or cascade)."""
-        with self.lock.write():
+        with self._traced_op("delete", table_name), self.lock.write():
             return self._delete(table_name, pk)
 
     def _delete(self, table_name: str, pk: Any) -> dict[str, Any]:
@@ -293,7 +357,7 @@ class Database:
         The whole scope holds the write lock: concurrent readers never see
         a half-applied transaction, and ``in_transaction``/version state
         stays single-writer."""
-        with self.lock.write():
+        with self._traced_op("transaction", "*"), self.lock.write():
             self._begin()
             try:
                 yield self

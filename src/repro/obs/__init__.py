@@ -1,13 +1,16 @@
-"""Observability substrate: metrics + structured request logging.
+"""Observability substrate: metrics + structured logging + tracing.
 
 The paper's prototype was a hosted web service with no way to answer
 "how fast is /coverage right now?" or "which routes are erroring?".
-This package provides the two primitives the ROADMAP's production target
-needs: a process-local :class:`MetricsRegistry` (counters, gauges,
-fixed-bucket latency histograms — all thread-safe) and a
+This package provides the three primitives the ROADMAP's production
+target needs: a process-local :class:`MetricsRegistry` (counters,
+gauges, fixed-bucket latency histograms — all thread-safe), a
 :class:`RequestLog` ring buffer of structured per-request records keyed
-by request id.  The web middleware chain feeds both; ``GET
-/api/v1/metrics`` exports the registry.
+by request id, and a :class:`Tracer` producing hierarchical per-request
+:class:`Span` trees that attribute latency across the web → core → db
+layers.  The web middleware chain feeds all three; ``GET
+/api/v1/metrics`` exports the registry (JSON or Prometheus text) and
+``GET /api/v1/traces`` pages over retained traces.
 """
 
 from .logging import RequestLog, new_request_id
@@ -17,6 +20,23 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    render_prometheus,
+)
+from .trace import (
+    MODE_ALL,
+    MODE_OFF,
+    MODE_SAMPLED,
+    NULL_SPAN,
+    TRACER,
+    Span,
+    TraceRecord,
+    Tracer,
+    TraceStore,
+    current_span,
+    current_trace_id,
+    get_tracer,
+    render_text,
+    span,
 )
 
 __all__ = [
@@ -24,7 +44,22 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "MODE_ALL",
+    "MODE_OFF",
+    "MODE_SAMPLED",
     "MetricsRegistry",
+    "NULL_SPAN",
     "RequestLog",
+    "Span",
+    "TRACER",
+    "TraceRecord",
+    "TraceStore",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "get_tracer",
     "new_request_id",
+    "render_prometheus",
+    "render_text",
+    "span",
 ]

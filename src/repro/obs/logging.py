@@ -33,6 +33,11 @@ class RequestLog:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.logger = logger
+        #: Optional MetricsRegistry; when attached (the web layer does),
+        #: every drop updates the ``carcs_request_log_dropped`` gauge so
+        #: scrapers see record loss as it happens, not only at scrape
+        #: time.
+        self.metrics = None
         self._lock = threading.Lock()
         self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._dropped = 0
@@ -41,9 +46,12 @@ class RequestLog:
         """Append one structured record; ``ts`` is stamped automatically."""
         entry = {"ts": time.time(), **fields}
         with self._lock:
-            if len(self._records) == self.capacity:
+            dropped = len(self._records) == self.capacity
+            if dropped:
                 self._dropped += 1
             self._records.append(entry)
+        if dropped and self.metrics is not None:
+            self.metrics.gauge("carcs_request_log_dropped").set(self._dropped)
         if self.logger is not None:
             self.logger.info(json.dumps(entry, sort_keys=True, default=str))
         return entry
@@ -61,6 +69,18 @@ class RequestLog:
     def dropped(self) -> int:
         """Records evicted by the ring bound (visibility into loss)."""
         return self._dropped
+
+    def snapshot(self, n: int = 50) -> dict[str, Any]:
+        """Bounded view of the log *including* its loss accounting —
+        consumers of the records can tell how much history is missing."""
+        with self._lock:
+            records = list(self._records)
+        return {
+            "capacity": self.capacity,
+            "size": len(records),
+            "dropped": self._dropped,
+            "records": records[-n:],
+        }
 
     def __len__(self) -> int:
         return len(self._records)

@@ -28,10 +28,23 @@ def _freeze_labels(labels: dict[str, Any]) -> Labels:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
-def _label_suffix(labels: Labels) -> str:
-    if not labels:
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double quote, newline.
+
+    Without this, a label value containing ``"`` or a newline (route
+    labels are derived from request data) produces exposition output no
+    scraper can parse.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_suffix(labels: Labels, extra: Labels = ()) -> str:
+    items = (*labels, *extra)
+    if not items:
         return ""
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in items)
     return "{" + inner + "}"
 
 
@@ -224,3 +237,46 @@ class MetricsRegistry:
         """Drop every series (tests and bench harnesses)."""
         with self._lock:
             self._metrics.clear()
+
+
+def _format_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (format 0.0.4) of the whole registry.
+
+    Histograms expand to cumulative ``_bucket`` series (``le`` upper
+    bounds, ``+Inf`` last) plus ``_sum``/``_count``; label values are
+    escaped so routes containing quotes or newlines stay parseable.
+    Served by ``GET /api/v1/metrics?format=prometheus``.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, labels, metric in registry.series():
+        if name not in typed:
+            lines.append(f"# TYPE {name} {metric.kind}")
+            typed.add(name)
+        if metric.kind == "histogram":
+            for bound, cum in metric.cumulative():
+                le = (("le", _format_number(bound)),)
+                lines.append(
+                    f"{name}_bucket{_label_suffix(labels, le)} {cum}"
+                )
+            lines.append(
+                f"{name}_sum{_label_suffix(labels)} "
+                f"{_format_number(metric.sum)}"
+            )
+            lines.append(
+                f"{name}_count{_label_suffix(labels)} {metric.count}"
+            )
+        else:
+            lines.append(
+                f"{name}{_label_suffix(labels)} "
+                f"{_format_number(metric.value)}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,892 @@
+"""Hierarchical request tracing: spans, context propagation, storage.
+
+PR 2 gave the system counters and latency histograms; they answer *how
+slow* a route is, never *where the time went*.  This module adds the
+attribution layer: a :class:`Tracer` produces hierarchical
+:class:`Span`\\ s (trace/span/parent ids, wall + CPU time, status,
+structured attributes) carried through a ``contextvars.ContextVar`` so
+nested calls attach to the active request automatically — the web
+middleware opens the root, and the instrumentation points in
+``core/cache.py``, ``core/repository.py``, ``core/search.py`` and
+``db/engine.py`` hang their spans underneath without any plumbing.
+
+Design rules, in overhead order:
+
+* **The hot path is a flight recorder.**  While a trace is live, spans
+  are flat list records (name, parent index, clocks, attrs) appended to
+  a per-trace buffer; the :class:`Span` tree the API serves is built
+  lazily on first read.  Call sites interact through small per-thread
+  pooled handles, so opening+closing a span costs two clock reads, one
+  list allocation and a few appends — no tree bookkeeping, no
+  per-span context-variable writes, no id minting (span ids mint
+  lazily when something asks for them).
+* **The context is module-global.**  ``span(name, ...)`` (the function
+  every instrumented layer calls) consults one ``ContextVar``; with no
+  active trace it returns a shared no-op span, so un-traced work — bulk
+  seeding, unit tests, CLI analytics — pays one dictionary-free lookup
+  per instrumentation point and nothing else.
+* **Spans are single-threaded.**  A trace belongs to the thread (more
+  precisely: the context) that opened its root; the threaded HTTP
+  server gives every request its own thread and therefore its own
+  context, which is what keeps concurrent requests' spans disjoint.
+* **Head sampling, with safety overrides.**  ``CARCS_TRACE`` selects
+  ``off`` / ``sampled`` / ``all``.  In ``sampled`` mode every Nth trace
+  (``CARCS_TRACE_SAMPLE``, default 1 = every trace) is retained — but a
+  trace containing an error span or a span slower than
+  ``CARCS_TRACE_SLOW_MS`` (default 100) is *always* retained, so the
+  traces you need most never fall to the sampler.
+* **Completed traces are bounded.**  The thread-safe
+  :class:`TraceStore` keeps the newest ``capacity`` retained traces;
+  ``GET /api/v1/traces`` pages over summaries and
+  ``GET /api/v1/traces/<id>`` returns the full span tree.
+* **Metrics cross-reference.**  Every finished trace feeds per-span-name
+  duration histograms (``carcs_span_seconds{span=...}``) into an
+  attached :class:`~repro.obs.metrics.MetricsRegistry`, and the tracer
+  remembers one exemplar trace id per span name — the metrics export
+  links a histogram back to a concrete retrievable trace.  Feeding is
+  buffered: requests append ``(span name, wall seconds)`` pairs and the
+  buffer drains into the registry on :meth:`Tracer.flush_metrics`
+  (called by every ``stats()`` read, i.e. every metrics scrape) — the
+  registry's label freezing and bucket search run per scrape, not per
+  span.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from collections import OrderedDict
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+ENV_MODE = "CARCS_TRACE"
+ENV_SAMPLE = "CARCS_TRACE_SAMPLE"
+ENV_SLOW_MS = "CARCS_TRACE_SLOW_MS"
+
+MODE_OFF = "off"
+MODE_SAMPLED = "sampled"
+MODE_ALL = "all"
+
+DEFAULT_SLOW_MS = 100.0
+DEFAULT_CAPACITY = 512
+
+
+def env_mode() -> str:
+    """Tracing mode from ``CARCS_TRACE`` (unset/unknown → ``sampled``)."""
+    raw = os.environ.get(ENV_MODE, MODE_SAMPLED).strip().lower()
+    return raw if raw in (MODE_OFF, MODE_SAMPLED, MODE_ALL) else MODE_SAMPLED
+
+
+def env_sample_every() -> int:
+    """Head-sampling stride from ``CARCS_TRACE_SAMPLE`` (default 1)."""
+    try:
+        return max(1, int(os.environ.get(ENV_SAMPLE, "1")))
+    except ValueError:
+        return 1
+
+
+def env_slow_ms() -> float:
+    try:
+        return float(os.environ.get(ENV_SLOW_MS, DEFAULT_SLOW_MS))
+    except ValueError:
+        return DEFAULT_SLOW_MS
+
+
+# Ids come from a PRNG seeded once from the OS, not uuid4: a span id is
+# minted on the request hot path and uuid4's per-call urandom read costs
+# more than the rest of the span put together.  getrandbits is C-level
+# and atomic under the GIL.
+_ids = random.Random()
+
+
+def new_trace_id() -> str:
+    """A trace id in the same shape as request ids (96 random bits)."""
+    return f"{_ids.getrandbits(96):024x}"
+
+
+def new_span_id() -> str:
+    return f"{_ids.getrandbits(64):016x}"
+
+
+#: Maps ``perf_counter`` readings onto the wall clock so spans need only
+#: one monotonic read at open time instead of two clock syscalls.
+_EPOCH = time.time() - time.perf_counter()
+
+# Bound as globals: the clock pair runs twice per span, and LOAD_GLOBAL
+# beats the attribute lookup on the time module.
+_perf_counter = time.perf_counter
+_thread_time = time.thread_time
+
+
+# -- the flight-recorder hot path -----------------------------------------
+#
+# A live trace is a list of flat records, one per span.  Record slots:
+
+_R_NAME = 0       # span name (str; the root is renamed after dispatch)
+_R_PARENT = 1     # index of the parent record, -1 for the root
+_R_ATTRS = 2      # structured attributes (dict)
+_R_T0 = 3         # perf_counter at open
+_R_CPU0 = 4       # thread_time at open
+_R_WALL = 5       # wall seconds (None while open)
+_R_CPU = 6        # CPU seconds (None while open)
+_R_STATUS = 7     # "ok" | "error"
+_R_ERROR = 8      # error detail (str | None)
+_R_SPAN_ID = 9    # lazily minted span id (str | None)
+
+
+class _Trace:
+    """Mutable per-thread recorder for the one live trace of a context.
+
+    Pooled in a ``threading.local`` and reset per root span: the
+    ``records`` list is the only allocation that escapes (it becomes the
+    retained trace), while the handle pool is reused request after
+    request.
+    """
+
+    __slots__ = ("trace_id", "records", "stack", "handles")
+
+    def __init__(self) -> None:
+        self.trace_id = ""
+        self.records: list[list[Any]] = []
+        self.stack: list[int] = []
+        self.handles: list["_Handle"] = []
+
+    def open(self, name: str, attributes: dict[str, Any]) -> "_Handle":
+        stack = self.stack
+        depth = len(stack)
+        records = self.records
+        rec = [
+            name, stack[depth - 1] if depth else -1, attributes,
+            _perf_counter(), _thread_time(), None, None, "ok", None, None,
+        ]
+        stack.append(len(records))
+        records.append(rec)
+        handles = self.handles
+        if depth < len(handles):
+            handle = handles[depth]
+        else:
+            handle = _Handle(self)
+            handles.append(handle)
+        handle.rec = rec
+        return handle
+
+
+class _Handle:
+    """The live-span object call sites see (``with span(...) as s:``).
+
+    One handle per nesting depth per thread, reused across spans and
+    requests — so a handle is only valid inside its ``with`` block;
+    holding one past the block's end may alias a later span's record.
+    """
+
+    __slots__ = ("_trace", "rec")
+
+    def __init__(self, trace: _Trace) -> None:
+        self._trace = trace
+        self.rec: list[Any] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __enter__(self) -> "_Handle":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        rec = self.rec
+        self._trace.stack.pop()
+        rec[_R_WALL] = _perf_counter() - rec[_R_T0]
+        rec[_R_CPU] = _thread_time() - rec[_R_CPU0]
+        if exc is not None:
+            rec[_R_STATUS] = "error"
+            rec[_R_ERROR] = f"{type(exc).__name__}: {exc}"
+        return False
+
+    def set(self, **attributes: Any) -> None:
+        """Attach structured attributes (merged, last write wins)."""
+        self.rec[_R_ATTRS].update(attributes)
+
+    def mark_error(self, detail: str) -> None:
+        rec = self.rec
+        rec[_R_STATUS] = "error"
+        rec[_R_ERROR] = detail
+
+    @property
+    def name(self) -> str:
+        return self.rec[_R_NAME]
+
+    @name.setter
+    def name(self, value: str) -> None:
+        # The web middleware renames the root after dispatch, once the
+        # router knows which route matched.
+        self.rec[_R_NAME] = value
+
+    @property
+    def trace_id(self) -> str:
+        return self._trace.trace_id
+
+    @property
+    def span_id(self) -> str:
+        rec = self.rec
+        sid = rec[_R_SPAN_ID]
+        if sid is None:
+            sid = rec[_R_SPAN_ID] = new_span_id()
+        return sid
+
+    @property
+    def parent_id(self) -> str | None:
+        parent = self.rec[_R_PARENT]
+        if parent < 0:
+            return None
+        prec = self._trace.records[parent]
+        sid = prec[_R_SPAN_ID]
+        if sid is None:
+            sid = prec[_R_SPAN_ID] = new_span_id()
+        return sid
+
+
+class Span:
+    """One span of a *completed* trace: a node in the served span tree.
+
+    Wall time comes from ``perf_counter``, CPU time from ``thread_time``
+    (per-thread, so a span blocked on a lock shows near-zero CPU — the
+    wall−CPU gap *is* the contention).  ``self_s`` subtracts finished
+    children, attributing time to the layer that actually spent it.
+
+    Live tracing never builds these — call sites get flight-recorder
+    handles, and :class:`TraceRecord` reconstructs the Span tree from
+    the flat records on first read.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "_span_id", "parent_id", "attributes",
+        "_t0", "_cpu0", "wall_s", "cpu_s", "status", "error",
+        "children",
+    )
+
+    def __init__(self, name: str, trace_id: str,
+                 parent_id: str | None = None,
+                 attributes: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self._span_id: str | None = None
+        self.parent_id = parent_id
+        self.attributes = attributes if attributes is not None else {}
+        self._t0 = _perf_counter()
+        self._cpu0 = _thread_time()
+        self.wall_s: float | None = None
+        self.cpu_s: float | None = None
+        self.status = "ok"
+        self.error: str | None = None
+        self.children: list["Span"] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def span_id(self) -> str:
+        sid = self._span_id
+        if sid is None:
+            sid = self._span_id = new_span_id()
+        return sid
+
+    @property
+    def start_ts(self) -> float:
+        """Wall-clock start time, derived from the monotonic reading."""
+        return _EPOCH + self._t0
+
+    def set(self, **attributes: Any) -> None:
+        """Attach structured attributes (merged, last write wins)."""
+        self.attributes.update(attributes)
+
+    def finish(self, error: BaseException | None = None) -> None:
+        if self.wall_s is None:
+            self.wall_s = _perf_counter() - self._t0
+            self.cpu_s = _thread_time() - self._cpu0
+        if error is not None:
+            self.status = "error"
+            self.error = f"{type(error).__name__}: {error}"
+
+    def mark_error(self, detail: str) -> None:
+        self.status = "error"
+        self.error = detail
+
+    @property
+    def self_s(self) -> float:
+        """Wall time spent in this span minus its finished children."""
+        total = self.wall_s or 0.0
+        spent = sum(c.wall_s or 0.0 for c in self.children)
+        return max(0.0, total - spent)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ts": self.start_ts,
+            "wall_ms": round((self.wall_s or 0.0) * 1e3, 3),
+            "cpu_ms": round((self.cpu_s or 0.0) * 1e3, 3),
+            "self_ms": round(self.self_s * 1e3, 3),
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [c.as_dict() for c in self.children],
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class _NullSpan:
+    """Shared no-op stand-in when no trace is active (falsy on purpose:
+    call sites guard expensive attribute computation with ``if span:``)."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    def mark_error(self, detail: str) -> None:
+        pass
+
+    @property
+    def trace_id(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+#: The live trace of the current context.  Module-global so every
+#: layer's instrumentation reaches the same trace regardless of which
+#: Tracer instance opened the root (threads get isolated contexts).
+_CURRENT: ContextVar[_Trace | None] = ContextVar("carcs_trace", default=None)
+
+#: Per-thread pooled recorder (see _Trace).
+_LOCAL = threading.local()
+
+
+def current_span() -> _Handle | None:
+    """The innermost open span of the current context, if any."""
+    trace = _CURRENT.get()
+    if trace is None or not trace.stack:
+        return None
+    return trace.handles[len(trace.stack) - 1]
+
+
+def current_trace_id() -> str | None:
+    trace = _CURRENT.get()
+    return trace.trace_id if trace is not None else None
+
+
+def span(name: str, /, **attributes: Any):
+    """Open a child span under the active trace.
+
+    With no active trace this returns the shared :data:`NULL_SPAN` — the
+    whole call costs one context-variable lookup, which is what lets the
+    db/cache/search layers stay instrumented unconditionally.
+    """
+    trace = _CURRENT.get()
+    if trace is None:
+        return NULL_SPAN
+    return trace.open(name, attributes)
+
+
+class _TraceScope:
+    """Context manager owning a root span: resets the thread's pooled
+    recorder, activates it on entry, and hands the finished records to
+    the tracer's retention pipeline on exit."""
+
+    __slots__ = ("_tracer", "_trace", "_token")
+
+    def __init__(self, tracer: "Tracer", trace_id: str, name: str,
+                 attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        try:
+            trace = _LOCAL.trace
+        except AttributeError:
+            trace = _LOCAL.trace = _Trace()
+        trace.trace_id = trace_id
+        trace.records = []
+        trace.stack = []
+        self._trace = trace
+        trace.open(name, attributes)
+
+    def __enter__(self) -> _Handle:
+        trace = self._trace
+        self._token = _CURRENT.set(trace)
+        return trace.handles[0]
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        _CURRENT.reset(self._token)
+        trace = self._trace
+        trace.stack.pop()
+        rec = trace.records[0]
+        rec[_R_WALL] = _perf_counter() - rec[_R_T0]
+        rec[_R_CPU] = _thread_time() - rec[_R_CPU0]
+        if exc is not None:
+            rec[_R_STATUS] = "error"
+            rec[_R_ERROR] = f"{type(exc).__name__}: {exc}"
+        self._tracer._finish(trace)
+        return False
+
+
+class TraceRecord:
+    """One retained trace: the flat span records plus derived views.
+
+    The :class:`Span` tree is reconstructed lazily on first access —
+    request threads only pay for recording, the (rare) trace reads pay
+    for tree building.
+    """
+
+    __slots__ = ("trace_id", "records", "slow", "retained_by", "_root")
+
+    def __init__(self, trace_id: str, records: list[list[Any]], *,
+                 slow: bool, retained_by: str) -> None:
+        self.trace_id = trace_id
+        self.records = records
+        self.slow = slow
+        self.retained_by = retained_by
+        self._root: Span | None = None
+
+    @property
+    def span_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def root(self) -> Span:
+        root = self._root
+        if root is None:
+            root = self._root = self._build()
+        return root
+
+    def _build(self) -> Span:
+        spans: list[Span] = []
+        for rec in self.records:
+            s = object.__new__(Span)
+            s.name = rec[_R_NAME]
+            s.trace_id = self.trace_id
+            s._span_id = rec[_R_SPAN_ID]
+            s.parent_id = None
+            s.attributes = rec[_R_ATTRS]
+            s._t0 = rec[_R_T0]
+            s._cpu0 = rec[_R_CPU0]
+            s.wall_s = rec[_R_WALL]
+            s.cpu_s = rec[_R_CPU]
+            s.status = rec[_R_STATUS]
+            s.error = rec[_R_ERROR]
+            s.children = []
+            spans.append(s)
+        for i, rec in enumerate(self.records):
+            parent = rec[_R_PARENT]
+            if parent >= 0:
+                spans[parent].children.append(spans[i])
+                spans[i].parent_id = spans[parent].span_id
+        return spans[0]
+
+    def summary(self) -> dict[str, Any]:
+        rec = self.records[0]
+        return {
+            "trace_id": self.trace_id,
+            "name": rec[_R_NAME],
+            "status": rec[_R_STATUS],
+            "duration_ms": round((rec[_R_WALL] or 0.0) * 1e3, 3),
+            "cpu_ms": round((rec[_R_CPU] or 0.0) * 1e3, 3),
+            "spans": len(self.records),
+            "started_ts": _EPOCH + rec[_R_T0],
+            "slow": self.slow,
+            "retained_by": self.retained_by,
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        out = self.summary()
+        out["root"] = self.root.as_dict()
+        return out
+
+
+class TraceStore:
+    """Bounded, thread-safe store of completed traces (newest wins).
+
+    Writes stay raw: the request thread inserts the bare
+    ``(trace_id, records, slow, retained_by)`` tuple — one ordered-dict
+    store plus (at capacity) one eviction pop, nothing else.  Read paths
+    wrap entries into :class:`TraceRecord` on demand and memoize the
+    wrapper in place, so trace reads keep their lazily-built span trees
+    while the request hot path never constructs one.  Memory stays
+    strictly bounded by ``capacity`` either way.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: trace id -> raw tuple (unread) | TraceRecord (read at least once)
+        self._traces: "OrderedDict[str, Any]" = OrderedDict()
+        self._evicted = 0
+        #: Set by the owning Tracer: read paths call it first so traces
+        #: still sitting in the tracer's completion queue become visible
+        #: before the store answers.  Lock order is always tracer → store
+        #: (the hook runs before this store's lock is taken).
+        self._drain_hook: Any = None
+
+    def add_deferred(self, trace_id: str, records: list[list[Any]],
+                     slow: bool, retained_by: str) -> None:
+        """Insert a finished trace as a raw tuple (the hot path)."""
+        with self._lock:
+            traces = self._traces
+            if trace_id in traces:
+                del traces[trace_id]
+            traces[trace_id] = (trace_id, records, slow, retained_by)
+            if len(traces) > self.capacity:
+                traces.popitem(last=False)
+                self._evicted += 1
+
+    def add(self, record: TraceRecord) -> None:
+        with self._lock:
+            traces = self._traces
+            if record.trace_id in traces:
+                del traces[record.trace_id]
+            traces[record.trace_id] = record
+            while len(traces) > self.capacity:
+                traces.popitem(last=False)
+                self._evicted += 1
+
+    def _wrap_locked(self, trace_id: str, value: Any) -> TraceRecord:
+        if type(value) is tuple:
+            value = TraceRecord(
+                value[0], value[1], slow=value[2], retained_by=value[3],
+            )
+            # Re-assigning an existing key preserves its position.
+            self._traces[trace_id] = value
+        return value
+
+    def get(self, trace_id: str) -> TraceRecord | None:
+        hook = self._drain_hook
+        if hook is not None:
+            hook()
+        with self._lock:
+            value = self._traces.get(trace_id)
+            if value is None:
+                return None
+            return self._wrap_locked(trace_id, value)
+
+    def summaries(self) -> list[dict[str, Any]]:
+        """Newest-first summary dicts (the ``/api/v1/traces`` payload)."""
+        return [r.summary() for r in self.records()]
+
+    def records(self) -> list[TraceRecord]:
+        """Newest-first stored traces (exemplar derivation, the CLI)."""
+        hook = self._drain_hook
+        if hook is not None:
+            hook()
+        with self._lock:
+            wrapped = [
+                self._wrap_locked(tid, value)
+                for tid, value in self._traces.items()
+            ]
+        return list(reversed(wrapped))
+
+    @property
+    def evicted(self) -> int:
+        hook = self._drain_hook
+        if hook is not None:
+            hook()
+        return self._evicted
+
+    def __len__(self) -> int:
+        hook = self._drain_hook
+        if hook is not None:
+            hook()
+        return len(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._evicted = 0
+
+
+class Tracer:
+    """Opens root spans, applies retention rules, feeds store + metrics.
+
+    Child spans are created by the module-level :func:`span` function and
+    attach through the shared context; the tracer only decides whether a
+    *root* opens (mode) and what happens when it closes (retention,
+    histograms, exemplars).
+    """
+
+    def __init__(self, store: TraceStore | None = None, *,
+                 mode: str | None = None,
+                 sample_every: int | None = None,
+                 slow_ms: float | None = None) -> None:
+        self.store = store if store is not None else TraceStore()
+        #: Optional MetricsRegistry receiving per-span-name histograms;
+        #: the web layer attaches its registry (same pattern as
+        #: ``SearchEngine.metrics``).
+        self.registry = None
+        self._lock = threading.Lock()
+        self._started = 0
+        self._retained = 0
+        self._dropped = 0
+        # Completion queue: finished traces land here as raw
+        # (trace_id, records, mode-at-completion) tuples and the whole
+        # retention pipeline — slow/error scan, sampling decision,
+        # counters, store insert, histogram batch — runs when something
+        # *reads* (any stats/metrics scrape or store lookup drains the
+        # queue first, via the store's drain hook), or inline once the
+        # queue hits its bound.  A request thread therefore pays one
+        # list append for trace completion.
+        self._queue: list[tuple[str, list[list[Any]], str]] = []
+        # Histogram feeding is deferred: _finish appends (name, wall)
+        # pairs to this buffer under the lock it already holds, and
+        # flush_metrics() drains it when the metrics are actually read
+        # (stats(), the /metrics route) or when the buffer fills.  The
+        # registry's get-or-create re-freezes labels under its own lock
+        # per call — paying that per scrape instead of per span is most
+        # of the tracing overhead budget.
+        self._pending: list[tuple[str, float | None]] = []
+        self._pending_kept = 0
+        self._pending_lost = 0
+        self._metric_cache: dict[Any, Any] = {}
+        self._cached_registry: Any = None
+        self.store._drain_hook = self._drain
+        self.configure(mode=mode, sample_every=sample_every, slow_ms=slow_ms)
+
+    def configure(self, *, mode: str | None = None,
+                  sample_every: int | None = None,
+                  slow_ms: float | None = None) -> "Tracer":
+        """Override knobs; ``None`` re-reads the environment default."""
+        self.mode = mode if mode in (MODE_OFF, MODE_SAMPLED, MODE_ALL) \
+            else env_mode()
+        self.sample_every = (
+            max(1, sample_every) if sample_every is not None
+            else env_sample_every()
+        )
+        self.slow_ms = slow_ms if slow_ms is not None else env_slow_ms()
+        return self
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != MODE_OFF
+
+    def stats(self) -> dict[str, int]:
+        self.flush_metrics()
+        return {
+            "started": self._started,
+            "retained": self._retained,
+            "dropped": self._dropped,
+            "stored": len(self.store),
+            "evicted": self.store.evicted,
+        }
+
+    def exemplars(self) -> dict[str, str]:
+        """span name → trace id of the newest *stored* trace that
+        contains it (the metrics↔traces cross-reference).
+
+        Derived from the store on read, so every exemplar is actually
+        retrievable via ``/api/v1/traces/<id>`` — an id is never left
+        dangling after its trace is evicted — and the request hot path
+        pays nothing for it.
+        """
+        out: dict[str, str] = {}
+        for record in self.store.records():  # newest first
+            tid = record.trace_id
+            for rec in record.records:
+                name = rec[_R_NAME]
+                if name not in out:
+                    out[name] = tid
+        return out
+
+    def reset(self) -> None:
+        """Drop stored traces, counters and exemplars (tests, benches)."""
+        with self._lock:
+            self._queue.clear()
+            self._started = self._retained = self._dropped = 0
+            self._pending.clear()
+            self._pending_kept = self._pending_lost = 0
+        self.store.clear()
+
+    def _drain(self) -> None:
+        """Run the retention pipeline over every queued trace."""
+        with self._lock:
+            self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        queue = self._queue
+        if not queue:
+            return
+        self._queue = []
+        slow_s = self.slow_ms * 1e-3
+        feed = self.registry is not None
+        pending = self._pending
+        store = self.store
+        sample_every = self.sample_every
+        for trace_id, records, mode in queue:
+            slow = errored = False
+            for rec in records:
+                wall = rec[_R_WALL]
+                if wall is not None and wall >= slow_s:
+                    slow = True
+                if rec[_R_STATUS] == "error":
+                    errored = True
+                if feed:
+                    pending.append((rec[_R_NAME], wall))
+            self._started += 1
+            # Retention uses the mode that was live when the trace
+            # completed, so reconfiguring between completion and drain
+            # (the benches flip modes constantly) cannot misclassify.
+            if mode == MODE_ALL:
+                retained_by = "all"
+            elif errored:
+                retained_by = "error"
+            elif slow:
+                retained_by = "slow"
+            elif (self._started - 1) % sample_every == 0:
+                retained_by = "sampled"
+            else:
+                retained_by = ""
+            if retained_by:
+                self._retained += 1
+                store.add_deferred(trace_id, records, slow, retained_by)
+            else:
+                self._dropped += 1
+            if feed:
+                if retained_by:
+                    self._pending_kept += 1
+                else:
+                    self._pending_lost += 1
+
+    def flush_metrics(self) -> None:
+        """Drain buffered span timings into the attached registry.
+
+        Called by every metrics/stats read, so scrapes always see the
+        up-to-date histograms; traced requests only pay list appends.
+        """
+        registry = self.registry
+        with self._lock:
+            self._drain_locked()
+            if registry is None:
+                return
+            if not self._pending and not self._pending_kept \
+                    and not self._pending_lost:
+                return
+            pending, self._pending = self._pending, []
+            kept, self._pending_kept = self._pending_kept, 0
+            lost, self._pending_lost = self._pending_lost, 0
+            if registry is not self._cached_registry:
+                self._metric_cache = {}
+                self._cached_registry = registry
+            cache = self._metric_cache
+        for name, wall in pending:
+            hist = cache.get(name)
+            if hist is None:
+                hist = registry.histogram("carcs_span_seconds", span=name)
+                cache[name] = hist
+            hist.observe(wall if wall is not None else 0.0)
+        for label, count in (("true", kept), ("false", lost)):
+            if count:
+                counter = cache.get(("retained", label))
+                if counter is None:
+                    counter = registry.counter(
+                        "carcs_traces_total", retained=label
+                    )
+                    cache[("retained", label)] = counter
+                counter.inc(count)
+
+    # -- root spans -------------------------------------------------------
+
+    def trace(self, name: str, /, *, trace_id: str | None = None,
+              **attributes: Any):
+        """Open the root span of a new trace.
+
+        No-op when the tracer is off; when a trace is already active the
+        "root" is just a child span of it.
+        """
+        if self.mode == MODE_OFF:
+            return NULL_SPAN
+        trace = _CURRENT.get()
+        if trace is not None:
+            return trace.open(name, attributes)
+        return _TraceScope(self, trace_id or new_trace_id(), name, attributes)
+
+    # -- completion -------------------------------------------------------
+
+    def _finish(self, trace: _Trace) -> None:
+        # The request thread only enqueues: slow/error scanning,
+        # sampling, counters, the store insert and histogram feeding all
+        # happen in _drain_locked, on the next read or once the queue
+        # fills.  The bound keeps memory flat (and the pipeline cost
+        # amortized) even if nothing ever scrapes.
+        with self._lock:
+            queue = self._queue
+            queue.append((trace.trace_id, trace.records, self.mode))
+            if len(queue) < 1024:
+                return
+            self._drain_locked()
+            overflow = len(self._pending) >= 4096
+        if overflow:
+            self.flush_metrics()
+
+
+#: Process-wide default tracer (the CLI and any bare ``CarCsApi`` use
+#: it); tests and benchmarks construct private tracers and hand them to
+#: the web layer instead.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return TRACER
+
+
+# -- rendering ------------------------------------------------------------
+
+
+def _format_attributes(attributes: dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    inner = " ".join(f"{k}={v}" for k, v in sorted(attributes.items()))
+    return f"  [{inner}]"
+
+
+def render_text(record: TraceRecord) -> str:
+    """Indented span tree with per-span wall/self/CPU time — the
+    ``carcs trace`` output."""
+    lines = [
+        f"trace {record.trace_id}  status={record.root.status}  "
+        f"spans={record.span_count}  "
+        f"duration={(record.root.wall_s or 0.0) * 1e3:.3f}ms"
+        + ("  SLOW" if record.slow else "")
+    ]
+
+    def emit(span_: Span, depth: int) -> None:
+        wall = (span_.wall_s or 0.0) * 1e3
+        cpu = (span_.cpu_s or 0.0) * 1e3
+        self_ms = span_.self_s * 1e3
+        marker = " !" if span_.status == "error" else ""
+        lines.append(
+            f"{'  ' * depth}- {span_.name}{marker}  "
+            f"{wall:.3f}ms (self {self_ms:.3f}ms, cpu {cpu:.3f}ms)"
+            f"{_format_attributes(span_.attributes)}"
+        )
+        if span_.error:
+            lines.append(f"{'  ' * (depth + 1)}error: {span_.error}")
+        for child in span_.children:
+            emit(child, depth + 1)
+
+    emit(record.root, 0)
+    return "\n".join(lines)

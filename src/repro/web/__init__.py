@@ -9,6 +9,7 @@ from .http import (
     error_response,
     json_response,
     paginated,
+    text_response,
 )
 from .middleware import (
     ConditionalGetMiddleware,
@@ -17,6 +18,7 @@ from .middleware import (
     LoggingMiddleware,
     MetricsMiddleware,
     RequestIdMiddleware,
+    TracingMiddleware,
     compose,
 )
 from .router import Route, Router
@@ -38,8 +40,10 @@ __all__ = [
     "Response",
     "Route",
     "Router",
+    "TracingMiddleware",
     "compose",
     "error_response",
     "json_response",
     "paginated",
+    "text_response",
 ]

@@ -27,7 +27,13 @@ from repro.core.material import CourseLevel, Material, MaterialKind
 from repro.core.ontology import BloomLevel
 from repro.core.repository import Repository
 from repro.core.search import SearchFilters
-from repro.obs import MetricsRegistry, RequestLog
+from repro.obs import (
+    MetricsRegistry,
+    RequestLog,
+    Tracer,
+    get_tracer,
+    render_prometheus,
+)
 
 from .http import (
     HttpError,
@@ -35,6 +41,7 @@ from .http import (
     Response,
     json_response,
     paginated,
+    text_response,
 )
 from .middleware import (
     ConditionalGetMiddleware,
@@ -43,6 +50,7 @@ from .middleware import (
     LoggingMiddleware,
     MetricsMiddleware,
     RequestIdMiddleware,
+    TracingMiddleware,
     compose,
 )
 from .router import Router
@@ -51,10 +59,12 @@ from .router import Router
 API_PREFIX = "/api/v1"
 
 #: Paths whose payload changes without a repository mutation — they are
-#: exempt from the version-derived ETag and never 304.
+#: exempt from the version-derived ETag and never 304.  Entries cover
+#: nested paths too (``/traces`` exempts ``/traces/<id>``).
 UNCONDITIONAL_PATHS = (
     f"{API_PREFIX}/metrics",
     f"{API_PREFIX}/healthz",
+    f"{API_PREFIX}/traces",
 )
 
 
@@ -98,6 +108,7 @@ class CarCsApi:
         *,
         metrics: MetricsRegistry | None = None,
         request_log: RequestLog | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.repo = repo
         self.router = Router()
@@ -105,14 +116,20 @@ class CarCsApi:
         self.request_log = (
             request_log if request_log is not None else RequestLog()
         )
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._search = repo.search_engine()
-        # Index-size gauges, rebuild counters and the search latency
-        # histogram land in the same registry /api/v1/metrics exports.
+        # Index-size gauges, rebuild counters, the search latency
+        # histogram, per-span duration histograms and the request-log
+        # drop gauge all land in the same registry /api/v1/metrics
+        # exports.
         self._search.metrics = self.metrics
+        self.tracer.registry = self.metrics
+        self.request_log.metrics = self.metrics
         self._started = time.monotonic()
         self._register()
         self.middlewares = [
             RequestIdMiddleware(),
+            TracingMiddleware(self.tracer),
             MetricsMiddleware(self.metrics),
             LoggingMiddleware(self.request_log),
             ErrorMiddleware(self.metrics, self.request_log),
@@ -222,7 +239,7 @@ class CarCsApi:
             # Mirror the repository/cache counters into gauges at scrape
             # time so one export carries the whole picture: per-route
             # request counts, latency histograms, db versions, cache
-            # hits/misses.
+            # hits/misses, tracer retention counters.
             for key, value in self.repo.stats().items():
                 self.metrics.gauge(f"carcs_{key}").set(value)
             self.metrics.gauge("carcs_uptime_seconds").set(
@@ -231,7 +248,41 @@ class CarCsApi:
             self.metrics.gauge("carcs_request_log_dropped").set(
                 self.request_log.dropped
             )
-            return json_response({"metrics": self.metrics.export()})
+            for key, value in self.tracer.stats().items():
+                self.metrics.gauge(f"carcs_traces_{key}").set(value)
+            if request.query_one("format") == "prometheus":
+                return text_response(
+                    render_prometheus(self.metrics),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            return json_response({
+                "metrics": self.metrics.export(),
+                # span name -> trace id of a recent retained trace
+                # containing it: the histogram↔trace cross-reference.
+                "exemplars": self.tracer.exemplars(),
+            })
+
+        @router.route("GET", f"{API_PREFIX}/traces")
+        def list_traces(request: Request) -> Response:
+            summaries = self.tracer.store.summaries()
+            status = request.query_one("status")
+            if status:
+                summaries = [s for s in summaries if s["status"] == status]
+            payload = paginated(summaries, request, default_limit=20)
+            payload["tracer"] = self.tracer.stats()
+            return json_response(payload)
+
+        @router.route("GET", f"{API_PREFIX}/traces/<trace_id>")
+        def get_trace(request: Request) -> Response:
+            trace_id = request.params["trace_id"]
+            record = self.tracer.store.get(trace_id)
+            if record is None:
+                raise HttpError(
+                    404,
+                    f"no retained trace {trace_id!r} (sampled out, evicted, "
+                    "or never started)",
+                )
+            return json_response(record.as_dict())
 
         @route("GET", "/assignments")
         def list_assignments(request: Request) -> Response:

@@ -130,6 +130,19 @@ def json_response(payload: Any, status: int = 200) -> Response:
                     headers={"content-type": "application/json"})
 
 
+def text_response(
+    body: str, status: int = 200,
+    content_type: str = "text/plain; charset=utf-8",
+) -> Response:
+    """A plain-text response (Prometheus exposition, raw trace dumps).
+
+    The payload stays a ``str``; the socket server encodes it verbatim
+    instead of JSON-serializing.
+    """
+    return Response(status=status, payload=body,
+                    headers={"content-type": content_type})
+
+
 def error_response(status: int, message: str, request_id: str = "") -> Response:
     """The uniform v1 error envelope.
 

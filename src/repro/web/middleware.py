@@ -8,20 +8,25 @@ handler.  The production chain, outermost first:
 1. :class:`RequestIdMiddleware` — stamps a per-request id (honouring an
    inbound ``X-Request-Id``), echoes it as a response header, and fills
    it into any error envelope produced further down.
-2. :class:`MetricsMiddleware` — times the whole dispatch; per-route
+2. :class:`TracingMiddleware` — opens the root span of the request's
+   trace (trace id == request id) and stamps ``X-Trace-Id``; every
+   layer below contributes child spans through the ambient context.
+3. :class:`MetricsMiddleware` — times the whole dispatch; per-route
    request counters by status class + latency histograms.
-3. :class:`LoggingMiddleware` — one structured record per request.
-4. :class:`ErrorMiddleware` — converts uncaught exceptions into clean
+4. :class:`LoggingMiddleware` — one structured record per request.
+5. :class:`ErrorMiddleware` — converts uncaught exceptions into clean
    ``500`` envelopes instead of killing the server thread.
-5. :class:`LockMiddleware` — repository reader-writer lock: GETs share
+6. :class:`LockMiddleware` — repository reader-writer lock: GETs share
    the read side, mutating methods take the exclusive write side.
-6. :class:`ConditionalGetMiddleware` — ETag / If-None-Match 304
+7. :class:`ConditionalGetMiddleware` — ETag / If-None-Match 304
    short-circuit (inside the lock, so the version read is consistent).
 
 Ordering matters: metrics/logging sit outside the error boundary so
 500s are counted and logged; the lock sits outside the conditional-GET
 check so the ETag comparison and the dispatch it guards see one
-repository version.
+repository version.  Tracing sits directly under the request-id stamp
+(the trace reuses that id) and above everything else so the root span's
+wall time covers the full dispatch including lock waits.
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, Sequence
 
-from repro.obs import MetricsRegistry, RequestLog, new_request_id
+from repro.obs import MetricsRegistry, RequestLog, Tracer, new_request_id
+from repro.obs import trace as _trace
 
 from .http import (
     HttpError,
@@ -75,6 +81,40 @@ class RequestIdMiddleware:
         if envelope is not None and not envelope.get("request_id"):
             envelope["request_id"] = request.request_id
         return response
+
+
+class TracingMiddleware:
+    """Open the per-request root span; everything below adds children.
+
+    The trace id reuses the request id (stamped by the middleware above
+    us), so one identifier correlates the response headers, the request
+    log and the stored trace.  When tracing is off this middleware is a
+    plain pass-through — no span objects, no context-var writes.
+
+    The root span is named after the *matched route* (low cardinality),
+    which the router only knows after dispatch — so it opens under a
+    placeholder name and is renamed on the way out.
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        if not self.tracer.enabled:
+            return call_next(request)
+        with self.tracer.trace(
+            "http.request",
+            trace_id=request.request_id or None,
+            method=request.method,
+            path=request.path,
+        ) as root:
+            response = call_next(request)
+            root.name = route_label(request)
+            root.set(status=response.status)
+            if response.status >= 500:
+                root.mark_error(f"http {response.status}")
+            response.headers.setdefault("x-trace-id", root.trace_id)
+            return response
 
 
 class MetricsMiddleware:
@@ -176,25 +216,40 @@ class LockMiddleware:
 
     def __call__(self, request: Request, call_next: Handler) -> Response:
         lock = self.db.lock
-        scope = (lock.read() if request.method in self.READ_METHODS
-                 else lock.write())
-        with scope:
+        if request.method in self.READ_METHODS:
+            mode, acquire, release = "read", lock.acquire_read, lock.release_read
+        else:
+            mode, acquire, release = "write", lock.acquire_write, lock.release_write
+        # The acquire gets its own span so lock *wait* is attributed
+        # separately from the handler work it serializes.
+        with _trace.span("db.lock.acquire", mode=mode):
+            acquire()
+        try:
             return call_next(request)
+        finally:
+            release()
 
 
 class ConditionalGetMiddleware:
     """ETag / If-None-Match revalidation for GETs.
 
-    ``exempt`` paths (metrics, health) change without a repository
-    mutation, so they never 304."""
+    ``exempt`` paths (metrics, health, traces) change without a
+    repository mutation, so they never 304.  Each exempt entry also
+    covers everything nested under it (``/api/v1/traces`` exempts
+    ``/api/v1/traces/<id>``)."""
 
     def __init__(self, etag_fn: Callable[[], str],
                  exempt: Iterable[str] = ()) -> None:
         self.etag_fn = etag_fn
         self.exempt = frozenset(exempt)
 
+    def _is_exempt(self, path: str) -> bool:
+        return path in self.exempt or any(
+            path.startswith(p + "/") for p in self.exempt
+        )
+
     def __call__(self, request: Request, call_next: Handler) -> Response:
-        if request.method != "GET" or request.path in self.exempt:
+        if request.method != "GET" or self._is_exempt(request.path):
             return call_next(request)
         etag = self.etag_fn()
         if etag_matches(request.header("if-none-match"), etag):

@@ -113,9 +113,9 @@ class TestHistogramBucketMath:
         registry.histogram("latency", route="GET /x").observe(0.003)
         registry.gauge("depth").set(2)
         out = registry.export()
-        assert out["counters"]["requests{route=GET /x}"]["value"] == 1
+        assert out["counters"]['requests{route="GET /x"}']["value"] == 1
         assert out["gauges"]["depth"]["value"] == 2
-        hist = out["histograms"]["latency{route=GET /x}"]
+        hist = out["histograms"]['latency{route="GET /x"}']
         assert hist["count"] == 1
         assert hist["buckets"][-1]["le"] == "+inf"
 
@@ -146,3 +146,67 @@ class TestRequestLog:
     def test_request_ids_are_unique(self):
         ids = {new_request_id() for _ in range(1000)}
         assert len(ids) == 1000
+
+    def test_drops_feed_the_registry_gauge(self):
+        log = RequestLog(capacity=2)
+        log.metrics = MetricsRegistry()
+        for i in range(5):
+            log.record(request_id=str(i))
+        gauge = log.metrics.gauge("carcs_request_log_dropped")
+        assert gauge.value == 3 == log.dropped
+
+    def test_snapshot_carries_loss_accounting(self):
+        log = RequestLog(capacity=2)
+        for i in range(3):
+            log.record(request_id=str(i))
+        snap = log.snapshot(n=1)
+        assert snap["capacity"] == 2
+        assert snap["size"] == 2
+        assert snap["dropped"] == 1
+        assert [r["request_id"] for r in snap["records"]] == ["2"]
+
+    def test_clear_resets_the_drop_counter(self):
+        log = RequestLog(capacity=1)
+        log.record(request_id="a")
+        log.record(request_id="b")
+        log.clear()
+        assert log.dropped == 0 and len(log) == 0
+
+
+class TestPrometheusExposition:
+    def test_label_values_are_escaped(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('say "hi"\n\\x') == 'say \\"hi\\"\\n\\\\x'
+
+    def test_exposition_covers_all_kinds(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("requests_total", route='GET "/x"').inc(3)
+        registry.gauge("depth").set(2.5)
+        registry.histogram(
+            "latency_seconds", buckets=(0.1, 1.0)
+        ).observe(0.05)
+        text = render_prometheus(registry)
+        lines = text.splitlines()
+        assert "# TYPE requests_total counter" in lines
+        assert 'requests_total{route="GET \\"/x\\""} 3' in lines
+        assert "# TYPE depth gauge" in lines
+        assert "depth 2.5" in lines
+        assert "# TYPE latency_seconds histogram" in lines
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="1"} 1' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in lines
+        assert "latency_seconds_sum 0.05" in lines
+        assert "latency_seconds_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_type_line_emitted_once_per_metric_name(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("req_total", route="a").inc()
+        registry.counter("req_total", route="b").inc()
+        text = render_prometheus(registry)
+        assert text.count("# TYPE req_total counter") == 1

@@ -54,6 +54,7 @@ class TestCompose:
         names = [type(m).__name__ for m in api.middlewares]
         assert names == [
             "RequestIdMiddleware",
+            "TracingMiddleware",
             "MetricsMiddleware",
             "LoggingMiddleware",
             "ErrorMiddleware",
@@ -166,10 +167,10 @@ class TestMetricsEndpoint:
         assert client.get("/stats").ok
         body = client.get("/metrics").json()
         counters = body["metrics"]["counters"]
-        key = "http_requests_total{route=GET /api/v1/stats,status=2xx}"
+        key = 'http_requests_total{route="GET /api/v1/stats",status="2xx"}'
         assert counters[key]["value"] == 1
         hists = body["metrics"]["histograms"]
-        assert "http_request_seconds{route=GET /api/v1/stats}" in hists
+        assert 'http_request_seconds{route="GET /api/v1/stats"}' in hists
         gauges = body["metrics"]["gauges"]
         # db/cache counters from Repository.stats() surface as gauges.
         assert "carcs_version" in gauges
