@@ -16,3 +16,8 @@ python scripts/check_doc_links.py
 # Observability gate: sampled tracing must stay within its 10%
 # warm-path overhead budget (docs/architecture.md, "Observability").
 PYTHONPATH=src python -m pytest -q benchmarks/bench_obs.py
+
+# Storage gate: pinned MVCC reads must beat the RWLock read path >= 2x
+# under a durable writer, and batch-mode WAL ingest must stay within
+# 30% of in-memory (docs/architecture.md, "Storage & durability").
+PYTHONPATH=src python -m pytest -q benchmarks/bench_storage.py

@@ -12,10 +12,12 @@ entry is served only while every table it was derived from is untouched.
 
 Correctness rules:
 
-* **Transactions bypass the cache entirely** (both lookups and stores).
-  Rollback restores version counters, so a value computed from
-  uncommitted state could otherwise be served later under a re-used
-  version number.  Outside transactions versions are strictly monotonic.
+* **A thread inside its own transaction bypasses the cache entirely**
+  (both lookups and stores).  Rollback restores version counters, so a
+  value computed from uncommitted state could otherwise be served later
+  under a re-used version number.  Concurrent *readers* are unaffected
+  by other threads' transactions: they read committed pinned snapshots
+  (:meth:`repro.db.Database.pinned`), whose versions are durable.
 * Cached values are **shared**: callers must treat them as read-only.
   Call sites whose callers historically mutated results pass ``copy=`` so
   every lookup returns a private copy.
@@ -156,10 +158,16 @@ class AnalyticsCache:
     # -- core -------------------------------------------------------------
 
     def table_versions(self, tables: Sequence[str]) -> tuple:
-        """Current version of each dependency table (-1 when dropped)."""
+        """Version of each dependency table (-1 when dropped/absent).
+
+        Pin-aware: inside a pinned snapshot scope the versions come from
+        the snapshot, so a cached entry computed from pinned state is
+        stamped with (and validated against) that same state."""
+        pin = self.db._pin()
+        source: Any = pin.tables if pin is not None else self.db._tables
         out = []
         for name in tables:
-            table = self.db._tables.get(name)
+            table = source.get(name)
             out.append(table.version if table is not None else -1)
         return tuple(out)
 
@@ -180,49 +188,53 @@ class AnalyticsCache:
         applied to the stored value on *every* return so callers can
         safely mutate what they receive.
         """
-        # Lock order: db read lock strictly before the cache lock, always.
-        # Computes read the db anyway, and taking the read side first means
-        # a thread blocked on a writer is never *holding* the cache lock —
-        # so writers and other readers cannot deadlock against the cache.
+        # Readers take no database lock: computes run against the pinned
+        # snapshot (or live state for unpinned callers).  The cache lock
+        # alone serializes bookkeeping and computes — concurrent readers
+        # asking for the same cold entry still produce one compute.
         # The span's ``key`` attribute is the raw (hashable) key object,
         # not its repr: stringification happens if and when the trace is
         # rendered, so traced lookups never pay repr() on the hot path.
         with _trace.span("cache.get", name=name) as span_:
-            with self.db.lock.read():
-                with self._lock:
-                    if not self.active or self.db.in_transaction:
-                        # Inside a transaction versions are not yet durable
-                        # (rollback restores them), so neither lookups nor
-                        # stores are safe.
-                        self.stats.bypasses += 1
-                        if span_:
-                            span_.set(outcome="bypass", key=key)
-                        return compute()
-                    versions = self.table_versions(tables)
-                    full_key = (name, freeze(key))
-                    entry = self._entries.get(full_key)
-                    if entry is not None and entry[0] == versions:
-                        self.stats.hits += 1
-                        if span_:
-                            span_.set(outcome="hit", key=key)
-                        self._entries.move_to_end(full_key)
-                        value = entry[1]
-                        return copy(value) if copy is not None else value
-                    value = compute()
+            with self._lock:
+                in_writer_tx = (
+                    self.db.lock.write_held and self.db.in_transaction
+                )
+                if not self.active or in_writer_tx:
+                    # Inside this thread's own transaction versions
+                    # are not yet durable (rollback restores them),
+                    # so neither lookups nor stores are safe.  Other
+                    # threads' transactions don't matter: they read
+                    # committed pinned snapshots.
+                    self.stats.bypasses += 1
                     if span_:
-                        span_.set(key=key)
-                    if entry is not None:
-                        self.stats.invalidations += 1
-                        span_.set(outcome="invalidation")
-                    else:
-                        self.stats.misses += 1
-                        span_.set(outcome="miss")
-                    self._entries[full_key] = (versions, value)
+                        span_.set(outcome="bypass", key=key)
+                    return compute()
+                versions = self.table_versions(tables)
+                full_key = (name, freeze(key))
+                entry = self._entries.get(full_key)
+                if entry is not None and entry[0] == versions:
+                    self.stats.hits += 1
+                    if span_:
+                        span_.set(outcome="hit", key=key)
                     self._entries.move_to_end(full_key)
-                    while len(self._entries) > self.maxsize:
-                        self._entries.popitem(last=False)
-                        self.stats.evictions += 1
+                    value = entry[1]
                     return copy(value) if copy is not None else value
+                value = compute()
+                if span_:
+                    span_.set(key=key)
+                if entry is not None:
+                    self.stats.invalidations += 1
+                    span_.set(outcome="invalidation")
+                else:
+                    self.stats.misses += 1
+                    span_.set(outcome="miss")
+                self._entries[full_key] = (versions, value)
+                self._entries.move_to_end(full_key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                return copy(value) if copy is not None else value
 
     # -- maintenance ------------------------------------------------------
 

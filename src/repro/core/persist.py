@@ -1,25 +1,45 @@
 """Self-contained JSON persistence for a CAR-CS repository.
 
 The prototype kept its state in PostgreSQL; this substrate is in-memory,
-so deployments need a durable snapshot format.  The dump is fully
-self-contained — ontology trees are serialized alongside materials and
-classifications — so a snapshot restores bit-for-bit even if the code's
-built-in ontologies change later (exactly the cross-edition safety the
-migration tooling is about).
+so deployments need a durable dump format.  Since format 2 the dump is a
+thin wrapper over the storage engine's own snapshot serialization
+(:func:`repro.db.database_to_dict`): the relational state round-trips
+bit-for-bit (ids, version counters, indexes), and the ontology trees are
+serialized alongside so a dump restores exactly even if the code's
+built-in ontologies change later — the cross-edition safety the
+migration tooling is about.
+
+Format history / migration path:
+
+* **1** — application-level dump (materials + classifications re-played
+  through the repository API).  Still importable: :func:`import_repository`
+  detects the version and routes v1 dumps through the legacy loader, so
+  upgrading is "load the old file, save the new one".
+* **2** — engine-level dump (``database`` key) + exact ontology trees.
+
+Writes are atomic: :func:`save_json` streams to a sibling temp file,
+fsyncs, then ``os.replace``\\ s it over the target, so a crash mid-save
+leaves the previous dump intact rather than a truncated JSON file.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
+
+from repro.db import database_to_dict, restore_database
 
 from .classification import ClassificationSet
 from .material import CourseLevel, Material, MaterialKind
 from .ontology import BloomLevel, NodeKind, Ontology, Tier
 from .repository import Repository
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Dump versions :func:`import_repository` can still read.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _ontology_to_dict(onto: Ontology) -> dict[str, Any]:
@@ -62,57 +82,50 @@ def _ontology_from_dict(data: dict[str, Any]) -> Ontology:
 
 
 def export_repository(repo: Repository) -> dict[str, Any]:
-    """The full repository state as one JSON-serializable dict."""
-    materials = []
-    for material in repo.materials():
-        assert material.id is not None
-        cs = repo.classification_of(material.id)
-        materials.append({
-            "id": material.id,
-            "title": material.title,
-            "description": material.description,
-            "kind": material.kind.value,
-            "authors": list(material.authors),
-            "url": material.url,
-            "course_level": (
-                material.course_level.value if material.course_level else None
-            ),
-            "languages": list(material.languages),
-            "datasets": list(material.datasets),
-            "tags": list(material.tags),
-            "collection": material.collection,
-            "year": material.year,
-            "classifications": [
-                {
-                    "ontology": item.ontology,
-                    "key": item.key,
-                    "bloom": item.bloom.value if item.bloom else None,
-                }
-                for item in cs.items()
-            ],
-        })
-    users = repo.db.table("users").find()
+    """The full repository state as one JSON-serializable dict (format 2).
+
+    The relational state is the engine's own snapshot serialization, so
+    restore is exact: ids, per-table version counters and secondary
+    indexes all survive, and no repository-level write path is re-run.
+    """
     return {
         "format_version": FORMAT_VERSION,
         "ontologies": [
             _ontology_to_dict(o) for _, o in sorted(repo.ontologies.items())
         ],
-        "materials": materials,
-        "users": users,
+        "database": database_to_dict(repo.db),
     }
 
 
 def import_repository(data: dict[str, Any]) -> Repository:
     """Rebuild a repository from :func:`export_repository` output.
 
-    Material ids are preserved (the dump is the source of truth for
-    cross-references like similarity-graph node ids).
+    Dispatches on ``format_version``: current (2) dumps restore through
+    the engine's snapshot loader; legacy (1) dumps re-play through the
+    repository API.  Material ids are preserved either way (the dump is
+    the source of truth for cross-references like similarity-graph node
+    ids).
     """
     version = data.get("format_version")
+    if version == 1:
+        return _import_v1(data)
     if version != FORMAT_VERSION:
         raise ValueError(
-            f"unsupported snapshot format {version!r}; expected {FORMAT_VERSION}"
+            f"unsupported snapshot format {version!r}; "
+            f"supported: {SUPPORTED_VERSIONS}"
         )
+    db = restore_database(data["database"])
+    repo = Repository(db)  # reattach path: schema exists, helpers rebind
+    # The dump's trees are the source of truth — overwrite whatever the
+    # reattach reconstructed (built-ins may have changed across editions).
+    repo._ontologies = {
+        o["name"]: _ontology_from_dict(o) for o in data["ontologies"]
+    }
+    return repo
+
+
+def _import_v1(data: dict[str, Any]) -> Repository:
+    """Legacy (format 1) loader: re-play the dump through the API."""
     repo = Repository()
     for onto_data in data["ontologies"]:
         repo.add_ontology(_ontology_from_dict(onto_data))
@@ -172,14 +185,22 @@ def import_repository(data: dict[str, Any]) -> Repository:
 
 
 def save_json(repo: Repository, path: str | Path) -> Path:
-    """Write the snapshot to ``path``; returns the path."""
+    """Write the dump to ``path`` atomically; returns the path.
+
+    The JSON is streamed straight to a sibling temp file (never
+    materialized as one big string), fsynced, and renamed over the
+    target — readers see either the old dump or the complete new one.
+    """
     path = Path(path)
-    path.write_text(
-        json.dumps(export_repository(repo), indent=1, sort_keys=True)
-    )
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(export_repository(repo), fh, indent=1, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
     return path
 
 
 def load_json(path: str | Path) -> Repository:
-    """Read a snapshot produced by :func:`save_json`."""
+    """Read a dump produced by :func:`save_json` (any supported format)."""
     return import_repository(json.loads(Path(path).read_text()))

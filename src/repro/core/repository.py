@@ -79,6 +79,14 @@ class Repository:
 
     def _create_schema(self) -> None:
         db = self.db
+        if "materials" in db:
+            # Reattaching to a restored/recovered database
+            # (Database.open(), persist.import_repository): the tables
+            # already exist — bind the link-table helpers and reload the
+            # ontology trees instead of re-creating the schema.
+            self._bind_link_tables(db)
+            self._load_ontologies()
+            return
         db.create_table(TableSchema(
             "authors",
             columns=(Column("id", int), Column("name", str)),
@@ -143,14 +151,7 @@ class Repository:
         db.table("ontology_entries").create_index("key")  # entry_id() hot path
         db.table("materials").create_index("collection")
 
-        self.material_authors = ManyToMany(db, "material_authors", "materials", "authors")
-        self.material_tags = ManyToMany(db, "material_tags", "materials", "tags")
-        self.material_datasets = ManyToMany(db, "material_datasets", "materials", "datasets")
-        self.material_languages = ManyToMany(db, "material_languages", "materials", "languages")
-        self.material_classifications = ManyToMany(
-            db, "material_classifications", "materials", "ontology_entries",
-            extra_columns=(Column("bloom", str, nullable=True, default=None),),
-        )
+        self._bind_link_tables(db)
         db.create_table(TableSchema(
             "submissions",
             columns=(
@@ -182,6 +183,52 @@ class Repository:
                 ForeignKey("suggested_by", "users"),
             ),
         ))
+
+    def _bind_link_tables(self, db: Database) -> None:
+        """Bind the many-to-many helpers (creating their tables only when
+        they don't already exist — ManyToMany reattaches otherwise)."""
+        self.material_authors = ManyToMany(db, "material_authors", "materials", "authors")
+        self.material_tags = ManyToMany(db, "material_tags", "materials", "tags")
+        self.material_datasets = ManyToMany(db, "material_datasets", "materials", "datasets")
+        self.material_languages = ManyToMany(db, "material_languages", "materials", "languages")
+        self.material_classifications = ManyToMany(
+            db, "material_classifications", "materials", "ontology_entries",
+            extra_columns=(Column("bloom", str, nullable=True, default=None),),
+        )
+
+    def _load_ontologies(self) -> None:
+        """Reload ontology trees for a reattached database.
+
+        Built-in ontologies come back from the registry with full
+        fidelity (hours, codes, cross-links); unknown names rebuild a
+        best-effort tree from the mirrored ``ontology_entries`` rows.
+        Format-2 persist dumps overwrite both with the exact serialized
+        trees afterwards."""
+        entries = self.db.table("ontology_entries")
+        names = sorted({row["ontology"] for row in entries})
+        for name in names:
+            try:
+                from repro.ontologies import load as load_builtin
+
+                self._ontologies[name] = load_builtin(name)
+            except Exception:
+                self._ontologies[name] = self._ontology_from_rows(name)
+
+    def _ontology_from_rows(self, name: str) -> Ontology:
+        rows = sorted(
+            self.db.table("ontology_entries").find(ontology=name),
+            key=lambda r: r["id"],
+        )
+        onto = Ontology(name)
+        for row in rows:
+            onto.add(
+                row["key"], row["label"], NodeKind(row["kind"]),
+                row["parent_key"],
+                tier=Tier(row["tier"]),
+                bloom=BloomLevel(row["bloom"]) if row["bloom"] else None,
+            )
+        onto.validate()
+        return onto
 
     # ----------------------------------------------------------- ontologies
 
@@ -318,13 +365,13 @@ class Repository:
         )
 
     def get_material(self, material_id: int) -> Material:
-        with self.db.lock.read():
+        with self.db.pinned():
             return self._row_to_material(
                 self.db.table("materials").get(material_id)
             )
 
     def materials(self, collection: str | None = None) -> list[Material]:
-        with self.db.lock.read():
+        with self.db.pinned():
             table = self.db.table("materials")
             rows = table.find(collection=collection) if collection else table.find()
             rows.sort(key=lambda r: r["id"])
@@ -381,22 +428,24 @@ class Repository:
         return self.material_classifications.remove(material_id, eid)
 
     def classification_of(self, material_id: int) -> ClassificationSet:
-        cs = ClassificationSet()
-        entries = self.db.table("ontology_entries")
-        for link in self.material_classifications.links_of(material_id):
-            entry = entries.get(link["ontology_entries_id"])
-            bloom = BloomLevel(link["bloom"]) if link["bloom"] else None
-            cs.add(entry["ontology"], entry["key"], bloom)
-        return cs
+        with self.db.pinned():
+            cs = ClassificationSet()
+            entries = self.db.table("ontology_entries")
+            for link in self.material_classifications.links_of(material_id):
+                entry = entries.get(link["ontology_entries_id"])
+                bloom = BloomLevel(link["bloom"]) if link["bloom"] else None
+                cs.add(entry["ontology"], entry["key"], bloom)
+            return cs
 
     def materials_with(self, key: str) -> list[Material]:
         """All materials classified under the ontology entry ``key``."""
-        try:
-            eid = self.entry_id(key)
-        except KeyError:
-            return []
-        mids = sorted(self.material_classifications.left_of(eid))
-        return [self.get_material(mid) for mid in mids]
+        with self.db.pinned():
+            try:
+                eid = self.entry_id(key)
+            except KeyError:
+                return []
+            mids = sorted(self.material_classifications.left_of(eid))
+            return [self.get_material(mid) for mid in mids]
 
     @Memo(*_CLASSIFICATION_TABLES, copy=list)
     def classification_pairs(
@@ -568,7 +617,7 @@ class Repository:
         with _trace.span(
             "repo.coverage", ontology=ontology_name, collection=collection or "*"
         ):
-            with self.db.lock.read():
+            with self.db.pinned():
                 return compute_coverage(
                     self, ontology_name,
                     collection=collection, material_ids=material_ids,
@@ -585,7 +634,7 @@ class Repository:
         from .similarity import similarity_graph
 
         with _trace.span("repo.similarity", threshold=threshold):
-            with self.db.lock.read():
+            with self.db.pinned():
                 return similarity_graph(
                     self, left_ids, right_ids,
                     threshold=threshold, ontologies=ontologies,
@@ -623,22 +672,27 @@ class Repository:
     def recommend(self, text: str = "", selected=(), *, top: int = 10):
         selected = tuple(selected)
         with _trace.span("repo.recommend", top=top, selected=len(selected)):
-            with self.db.lock.read():
+            with self.db.pinned():
                 return self.recommender().recommend(text, selected, top=top)
 
     # ------------------------------------------------------------- summary
 
     def stats(self) -> dict[str, int]:
         """Row counts of the main tables (used by reports and benches),
-        plus the repository version, the analytics-cache counters and —
-        once a search engine exists — the search-index counters."""
-        with self.db.lock.read():
+        plus the repository version, the analytics-cache counters, the
+        change-journal and WAL counters, and — once a search engine
+        exists — the search-index counters."""
+        with self.db.pinned():
             base = self.db.stats()
             base["classification_links"] = len(self.material_classifications)
             base["version"] = self.db.version
             base["cache_entries"] = len(self.cache)
         for key, value in self.cache.stats.as_dict().items():
             base[f"cache_{key}"] = value
+        for key, value in self.db.changelog_stats().items():
+            base[f"changelog_{key}"] = value
+        for key, value in self.db.wal_stats().items():
+            base[f"wal_{key}"] = value
         if self._search_engine is not None:
             for key, value in self._search_engine.stats().items():
                 base[f"search_{key}"] = value

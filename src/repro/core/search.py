@@ -220,8 +220,10 @@ class SearchEngine:
         self._record_rebuild("full")
         # An index built from uncommitted state must not survive the
         # transaction: rollback restores version counters, so keeping it
-        # could serve phantom rows under a re-used version number.
-        if self.repo.db.in_transaction:
+        # could serve phantom rows under a re-used version number.  Only
+        # this thread's own transaction matters — concurrent readers run
+        # against committed pinned snapshots.
+        if self.repo.db.lock.write_held and self.repo.db.in_transaction:
             self._indexed_version = None
         else:
             self._indexed_version = self.repo.version
@@ -229,21 +231,30 @@ class SearchEngine:
     def ensure_fresh(self) -> None:
         """Reconcile the index with the repository version (public form
         of the lazy step every query performs; benchmarks time this)."""
-        with self.repo.db.lock.read(), self._engine_lock:
+        with self.repo.db.pinned(), self._engine_lock:
             self._ensure_index()
 
     def _ensure_index(self) -> None:
         version = self.repo.version
-        # An index built inside a transaction records no version, so this
-        # equality can only hold for committed state.
-        if self._indexed_version == version:
+        # An index built inside a transaction records no version, so a
+        # non-None indexed version can only describe committed state.  A
+        # pinned reader may also find the shared index *ahead* of its pin
+        # (another thread reconciled after a newer commit); serving the
+        # fresher index is the right call — rebuilding would regress the
+        # shared index for everyone else.
+        if self._indexed_version is not None and self._indexed_version >= version:
             return
+        in_writer_tx = (
+            self.repo.db.lock.write_held and self.repo.db.in_transaction
+        )
         if (
             self.mode == MODE_BM25
             and self._indexed_version is not None
-            and not self.repo.db.in_transaction
+            and not in_writer_tx
         ):
-            changes = self.repo.db.changes_since(self._indexed_version)
+            changes = self.repo.db.changes_since(
+                self._indexed_version, upto=version
+            )
             if changes is not None:
                 with _trace.span(
                     "search.delta", changes=len(changes)
@@ -327,7 +338,7 @@ class SearchEngine:
         score 1.0 in repository (id) order."""
         started = time.perf_counter()
         with _trace.span("search.query", mode=self.mode, limit=limit) as span_:
-            with self.repo.db.lock.read(), self._engine_lock:
+            with self.repo.db.pinned(), self._engine_lock:
                 hits = self._search_locked(text, filters, limit=limit)
             span_.set(hits=len(hits))
         if self.metrics is not None:
@@ -405,7 +416,7 @@ class SearchEngine:
         """Text-level nearest neighbours of a material (complements the
         classification-level similarity of :mod:`repro.core.similarity`)."""
         with _trace.span("search.similar", material_id=material_id):
-            with self.repo.db.lock.read(), self._engine_lock:
+            with self.repo.db.pinned(), self._engine_lock:
                 return self._similar_to_locked(material_id, limit=limit)
 
     def _similar_to_locked(

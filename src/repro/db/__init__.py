@@ -2,7 +2,9 @@
 
 Replaces the paper's Django + PostgreSQL stack with a dependency-free
 relational store: typed schemas, primary/unique/foreign-key constraints,
-hash indexes, many-to-many link tables, lazy queries, and transactions.
+hash indexes, many-to-many link tables, lazy queries, transactions,
+MVCC snapshot reads (:meth:`Database.pinned`) and write-ahead-log
+durability (:meth:`Database.open` / ``checkpoint``).
 """
 
 from .engine import Change, Database
@@ -11,6 +13,7 @@ from .errors import (
     ForeignKeyError,
     IntegrityError,
     NotNullViolation,
+    RecoveryError,
     RowNotFound,
     SchemaError,
     TransactionError,
@@ -20,7 +23,15 @@ from .locks import RWLock
 from .query import Query, query
 from .relations import ManyToMany
 from .schema import Column, ForeignKey, TableSchema
+from .snapshot import (
+    Snapshot,
+    TableSnapshot,
+    current_pin,
+    database_to_dict,
+    restore_database,
+)
 from .table import Table
+from .wal import WalWriter, read_wal, truncate_wal
 
 __all__ = [
     "Change",
@@ -34,11 +45,20 @@ __all__ = [
     "NotNullViolation",
     "Query",
     "RWLock",
+    "RecoveryError",
     "RowNotFound",
     "SchemaError",
+    "Snapshot",
     "Table",
     "TableSchema",
+    "TableSnapshot",
     "TransactionError",
     "UniqueViolation",
+    "WalWriter",
+    "current_pin",
+    "database_to_dict",
     "query",
+    "read_wal",
+    "restore_database",
+    "truncate_wal",
 ]

@@ -41,3 +41,7 @@ class RowNotFound(DatabaseError):
 
 class TransactionError(DatabaseError):
     """Transaction misuse, e.g. commit without an open transaction."""
+
+
+class RecoveryError(DatabaseError):
+    """WAL replay produced a state inconsistent with the logged frames."""

@@ -56,9 +56,19 @@ class ManyToMany:
                 ForeignKey(self.right_column, right_table, on_delete="cascade"),
             ),
         )
-        self.table = db.create_table(schema)
-        self.table.create_index(self.left_column)
-        self.table.create_index(self.right_column)
+        # Reattaching to a restored/recovered database finds the link
+        # table already present; creating is the fresh-schema path.
+        table = db._tables.get(name)
+        if table is None:
+            table = db.create_table(schema)
+        table.create_index(self.left_column)
+        table.create_index(self.right_column)
+
+    @property
+    def table(self):
+        """The link table — pin-aware, so reads inside a pinned snapshot
+        scope resolve against that snapshot, not live state."""
+        return self.db.table(self.name)
 
     # -- writes ---------------------------------------------------------------
 

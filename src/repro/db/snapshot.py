@@ -1,0 +1,379 @@
+"""Immutable published snapshots — the MVCC read side of the engine.
+
+Every committed write frame builds a new :class:`Snapshot` by
+*path-copying*: only the tables touched by the frame get a new
+:class:`TableSnapshot`, and a touched table copies only its bounded
+**delta** (pk → row, with tombstones for deletes) over a shared base
+mapping.  The database then publishes the snapshot with a single
+attribute store — atomic under the interpreter — so readers pin the
+current snapshot with **no lock at all** and keep reading a consistent
+version while writers commit behind them.
+
+The pin itself is a module-level :data:`~contextvars.ContextVar`
+(:func:`current_pin`): ``Database.pinned()`` sets it for a scope, and
+every pin-aware accessor (``Database.table`` / ``version`` /
+``table_versions`` / ``stats``) consults it.  Threads holding the write
+lock bypass the pin so writers and transactions always read their own
+uncommitted state.
+
+This module also owns the durable wire format shared by WAL checkpoint
+files and :mod:`repro.core.persist` version-2 dumps:
+:func:`database_to_dict` / :func:`restore_database` round-trip the full
+engine state (schemas, rows, id sequences, version counters, secondary
+indexes) through plain JSON-serializable dicts.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from .errors import SchemaError
+from .schema import _NO_DEFAULT, Column, ForeignKey, TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Database
+    from .table import Table
+
+#: Marks a pk deleted in a snapshot delta without copying the base map.
+_TOMBSTONE = object()
+
+#: Once a delta outgrows ``max(_CONSOLIDATE_MIN, len(base) // 4)`` the
+#: snapshot consolidates into a fresh base — keeping reads O(1) and the
+#: publish cost amortized O(1) per mutation even under bulk seeding.
+_CONSOLIDATE_MIN = 64
+
+#: The ambient pinned snapshot (None = read live state).
+_PIN: ContextVar["Snapshot | None"] = ContextVar(
+    "carcs_pinned_snapshot", default=None
+)
+
+
+def current_pin() -> "Snapshot | None":
+    """The snapshot pinned in this context, if any."""
+    return _PIN.get()
+
+
+class TableSnapshot:
+    """A frozen, lock-free view of one table at one version.
+
+    Mirrors the read API of :class:`repro.db.table.Table` (``get``,
+    ``find``, ``count``, iteration, …) so repository analytics work
+    unchanged against either.  Row dicts are shared with the live table
+    (rows are never mutated in place — updates store a fresh dict), and
+    every accessor hands out copies, preserving the caller-may-mutate
+    contract of the live read API.
+    """
+
+    __slots__ = ("schema", "version", "_base", "_delta", "_indexed",
+                 "_lazy", "_size")
+
+    def __init__(self, schema: TableSchema, version: int,
+                 base: dict[Any, dict], delta: dict[Any, Any],
+                 indexed: frozenset[str]) -> None:
+        self.schema = schema
+        self.version = version
+        self._base = base
+        self._delta = delta
+        self._indexed = indexed
+        # column -> {value: [pk, ...]}, built lazily on first indexed find.
+        self._lazy: dict[str, dict[Any, list]] = {}
+        size = len(base)
+        for pk, row in delta.items():
+            if row is _TOMBSTONE:
+                size -= pk in base
+            else:
+                size += pk not in base
+        self._size = size
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def capture(cls, table: "Table") -> "TableSnapshot":
+        """Full snapshot of a live table (open/DDL/consolidation path)."""
+        return cls(table.schema, table.version, dict(table._rows), {},
+                   frozenset(table._indexes))
+
+    def advance(self, table: "Table",
+                ops: Iterable[dict[str, Any]]) -> "TableSnapshot":
+        """The next version: this snapshot plus one committed frame's ops."""
+        delta = dict(self._delta)
+        for op in ops:
+            kind = op["o"]
+            if kind == "insert" or kind == "update":
+                delta[op["pk"]] = op["r"]
+            elif kind == "delete":
+                delta[op["pk"]] = _TOMBSTONE
+        if len(delta) > max(_CONSOLIDATE_MIN, len(self._base) // 4):
+            merged = dict(self._base)
+            for pk, row in delta.items():
+                if row is _TOMBSTONE:
+                    merged.pop(pk, None)
+                else:
+                    merged[pk] = row
+            delta, base = {}, merged
+        else:
+            base = self._base
+        return TableSnapshot(self.schema, table.version, base, delta,
+                             frozenset(table._indexes))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, pk: Any) -> bool:
+        return self._lookup(pk) is not None
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexed
+
+    def pks(self) -> list[Any]:
+        return [pk for pk, _ in self._items()]
+
+    # -- reads -------------------------------------------------------------
+
+    def _lookup(self, pk: Any) -> dict[str, Any] | None:
+        row = self._delta.get(pk, _NO_DEFAULT)
+        if row is not _NO_DEFAULT:
+            return None if row is _TOMBSTONE else row
+        return self._base.get(pk)
+
+    def _items(self) -> Iterator[tuple[Any, dict[str, Any]]]:
+        base, delta = self._base, self._delta
+        for pk, row in base.items():
+            if pk in delta:
+                row = delta[pk]
+                if row is _TOMBSTONE:
+                    continue
+            yield pk, row
+        for pk, row in delta.items():
+            if pk not in base and row is not _TOMBSTONE:
+                yield pk, row
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return (dict(row) for _, row in self._items())
+
+    def get(self, pk: Any) -> dict[str, Any]:
+        row = self._lookup(pk)
+        if row is None:
+            from .errors import RowNotFound
+
+            raise RowNotFound(f"{self.name!r} has no row with pk {pk!r}")
+        return dict(row)
+
+    def get_or_none(self, pk: Any) -> dict[str, Any] | None:
+        row = self._lookup(pk)
+        return dict(row) if row is not None else None
+
+    def _index_for(self, column: str) -> dict[Any, list]:
+        # Benign build race: concurrent readers may build the same mapping;
+        # the last assignment wins and both are correct (the snapshot is
+        # immutable, so there is nothing to keep in sync afterwards).
+        index = self._lazy.get(column)
+        if index is None:
+            index = {}
+            for pk, row in self._items():
+                index.setdefault(row[column], []).append(pk)
+            self._lazy[column] = index
+        return index
+
+    def find(self, **equals: Any) -> list[dict[str, Any]]:
+        if not equals:
+            return [dict(row) for _, row in self._items()]
+        for name in equals:
+            self.schema.column(name)
+        indexed = [c for c in equals if c in self._indexed]
+        if indexed:
+            seed = indexed[0]
+            pks = self._index_for(seed).get(equals[seed], ())
+            candidates = (self._lookup(pk) for pk in pks)
+        else:
+            candidates = (row for _, row in self._items())
+        out = []
+        for row in candidates:
+            if row is not None and all(row[c] == v for c, v in equals.items()):
+                out.append(dict(row))
+        return out
+
+    def find_one(self, **equals: Any) -> dict[str, Any] | None:
+        rows = self.find(**equals)
+        return rows[0] if rows else None
+
+    def count(self, **equals: Any) -> int:
+        if not equals:
+            return self._size
+        return len(self.find(**equals))
+
+    def column_values(self, column: str) -> list[Any]:
+        self.schema.column(column)
+        return [row[column] for _, row in self._items()]
+
+
+class Snapshot:
+    """One published database version: db version + per-table snapshots."""
+
+    __slots__ = ("db", "version", "tables")
+
+    def __init__(self, db: "Database", version: int,
+                 tables: dict[str, TableSnapshot]) -> None:
+        self.db = db
+        self.version = version
+        self.tables = tables
+
+    def table(self, name: str) -> TableSnapshot:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def table_versions(self) -> dict[str, int]:
+        return {name: t.version for name, t in sorted(self.tables.items())}
+
+    def stats(self) -> dict[str, int]:
+        return {name: len(t) for name, t in sorted(self.tables.items())}
+
+
+# -- durable wire format ---------------------------------------------------
+#
+# Shared by WAL checkpoint files (db/wal.py) and format-2 persist dumps
+# (core/persist.py).  Everything is plain JSON; schemas serialize by
+# column-type *name*, so only JSON-representable column types survive a
+# round-trip — which is every type the CAR-CS schema uses.
+
+_TYPE_NAMES: dict[type, str] = {
+    int: "int", str: "str", float: "float", bool: "bool", object: "object",
+}
+_TYPES_BY_NAME = {name: tp for tp, name in _TYPE_NAMES.items()}
+
+
+def schema_to_dict(schema: TableSchema) -> dict[str, Any]:
+    """JSON form of a :class:`TableSchema` (raises on non-durable parts)."""
+    columns = []
+    for col in schema.columns:
+        type_name = _TYPE_NAMES.get(col.type)
+        if type_name is None:
+            raise ValueError(
+                f"column {schema.name}.{col.name} has non-durable type "
+                f"{col.type.__name__!r}"
+            )
+        entry: dict[str, Any] = {"name": col.name, "type": type_name}
+        if col.nullable:
+            entry["nullable"] = True
+        if col.has_default():
+            if callable(col.default):
+                raise ValueError(
+                    f"column {schema.name}.{col.name} has a callable "
+                    "default; defaults must be constants to be durable"
+                )
+            entry["default"] = col.default
+        columns.append(entry)
+    return {
+        "name": schema.name,
+        "columns": columns,
+        "primary_key": schema.primary_key,
+        "unique": [list(group) for group in schema.unique],
+        "foreign_keys": [
+            {"column": fk.column, "ref_table": fk.ref_table,
+             "ref_column": fk.ref_column, "on_delete": fk.on_delete}
+            for fk in schema.foreign_keys
+        ],
+        "auto_increment": schema.auto_increment,
+    }
+
+
+def schema_from_dict(data: dict[str, Any]) -> TableSchema:
+    columns = []
+    for entry in data["columns"]:
+        type_ = _TYPES_BY_NAME.get(entry["type"])
+        if type_ is None:
+            raise ValueError(f"unknown column type {entry['type']!r}")
+        columns.append(Column(
+            entry["name"], type_,
+            nullable=entry.get("nullable", False),
+            default=entry.get("default", _NO_DEFAULT),
+        ))
+    return TableSchema(
+        name=data["name"],
+        columns=tuple(columns),
+        primary_key=data.get("primary_key", "id"),
+        unique=tuple(tuple(g) for g in data.get("unique", ())),
+        foreign_keys=tuple(
+            ForeignKey(fk["column"], fk["ref_table"],
+                       fk.get("ref_column", "id"),
+                       fk.get("on_delete", "restrict"))
+            for fk in data.get("foreign_keys", ())
+        ),
+        auto_increment=data.get("auto_increment", True),
+    )
+
+
+def database_to_dict(db: "Database") -> dict[str, Any]:
+    """The whole engine state as one JSON-serializable dict.
+
+    Takes the write lock (reentrant, so checkpointing from inside a
+    commit is fine) so the captured state is one committed version.
+    Tables serialize in creation order, which is FK-dependency order.
+    """
+    with db.lock.write():
+        tables = []
+        for table in db._tables.values():
+            tables.append({
+                "schema": schema_to_dict(table.schema),
+                "rows": [dict(row) for row in table._rows.values()],
+                "next_id": table._next_id,
+                "version": table._version,
+                "indexes": list(table._indexes),
+            })
+        return {
+            "format": 1,
+            "name": db.name,
+            "version": db._version,
+            "tables": tables,
+        }
+
+
+def restore_database(data: dict[str, Any], **db_kwargs: Any) -> "Database":
+    """Rebuild a :class:`Database` from :func:`database_to_dict` output.
+
+    Rows, id sequences and version counters restore exactly; the change
+    journal starts empty (consumers fall back to full rebuilds), and no
+    WAL is attached — callers wanting durability attach one afterwards.
+    """
+    from .engine import Database
+    from .table import Table
+
+    if data.get("format") != 1:
+        raise ValueError(
+            f"unsupported database snapshot format {data.get('format')!r}"
+        )
+    db = Database(data.get("name", "carcs"), **db_kwargs)
+    for entry in data["tables"]:
+        schema = schema_from_dict(entry["schema"])
+        table = Table(schema)
+        table._db = db
+        pk_col = schema.primary_key
+        for row in entry["rows"]:
+            table._raw_put(row[pk_col], dict(row))
+        table._next_id = entry.get("next_id", 1)
+        table._version = entry.get("version", 0)
+        for column in entry.get("indexes", ()):
+            if column not in table._indexes:
+                index: dict[Any, set] = {}
+                for pk, row in table._rows.items():
+                    index.setdefault(row[column], set()).add(pk)
+                table._indexes[column] = index
+        db._tables[schema.name] = table
+    db._version = data.get("version", 0)
+    db._publish_full()
+    return db

@@ -92,6 +92,10 @@ class Table:
         # DDL is transactional (as in PostgreSQL): an index created inside
         # an aborted transaction vanishes.
         self._journal(lambda: self._indexes.pop(column, None))
+        # Version-neutral, but durable: the WAL/snapshot layer must know
+        # about the index so recovered databases rebuild it.
+        if self._db is not None:
+            self._db._log_index(self.name, column)
 
     def has_index(self, column: str) -> bool:
         return column in self._indexes

@@ -1,0 +1,191 @@
+"""Write-ahead log: length-prefixed, checksummed commit frames.
+
+Durability layer of the engine.  Every committed write frame appends one
+record; a record is::
+
+    [4 bytes little-endian payload length][4 bytes CRC-32][payload]
+
+where the payload is the UTF-8 JSON of ``{"v": <end version>, "ops":
+[...]}`` — the exact operation list the frame committed, in order
+(cascade children before their parent, so replaying through the normal
+FK-checked entry points always succeeds).  The file starts with an
+8-byte magic/format header.
+
+Crash safety is by construction: a torn final record (short header,
+short payload, or CRC mismatch) marks the end of committed history —
+:func:`read_wal` stops there and reports how many bytes were valid, and
+``Database.open`` truncates the tail so the log is clean again.  Records
+before a torn tail are never affected because records are appended,
+never rewritten.
+
+Fsync policy (``CARCS_WAL_SYNC`` or the ``sync`` argument):
+
+* ``always`` — fsync after every append; survives power loss at single-
+  commit granularity, slowest.
+* ``batch`` (default) — fsync every ``batch_every`` appends and on
+  checkpoint/close; an OS crash can lose the last few commits but the
+  log never corrupts (the tail simply tears).
+* ``off`` — never fsync (tests, bulk loads); an OS flush is still
+  requested per append via ``flush()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.obs import trace as _trace
+
+MAGIC = b"CWAL\x01\x00\x00\x00"
+_HEADER = struct.Struct("<II")  # payload length, crc32
+
+ENV_WAL_SYNC = "CARCS_WAL_SYNC"
+SYNC_MODES = ("always", "batch", "off")
+DEFAULT_BATCH_EVERY = 64
+
+#: Guard against absurd lengths in a torn/garbage length prefix: a
+#: record claiming more than this is treated as torn, not allocated.
+MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+
+def env_sync_mode() -> str:
+    raw = os.environ.get(ENV_WAL_SYNC, "batch").strip().lower()
+    return raw if raw in SYNC_MODES else "batch"
+
+
+def encode_record(frame: dict[str, Any]) -> bytes:
+    payload = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
+    """Decode every intact frame of a WAL file.
+
+    Returns ``(frames, valid_bytes, torn)``: the frames in append order,
+    the byte offset up to which the file is valid (header included), and
+    whether a torn/corrupt tail was found after that offset.  A missing
+    file reads as empty; a file with a foreign header raises.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], len(MAGIC), False
+    blob = path.read_bytes()
+    if not blob:
+        return [], len(MAGIC), False
+    if blob[: len(MAGIC)] != MAGIC:
+        raise ValueError(f"{path} is not a CAR-CS WAL (bad magic)")
+    frames: list[dict[str, Any]] = []
+    offset = len(MAGIC)
+    valid = offset
+    torn = False
+    total = len(blob)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            torn = True
+            break
+        length, crc = _HEADER.unpack_from(blob, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if length > MAX_RECORD_BYTES or end > total:
+            torn = True
+            break
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            torn = True
+            break
+        try:
+            frame = json.loads(payload.decode("utf-8"))
+        except ValueError:
+            # CRC collisions on garbage are astronomically unlikely, but
+            # the recovery contract is "stop at the first bad record".
+            torn = True
+            break
+        frames.append(frame)
+        offset = end
+        valid = offset
+    return frames, valid, torn
+
+
+def truncate_wal(path: str | Path, valid_bytes: int) -> None:
+    """Cut a torn tail off, leaving exactly the committed prefix."""
+    path = Path(path)
+    with path.open("r+b") as fh:
+        fh.truncate(max(valid_bytes, len(MAGIC)))
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+class WalWriter:
+    """Appends commit frames to one WAL file under a chosen fsync policy."""
+
+    def __init__(self, path: str | Path, *, sync: str | None = None,
+                 batch_every: int = DEFAULT_BATCH_EVERY) -> None:
+        self.path = Path(path)
+        self.sync = sync if sync in SYNC_MODES else env_sync_mode()
+        self.batch_every = max(1, batch_every)
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self._unsynced = 0
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            self.path.write_bytes(MAGIC)
+        self._fh = self.path.open("ab")
+
+    @property
+    def size(self) -> int:
+        """Bytes in the log file (header included)."""
+        return self._fh.tell() if not self._fh.closed else self.path.stat().st_size
+
+    def append(self, frame: dict[str, Any]) -> int:
+        """Write one commit frame; returns its encoded size in bytes."""
+        record = encode_record(frame)
+        self._fh.write(record)
+        self._fh.flush()
+        self.appends += 1
+        self.bytes_written += len(record)
+        if self.sync == "always":
+            self._fsync()
+        elif self.sync == "batch":
+            self._unsynced += 1
+            if self._unsynced >= self.batch_every:
+                self._fsync()
+        return len(record)
+
+    def _fsync(self) -> None:
+        with _trace.span("wal.fsync", mode=self.sync):
+            os.fsync(self._fh.fileno())
+        self.fsyncs += 1
+        self._unsynced = 0
+
+    def flush(self) -> None:
+        """Force everything to stable storage (checkpoint/close barrier)."""
+        self._fh.flush()
+        if self.sync != "off":
+            self._fsync()
+
+    def reset(self) -> None:
+        """Drop all records (post-checkpoint): the file restarts at header."""
+        self._fh.close()
+        with self.path.open("wb") as fh:
+            fh.write(MAGIC)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh = self.path.open("ab")
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "appends": self.appends,
+            "fsyncs": self.fsyncs,
+            "bytes_written": self.bytes_written,
+            "size_bytes": self.size,
+        }

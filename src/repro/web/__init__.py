@@ -14,10 +14,10 @@ from .http import (
 from .middleware import (
     ConditionalGetMiddleware,
     ErrorMiddleware,
-    LockMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
     RequestIdMiddleware,
+    SnapshotMiddleware,
     TracingMiddleware,
     compose,
 )
@@ -32,7 +32,6 @@ __all__ = [
     "ConditionalGetMiddleware",
     "ErrorMiddleware",
     "HttpError",
-    "LockMiddleware",
     "LoggingMiddleware",
     "MetricsMiddleware",
     "Request",
@@ -40,6 +39,7 @@ __all__ = [
     "Response",
     "Route",
     "Router",
+    "SnapshotMiddleware",
     "TracingMiddleware",
     "compose",
     "error_response",

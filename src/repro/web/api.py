@@ -12,8 +12,8 @@ dispatch identically but answer with a ``Deprecation: true`` header).
 ``GET /api/v1`` lists the route table; ``GET /api/v1/metrics`` and
 ``GET /api/v1/healthz`` expose the observability layer.  All requests
 flow through the middleware chain in :mod:`repro.web.middleware` —
-request ids, metrics, structured logging, the 500 boundary, the
-repository reader-writer lock, and conditional GET.
+request ids, metrics, structured logging, the 500 boundary, the MVCC
+snapshot pin (reads) / write lock (mutations), and conditional GET.
 """
 
 from __future__ import annotations
@@ -46,10 +46,10 @@ from .http import (
 from .middleware import (
     ConditionalGetMiddleware,
     ErrorMiddleware,
-    LockMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
     RequestIdMiddleware,
+    SnapshotMiddleware,
     TracingMiddleware,
     compose,
 )
@@ -133,7 +133,7 @@ class CarCsApi:
             MetricsMiddleware(self.metrics),
             LoggingMiddleware(self.request_log),
             ErrorMiddleware(self.metrics, self.request_log),
-            LockMiddleware(repo.db),
+            SnapshotMiddleware(repo.db),
             ConditionalGetMiddleware(self._etag, UNCONDITIONAL_PATHS),
         ]
         self._pipeline = compose(self.middlewares, self.router.dispatch)

@@ -99,6 +99,11 @@ class TestRoundTrip:
 
 
 class TestVersioning:
+    def test_current_dumps_are_format_2(self, populated):
+        data = export_repository(populated)
+        assert data["format_version"] == 2
+        assert "database" in data  # engine-level snapshot, not a re-play
+
     def test_unknown_version_rejected(self, populated):
         data = export_repository(populated)
         data["format_version"] = 99
@@ -110,3 +115,77 @@ class TestVersioning:
         del data["format_version"]
         with pytest.raises(ValueError):
             import_repository(data)
+
+    def test_v2_restore_is_engine_exact(self, populated):
+        restored = import_repository(export_repository(populated))
+        # Engine state round-trips bit-for-bit: the global version
+        # counter and every per-table counter survive (a v1 re-play
+        # would renumber them).
+        assert restored.db.version == populated.db.version
+        assert restored.db.table_versions() == populated.db.table_versions()
+        # Secondary indexes were rebuilt, not dropped.
+        assert restored.db.table("materials").has_index("collection")
+        assert restored.db.table("ontology_entries").has_index("key")
+
+    def test_v1_dump_migrates(self, populated):
+        m = populated.materials("snap")[0]
+        cs = populated.classification_of(m.id)
+        v1 = {
+            "format_version": 1,
+            "ontologies": export_repository(populated)["ontologies"],
+            "users": populated.db.table("users").find(),
+            "materials": [{
+                "id": m.id,
+                "title": m.title,
+                "description": m.description,
+                "kind": m.kind.value,
+                "authors": list(m.authors),
+                "url": m.url,
+                "course_level": m.course_level.value,
+                "languages": list(m.languages),
+                "datasets": list(m.datasets),
+                "tags": list(m.tags),
+                "collection": m.collection,
+                "year": m.year,
+                "classifications": [
+                    {"ontology": i.ontology, "key": i.key,
+                     "bloom": i.bloom.value if i.bloom else None}
+                    for i in cs.items()
+                ],
+            }],
+        }
+        restored = import_repository(v1)
+        assert restored.materials("snap")[0] == m
+        assert restored.classification_of(m.id).has("CS13", K.SDF_ARRAYS)
+        # Re-saving upgrades the dump to the current format.
+        assert export_repository(restored)["format_version"] == 2
+
+
+class TestAtomicSave:
+    def test_failed_save_leaves_previous_dump_intact(
+        self, populated, tmp_path, monkeypatch
+    ):
+        import repro.core.persist as persist
+
+        path = save_json(populated, tmp_path / "snap.json")
+        before = path.read_text()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(persist.json, "dump", boom)
+        with pytest.raises(RuntimeError):
+            save_json(populated, path)
+        # The crash hit the temp file; the published dump is untouched
+        # and still loads.
+        assert path.read_text() == before
+        monkeypatch.undo()
+        assert load_json(path).material_count() == populated.material_count()
+
+    def test_save_replaces_not_appends(self, populated, tmp_path):
+        path = tmp_path / "snap.json"
+        save_json(populated, path)
+        first = path.read_text()
+        save_json(populated, path)
+        assert path.read_text() == first
+        assert not (tmp_path / "snap.json.tmp").exists()

@@ -107,6 +107,95 @@ class TestConcurrentSmoke:
         leftovers = quiet.get("/assignments?collection=smoke").json()
         assert leftovers["total"] == 0
 
+    def test_get_path_never_acquires_the_read_lock(self, seeded_repo):
+        """The MVCC contract: GETs pin a snapshot and take **no lock**.
+        Any ``RWLock.acquire_read`` on the read path is a regression."""
+        api = CarCsApi(seeded_repo)
+        client = Client(api, root="/api/v1")
+        lock = seeded_repo.db.lock
+        acquires = []
+        original = lock.acquire_read
+
+        def counting_acquire():
+            acquires.append(1)
+            original()
+
+        lock.acquire_read = counting_acquire
+        try:
+            for path in (
+                "/healthz",
+                "/stats",
+                "/metrics",
+                "/assignments",
+                "/assignments/1",
+                "/search?q=monte+carlo",
+                "/coverage?collection=itcs3145&ontology=PDC12",
+                "/similarity?left=nifty&right=peachy",
+                "/ontologies",
+                "/recommendations-not-a-route",   # 404 path included
+            ):
+                response = client.get(path)
+                assert response.status in (200, 404)
+        finally:
+            del lock.acquire_read
+        assert acquires == [], "GET dispatch acquired the read lock"
+
+    def test_reads_see_one_snapshot_while_bulk_commit_lands(self, bare_repo):
+        """Readers racing a bulk-seed transaction must serve a payload
+        byte-equal to the state before the commit or after it — never a
+        partially applied mix."""
+        repo = bare_repo
+        api = CarCsApi(repo)
+        client = Client(api, root="/api/v1")
+        listing = "/assignments?collection=bulk&limit=500"
+
+        first = client.get(listing)
+        before = first.text()
+        assert first.json()["total"] == 0
+
+        start = threading.Event()
+        bodies: list[str] = []
+        statuses: list[int] = []
+        sink = threading.Lock()
+
+        def reader(worker: int):
+            start.wait(10)
+            for _ in range(40):
+                response = client.get(listing)
+                with sink:
+                    statuses.append(response.status)
+                    bodies.append(response.text())
+
+        def bulk_writer():
+            start.wait(10)
+            # One transaction, many rows: commits as a single frame, so
+            # its snapshot publish is a single atomic pointer swap.
+            with repo.db.transaction():
+                for i in range(150):
+                    repo.add_material(Material(
+                        title=f"bulk {i:03d}",
+                        description="seeded mid-read",
+                        collection="bulk",
+                    ))
+
+        threads = [threading.Thread(target=reader, args=(w,))
+                   for w in range(4)] + [threading.Thread(target=bulk_writer)]
+        for t in threads:
+            t.start()
+        start.set()
+        for t in threads:
+            t.join(60)
+        assert not any(t.is_alive() for t in threads), "worker hung"
+        assert set(statuses) == {200}
+
+        final = client.get(listing)
+        after = final.text()
+        assert final.json()["total"] == 150
+        stray = [b for b in bodies if b not in (before, after)]
+        assert stray == [], (
+            f"{len(stray)} response(s) mixed pre- and post-commit state"
+        )
+
     def test_concurrent_in_process_mutations_keep_invariants(self):
         """Belt-and-braces at the Repository layer (no HTTP): concurrent
         add/delete cycles in one collection leave counts intact."""

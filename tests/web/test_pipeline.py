@@ -50,7 +50,7 @@ class TestCompose:
 
     def test_api_chain_order(self, api):
         # The production chain must keep the id stamp outermost and the
-        # lock outside the conditional-GET check.
+        # snapshot pin outside the conditional-GET check.
         names = [type(m).__name__ for m in api.middlewares]
         assert names == [
             "RequestIdMiddleware",
@@ -58,7 +58,7 @@ class TestCompose:
             "MetricsMiddleware",
             "LoggingMiddleware",
             "ErrorMiddleware",
-            "LockMiddleware",
+            "SnapshotMiddleware",
             "ConditionalGetMiddleware",
         ]
 

@@ -117,7 +117,7 @@ class TestThreeLayerTraces:
         names = span_names(trace["root"])
         assert any(n.startswith("repo.") or n.startswith("cache.")
                    for n in names)
-        assert "db.lock.acquire" in names
+        assert "db.snapshot.pin" in names
         assert trace["spans"] == check_parentage(
             trace["root"], trace["trace_id"]
         )
@@ -286,7 +286,7 @@ class TestConcurrentTracing:
                     trace["root"], trace_id
                 )
                 names = span_names(trace["root"])
-                assert "db.lock.acquire" in names
+                assert "db.snapshot.pin" in names
                 assert any(
                     n.split(".", 1)[0] in ("search", "repo", "cache")
                     for n in names
