@@ -8,6 +8,11 @@ cd "$(dirname "$0")/.."
 python -m compileall -q src
 PYTHONPATH=src python -m pytest -x -q tests/
 
+# Multi-process replication e2e: real `carcs serve` primary/replica/
+# router processes over loopback (skipped by default; CI opts in).
+CARCS_MULTIPROC=1 PYTHONPATH=src python -m pytest -q \
+    tests/replication/test_multiprocess.py
+
 # Docs gate: the generated API reference must match the live route
 # table, and every relative doc link must resolve.
 PYTHONPATH=src python scripts/gen_api_docs.py --check
@@ -21,3 +26,9 @@ PYTHONPATH=src python -m pytest -q benchmarks/bench_obs.py
 # under a durable writer, and batch-mode WAL ingest must stay within
 # 30% of in-memory (docs/architecture.md, "Storage & durability").
 PYTHONPATH=src python -m pytest -q benchmarks/bench_storage.py
+
+# Replication gate: read fan-out across replicas must scale >= 3x with
+# 4 replicas on >= 4 usable CPUs (no-collapse floor on smaller hosts),
+# and replica staleness must stay bounded under sustained writes
+# (docs/architecture.md, "Replication").
+PYTHONPATH=src python -m pytest -q benchmarks/bench_replication.py

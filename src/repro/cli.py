@@ -19,6 +19,10 @@ Examples::
     carcs export snapshot.json ; carcs --snapshot snapshot.json stats
     carcs snapshot ./storage            # durable dir: checkpoint + WAL
     carcs recover ./storage             # replay WAL tail, report, stats
+    carcs serve --primary --repl-port 9090
+    carcs serve --replica 127.0.0.1:9090 --port 8081
+    carcs serve --router --primary-url http://127.0.0.1:8080 \
+        --replica-url http://127.0.0.1:8081
 """
 
 from __future__ import annotations
@@ -289,17 +293,94 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(repo: Repository, args: argparse.Namespace) -> int:
-    from repro.web import CarCsApi
+def _parse_address(raw: str) -> tuple[str, int]:
+    host, _, port = raw.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {raw!r}")
+    return host, int(port)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the REST API — standalone, or as one node of a replicated
+    deployment:
+
+    * ``carcs serve`` — the single-node server (as before).
+    * ``carcs serve --primary`` — also bind the WAL shipper so replicas
+      can stream this node's commits.
+    * ``carcs serve --replica HOST:PORT`` — bootstrap from that primary's
+      shipper, keep applying its stream, and serve the read surface
+      (mutations answer 403 pointing at the primary).
+    * ``carcs serve --router --primary-url URL --replica-url URL ...`` —
+      the front tier: writes to the primary, reads fanned across the
+      replicas with read-your-writes per ``x-carcs-session``.
+    """
+    from repro.web import CarCsApi, FrontTier, HttpBackend
     from repro.web.server import ApiServer
 
-    server = ApiServer(CarCsApi(repo), host=args.host, port=args.port,
-                       threaded=True)
+    if args.router:
+        if not args.primary_url:
+            raise SystemExit("--router requires --primary-url")
+        front = FrontTier(
+            HttpBackend("primary", args.primary_url),
+            [HttpBackend(f"replica-{i}", url)
+             for i, url in enumerate(args.replica_url)],
+        )
+        server = ApiServer(front, host=args.host, port=args.port)
+        print(f"routing at {server.url}: writes -> {args.primary_url}, "
+              f"reads -> {len(args.replica_url)} replica(s) (Ctrl-C to stop)")
+        server.serve_forever()
+        return 0
+
+    if args.replica:
+        from repro.db import Database
+        from repro.replication import ReplicaApplier
+
+        # The replica database starts empty and receives its entire
+        # state from the stream — local writes would fork its history,
+        # so the Repository facade is only attached once the bootstrap
+        # snapshot has landed (its schema comes from the primary).
+        db = Database("carcs-replica")
+        applier = ReplicaApplier(db, _parse_address(args.replica)).start()
+        print(f"replica {applier.replica_id}: bootstrapping from "
+              f"{args.replica} ...")
+        while not applier.wait_ready(1.0):
+            print("  waiting for the primary ...")
+        repo = Repository(db)
+        applier.on_snapshot = repo.refresh_bindings
+        api = CarCsApi(
+            repo, replication=applier, read_only=True,
+            primary_url=args.primary_url,
+        )
+        server = ApiServer(api, host=args.host, port=args.port)
+        print(f"serving read-only CAR-CS API at {server.url} "
+              f"(version {db.version}, Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        finally:
+            applier.stop()
+        return 0
+
+    repo = _open_repository(args)
+    replication = None
+    if args.primary:
+        from repro.replication import PrimaryShipper
+
+        replication = PrimaryShipper(
+            repo.db, args.repl_host, args.repl_port,
+            checkpoint_every=args.checkpoint_every,
+        ).start()
+        host, port = replication.address
+        print(f"shipping WAL frames at {host}:{port}")
+    api = CarCsApi(repo, replication=replication)
+    server = ApiServer(api, host=args.host, port=args.port, threaded=True)
     print(f"serving CAR-CS API at {server.url} (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        if replication is not None:
+            replication.stop()
     return 0
 
 
@@ -396,10 +477,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="slow-span threshold for the SLOW marker")
     p.set_defaults(fn=cmd_trace)
 
-    p = sub.add_parser("serve", help="serve the REST API over HTTP")
+    p = sub.add_parser(
+        "serve",
+        help="serve the REST API over HTTP (standalone, --primary, "
+             "--replica HOST:PORT, or --router)",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
-    p.set_defaults(fn=cmd_serve)
+    p.add_argument("--primary", action="store_true",
+                   help="also bind the WAL shipper for read replicas")
+    p.add_argument("--repl-host", default="127.0.0.1",
+                   help="shipper bind host (with --primary)")
+    p.add_argument("--repl-port", type=int, default=9090,
+                   help="shipper bind port (with --primary; 0 = ephemeral)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="ship a snapshot checkpoint every N frames "
+                        "(with --primary; 0 = bootstrap/catch-up only)")
+    p.add_argument("--replica", metavar="HOST:PORT", default=None,
+                   help="serve as a read replica streaming from this "
+                        "primary shipper")
+    p.add_argument("--router", action="store_true",
+                   help="serve as the front tier over --primary-url / "
+                        "--replica-url nodes")
+    p.add_argument("--primary-url", default="",
+                   help="primary node base URL (--router; also names the "
+                        "write target in replica 403s)")
+    p.add_argument("--replica-url", action="append", default=[],
+                   help="replica node base URL (--router; repeatable)")
+    p.set_defaults(fn=cmd_serve, needs_repo=False)
 
     p = sub.add_parser(
         "snapshot",

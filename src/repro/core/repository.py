@@ -196,6 +196,22 @@ class Repository:
             extra_columns=(Column("bloom", str, nullable=True, default=None),),
         )
 
+    def refresh_bindings(self) -> None:
+        """Re-bind to the database after its state was replaced in place
+        (:meth:`Database.load_state` — a replica applying a snapshot
+        checkpoint).
+
+        Link-table helpers resolve through the database by name, so they
+        only need re-binding when the incoming state introduced tables;
+        the ontology trees are rebuilt from the mirrored rows because
+        the loaded corpus may carry different ontologies.  Version-keyed
+        caches (analytics memos, the search index) notice the version
+        jump on their next read and rebuild themselves.
+        """
+        self._bind_link_tables(self.db)
+        self._ontologies.clear()
+        self._load_ontologies()
+
     def _load_ontologies(self) -> None:
         """Reload ontology trees for a reattached database.
 

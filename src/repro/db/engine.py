@@ -70,6 +70,7 @@ from .snapshot import (
     TableSnapshot,
     current_pin,
     database_to_dict,
+    load_tables,
     restore_database,
     schema_to_dict,
 )
@@ -206,6 +207,11 @@ class Database:
         self._checkpoints = 0
         self._replaying = False
         self._recovery: dict[str, Any] | None = None
+        # Commit listeners (replication shippers): called after every
+        # published frame with its durable form ({"v": ..., "ops": [...]}),
+        # under the write lock, in registration order.
+        self._commit_listeners: list[Callable[[dict[str, Any]], None]] = []
+        self._listener_errors = 0
 
     # -- observability --------------------------------------------------------
 
@@ -473,9 +479,42 @@ class Database:
     def _commit_ops(self, ops: list[dict[str, Any]]) -> None:
         if self._replaying:
             return
+        frame: dict[str, Any] | None = None
+        if self._wal is not None or self._commit_listeners:
+            frame = {
+                "v": self._version,
+                "ops": [self._durable_op(op) for op in ops],
+            }
         if self._wal is not None:
-            self._wal_append(ops)
+            assert frame is not None
+            self._wal_append(frame)
         self._publish(ops)
+        # Listeners run after the publish so a subscriber that turns
+        # around and reads the database observes at least this frame's
+        # version.  A listener failure must never poison the write path.
+        for listener in list(self._commit_listeners):
+            try:
+                listener(frame)  # type: ignore[arg-type]
+            except Exception:
+                self._listener_errors += 1
+
+    def add_commit_listener(
+        self, listener: Callable[[dict[str, Any]], None],
+    ) -> None:
+        """Subscribe to committed frames (the replication shipping hook).
+
+        The listener receives every committed frame in durable form
+        (``{"v": <end version>, "ops": [...]}``), in commit order, while
+        the write lock is still held — it must be fast and must not
+        write back into this database.
+        """
+        self._commit_listeners.append(listener)
+
+    def remove_commit_listener(
+        self, listener: Callable[[dict[str, Any]], None],
+    ) -> None:
+        if listener in self._commit_listeners:
+            self._commit_listeners.remove(listener)
 
     @staticmethod
     def _durable_op(op: dict[str, Any]) -> dict[str, Any]:
@@ -485,13 +524,9 @@ class Database:
             out["s"] = schema_to_dict(schema)
         return out
 
-    def _wal_append(self, ops: list[dict[str, Any]]) -> None:
+    def _wal_append(self, frame: dict[str, Any]) -> None:
         assert self._wal is not None
-        frame = {
-            "v": self._version,
-            "ops": [self._durable_op(op) for op in ops],
-        }
-        with _trace.span("wal.append", ops=len(ops)):
+        with _trace.span("wal.append", ops=len(frame["ops"])):
             self._wal.append(frame)
         if self._compact_bytes and self._wal.size >= self._compact_bytes:
             self.checkpoint()
@@ -730,8 +765,11 @@ class Database:
             frames, valid_bytes, torn = read_wal(wal_path)
             if torn:
                 report["torn"] = True
-                report["truncated_bytes"] = (
-                    wal_path.stat().st_size - valid_bytes
+                # A tear inside the magic header leaves the file shorter
+                # than the valid offset; clamp so the report never goes
+                # negative.
+                report["truncated_bytes"] = max(
+                    0, wal_path.stat().st_size - valid_bytes
                 )
                 truncate_wal(wal_path, valid_bytes)
             for frame in frames:
@@ -804,34 +842,39 @@ class Database:
             return all(op["o"] == "create_index" for op in frame["ops"])
         return False
 
-    def _replay_frame(self, frame: dict[str, Any]) -> None:
-        """Re-apply one committed WAL frame through the normal entry
-        points (FK checks and version bumps replay identically because
-        frames log operations in dependency order)."""
+    def _apply_ops(self, ops: list[dict[str, Any]]) -> None:
+        """Apply one frame's durable ops through the normal entry points
+        (FK checks and version bumps replay identically because frames
+        log operations in dependency order)."""
         from .snapshot import schema_from_dict
 
+        for op in ops:
+            kind = op["o"]
+            name = op["t"]
+            if kind == "insert":
+                self.insert(name, **op["r"])
+            elif kind == "update":
+                pk_col = self._live_table(name).schema.primary_key
+                self.update(name, op["pk"], **{
+                    k: v for k, v in op["r"].items() if k != pk_col
+                })
+            elif kind == "delete":
+                self.delete(name, op["pk"])
+            elif kind == "create_table":
+                self.create_table(schema_from_dict(op["s"]))
+            elif kind == "drop_table":
+                self.drop_table(name)
+            elif kind == "create_index":
+                self._live_table(name).create_index(op["c"])
+            else:
+                raise RecoveryError(f"unknown WAL op {kind!r}")
+
+    def _replay_frame(self, frame: dict[str, Any]) -> None:
+        """Re-apply one committed WAL frame during recovery (no snapshot
+        publish, no WAL writes — ``open`` publishes once at the end)."""
         self._replaying = True
         try:
-            for op in frame["ops"]:
-                kind = op["o"]
-                name = op["t"]
-                if kind == "insert":
-                    self.insert(name, **op["r"])
-                elif kind == "update":
-                    pk_col = self._live_table(name).schema.primary_key
-                    self.update(name, op["pk"], **{
-                        k: v for k, v in op["r"].items() if k != pk_col
-                    })
-                elif kind == "delete":
-                    self.delete(name, op["pk"])
-                elif kind == "create_table":
-                    self.create_table(schema_from_dict(op["s"]))
-                elif kind == "drop_table":
-                    self.drop_table(name)
-                elif kind == "create_index":
-                    self._live_table(name).create_index(op["c"])
-                else:
-                    raise RecoveryError(f"unknown WAL op {kind!r}")
+            self._apply_ops(frame["ops"])
         finally:
             self._replaying = False
         if self._version != frame["v"]:
@@ -839,6 +882,82 @@ class Database:
                 f"replay diverged: version {self._version} after frame "
                 f"committed at {frame['v']}"
             )
+
+    # -- replication ----------------------------------------------------------
+
+    def apply_frame(self, frame: dict[str, Any]) -> bool:
+        """Apply one *shipped* WAL frame — the replica apply path.
+
+        Unlike recovery replay this is a real commit: the frame's ops run
+        as one transaction, publish one MVCC snapshot (concurrent readers
+        see all of the frame or none of it), and append to this
+        database's own WAL when one is attached.  Returns ``False`` —
+        without touching anything — for a frame at or below the current
+        version (overlap after a snapshot bootstrap is expected and
+        idempotent).  Raises :class:`RecoveryError` on a version gap:
+        the stream skipped frames and the caller must re-bootstrap.
+        """
+        target = frame["v"]
+        with self._traced_op("apply_frame", "*") as span_:
+            with self.lock.write():
+                versioned = sum(
+                    1 for op in frame["ops"] if op["o"] != "create_index"
+                )
+                # A frame ending at or below the current version was
+                # already applied — except a *version-neutral* frame
+                # (pure create_index, which never bumps the counter)
+                # ending exactly here: that one may be new, and its ops
+                # are idempotent, so it always (re)applies.
+                if target < self._version or (
+                    target == self._version and versioned
+                ):
+                    return False
+                if self._version != target - versioned:
+                    raise RecoveryError(
+                        f"replication gap: frame ends at version {target} "
+                        f"({versioned} ops) but database is at "
+                        f"{self._version}"
+                    )
+                with self.transaction():
+                    self._apply_ops(frame["ops"])
+                if self._version != target:
+                    raise RecoveryError(
+                        f"replication apply diverged: version "
+                        f"{self._version} after frame committed at {target}"
+                    )
+                if span_:
+                    span_.set(version=target, ops=len(frame["ops"]))
+                return True
+
+    def load_state(self, data: dict[str, Any]) -> None:
+        """Replace this database's entire state in place — the replica
+        bootstrap / mid-stream checkpoint path.
+
+        Tables, rows, id sequences and version counters adopt the
+        captured state exactly (byte-equal ``database_to_dict``); the
+        change journal resets (incremental consumers fall back to a full
+        rebuild) and one full snapshot publishes atomically, so readers
+        switch from the old state to the new in a single version step.
+
+        A durable database checkpoints immediately after the load: its
+        WAL frames will count from the loaded version, so the on-disk
+        snapshot must be the replay base they apply to — otherwise a
+        crash between the load and the next checkpoint would leave an
+        unreplayable log.
+        """
+        with self._traced_op("load_state", "*"):
+            with self.lock.write():
+                if self._tx_depth:
+                    raise TransactionError(
+                        "cannot load a snapshot inside a transaction"
+                    )
+                load_tables(self, data)
+                with self._changes_lock:
+                    self._changes.clear()
+                    self._changes_truncated = 0
+                self._publish_full()
+                if self._wal is not None:
+                    self.checkpoint()
 
     @property
     def recovery_report(self) -> dict[str, Any] | None:

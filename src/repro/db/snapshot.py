@@ -343,21 +343,21 @@ def database_to_dict(db: "Database") -> dict[str, Any]:
         }
 
 
-def restore_database(data: dict[str, Any], **db_kwargs: Any) -> "Database":
-    """Rebuild a :class:`Database` from :func:`database_to_dict` output.
+def load_tables(db: "Database", data: dict[str, Any]) -> None:
+    """Replace ``db``'s tables and version with the captured state.
 
-    Rows, id sequences and version counters restore exactly; the change
-    journal starts empty (consumers fall back to full rebuilds), and no
-    WAL is attached — callers wanting durability attach one afterwards.
+    The low-level half of :func:`restore_database`, shared with
+    ``Database.load_state`` (replica bootstrap / mid-stream checkpoint):
+    rows, id sequences, per-table version counters and secondary indexes
+    restore exactly.  Does **not** publish a snapshot — callers do.
     """
-    from .engine import Database
     from .table import Table
 
     if data.get("format") != 1:
         raise ValueError(
             f"unsupported database snapshot format {data.get('format')!r}"
         )
-    db = Database(data.get("name", "carcs"), **db_kwargs)
+    tables: dict[str, Table] = {}
     for entry in data["tables"]:
         schema = schema_from_dict(entry["schema"])
         table = Table(schema)
@@ -373,7 +373,22 @@ def restore_database(data: dict[str, Any], **db_kwargs: Any) -> "Database":
                 for pk, row in table._rows.items():
                     index.setdefault(row[column], set()).add(pk)
                 table._indexes[column] = index
-        db._tables[schema.name] = table
+        tables[schema.name] = table
+    db._tables = tables
     db._version = data.get("version", 0)
+    db.name = data.get("name", db.name)
+
+
+def restore_database(data: dict[str, Any], **db_kwargs: Any) -> "Database":
+    """Rebuild a :class:`Database` from :func:`database_to_dict` output.
+
+    Rows, id sequences and version counters restore exactly; the change
+    journal starts empty (consumers fall back to full rebuilds), and no
+    WAL is attached — callers wanting durability attach one afterwards.
+    """
+    from .engine import Database
+
+    db = Database(data.get("name", "carcs"), **db_kwargs)
+    load_tables(db, data)
     db._publish_full()
     return db

@@ -76,6 +76,14 @@ def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
     blob = path.read_bytes()
     if not blob:
         return [], len(MAGIC), False
+    if len(blob) < len(MAGIC):
+        if MAGIC.startswith(blob):
+            # The torn record is the magic header itself: a crash while
+            # the very first write (the header) was in flight.  The file
+            # carries zero committed history — report it as a tear at
+            # offset zero so truncate_wal rewrites a clean header.
+            return [], len(MAGIC), True
+        raise ValueError(f"{path} is not a CAR-CS WAL (bad magic)")
     if blob[: len(MAGIC)] != MAGIC:
         raise ValueError(f"{path} is not a CAR-CS WAL (bad magic)")
     frames: list[dict[str, Any]] = []
@@ -111,9 +119,23 @@ def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
 
 
 def truncate_wal(path: str | Path, valid_bytes: int) -> None:
-    """Cut a torn tail off, leaving exactly the committed prefix."""
+    """Cut a torn tail off, leaving exactly the committed prefix.
+
+    Only call after :func:`read_wal` validated the file (full magic, or a
+    torn prefix of it).  When the tear is inside the magic header itself
+    the file is *shorter* than the header — plain ``truncate`` would
+    zero-extend it into garbage no future open could read — so the
+    header is rewritten in place instead.
+    """
     path = Path(path)
     with path.open("r+b") as fh:
+        head = fh.read(len(MAGIC))
+        if head != MAGIC:
+            # Torn magic header (read_wal reported a tear at offset 0):
+            # restore the full header; there is no committed history.
+            fh.seek(0)
+            fh.write(MAGIC)
+            valid_bytes = len(MAGIC)
         fh.truncate(max(valid_bytes, len(MAGIC)))
         fh.flush()
         os.fsync(fh.fileno())
@@ -131,7 +153,10 @@ class WalWriter:
         self.fsyncs = 0
         self.bytes_written = 0
         self._unsynced = 0
-        if not self.path.exists() or self.path.stat().st_size == 0:
+        if not self.path.exists() or self.path.stat().st_size < len(MAGIC):
+            # Missing, empty, or torn-mid-header (a crash during the
+            # initial header write): (re)write the full header before
+            # appending records after it.
             self.path.write_bytes(MAGIC)
         self._fh = self.path.open("ab")
 

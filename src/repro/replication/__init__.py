@@ -1,0 +1,47 @@
+"""WAL-shipping replication: primary shipper, replica applier, protocol.
+
+The storage core (:mod:`repro.db`) commits every mutation as one atomic
+WAL frame.  This package ships those frames — plus periodic snapshot
+checkpoints — over TCP so N read-replica processes converge on the
+primary's state and serve the full read surface from their own MVCC
+snapshots.  Database version counters double as replication offsets;
+the front tier (:mod:`repro.web.front`) uses them for read-your-writes
+session guarantees.
+"""
+
+from .primary import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_RETAIN_FRAMES,
+    PrimaryShipper,
+    frame_start,
+)
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    encode_message,
+    frames_message,
+    heartbeat_message,
+    hello,
+    recv_message,
+    send_message,
+    snapshot_message,
+)
+from .replica import DEFAULT_RECONNECT_DELAY, ReplicaApplier
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_RECONNECT_DELAY",
+    "DEFAULT_RETAIN_FRAMES",
+    "MAX_MESSAGE_BYTES",
+    "PrimaryShipper",
+    "ProtocolError",
+    "ReplicaApplier",
+    "encode_message",
+    "frame_start",
+    "frames_message",
+    "heartbeat_message",
+    "hello",
+    "recv_message",
+    "send_message",
+    "snapshot_message",
+]

@@ -1,0 +1,124 @@
+"""Length-prefixed, checksummed replication wire protocol.
+
+WAL shipping runs over plain TCP.  Every message is one framed record —
+the same shape as an on-disk WAL record, so the codec guarantees match::
+
+    [4 bytes little-endian payload length][4 bytes CRC-32][payload]
+
+where the payload is UTF-8 JSON.  A short read mid-message or a CRC
+mismatch raises :class:`ProtocolError`; a clean EOF *between* messages
+reads as ``None`` (the peer hung up at a frame boundary).
+
+Message vocabulary (``type`` field):
+
+* ``hello`` (replica → primary): ``{"type", "replica_id", "offset"}``.
+  ``offset`` is the replica's current database version — the replication
+  offset.  ``-1`` forces a snapshot bootstrap.
+* ``snapshot`` (primary → replica): a full ``database_to_dict`` capture
+  plus its version and ship timestamp.  Sent for bootstrap, for
+  catch-up past the retained frame window, and periodically as a
+  checkpoint mid-stream.
+* ``frames`` (primary → replica): a batch of committed WAL frames in
+  commit order, plus the primary's current version (``pv``) and ship
+  timestamp — the numbers replica lag is computed from.
+* ``heartbeat`` (primary → replica): ``pv`` + timestamp with no frames;
+  keeps lag observable through write-idle periods.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Any
+
+_HEADER = struct.Struct("<II")  # payload length, crc32
+
+#: A message claiming more than this is treated as protocol corruption,
+#: not allocated.  Snapshots of large corpora are the biggest messages;
+#: this matches the WAL's own record bound.
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Torn, corrupt or oversized replication message."""
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def send_message(sock: socket.socket, message: dict[str, Any]) -> int:
+    """Frame and send one message; returns its encoded size in bytes."""
+    blob = encode_message(message)
+    sock.sendall(blob)
+    return len(blob)
+
+
+def _recv_exact(sock: socket.socket, n: int, *, start: bool) -> bytes | None:
+    """Read exactly ``n`` bytes.  ``None`` on clean EOF before the first
+    byte of a message (``start=True``); :class:`ProtocolError` on EOF
+    mid-message — the stream tore inside a record."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if start and remaining == n:
+                return None
+            raise ProtocolError(
+                f"short read: peer closed {remaining} bytes before the "
+                f"end of a {n}-byte segment"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict[str, Any] | None:
+    """Receive one framed message; ``None`` on clean EOF at a boundary."""
+    header = _recv_exact(sock, _HEADER.size, start=True)
+    if header is None:
+        return None
+    length, crc = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message claims {length} bytes (corrupt length)")
+    payload = _recv_exact(sock, length, start=False)
+    assert payload is not None
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError("message CRC mismatch")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"malformed message payload: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("message must be an object with a 'type'")
+    return message
+
+
+# -- message constructors ---------------------------------------------------
+
+
+def hello(replica_id: str, offset: int) -> dict[str, Any]:
+    return {"type": "hello", "replica_id": replica_id, "offset": offset}
+
+
+def snapshot_message(data: dict[str, Any], ts: float) -> dict[str, Any]:
+    return {
+        "type": "snapshot",
+        "version": data.get("version", 0),
+        "data": data,
+        "ts": ts,
+    }
+
+
+def frames_message(
+    items: list[dict[str, Any]], primary_version: int, ts: float,
+) -> dict[str, Any]:
+    return {"type": "frames", "items": items, "pv": primary_version, "ts": ts}
+
+
+def heartbeat_message(primary_version: int, ts: float) -> dict[str, Any]:
+    return {"type": "heartbeat", "pv": primary_version, "ts": ts}

@@ -2,6 +2,7 @@
 
 from .api import API_PREFIX, CarCsApi
 from .client import Client
+from .front import BackendError, FrontTier, HttpBackend, LocalBackend
 from .http import (
     HttpError,
     Request,
@@ -16,9 +17,11 @@ from .middleware import (
     ErrorMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
+    ReadOnlyMiddleware,
     RequestIdMiddleware,
     SnapshotMiddleware,
     TracingMiddleware,
+    VersionHeaderMiddleware,
     compose,
 )
 from .router import Route, Router
@@ -27,13 +30,18 @@ from .server import ApiServer
 __all__ = [
     "API_PREFIX",
     "ApiServer",
+    "BackendError",
     "CarCsApi",
     "Client",
     "ConditionalGetMiddleware",
     "ErrorMiddleware",
+    "FrontTier",
+    "HttpBackend",
     "HttpError",
+    "LocalBackend",
     "LoggingMiddleware",
     "MetricsMiddleware",
+    "ReadOnlyMiddleware",
     "Request",
     "RequestIdMiddleware",
     "Response",
@@ -41,6 +49,7 @@ __all__ = [
     "Router",
     "SnapshotMiddleware",
     "TracingMiddleware",
+    "VersionHeaderMiddleware",
     "compose",
     "error_response",
     "json_response",

@@ -48,9 +48,11 @@ from .middleware import (
     ErrorMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
+    ReadOnlyMiddleware,
     RequestIdMiddleware,
     SnapshotMiddleware,
     TracingMiddleware,
+    VersionHeaderMiddleware,
     compose,
 )
 from .router import Router
@@ -65,6 +67,7 @@ UNCONDITIONAL_PATHS = (
     f"{API_PREFIX}/metrics",
     f"{API_PREFIX}/healthz",
     f"{API_PREFIX}/traces",
+    f"{API_PREFIX}/replication",
 )
 
 
@@ -109,8 +112,17 @@ class CarCsApi:
         metrics: MetricsRegistry | None = None,
         request_log: RequestLog | None = None,
         tracer: Tracer | None = None,
+        replication: Any = None,
+        read_only: bool = False,
+        primary_url: str = "",
     ) -> None:
         self.repo = repo
+        # A PrimaryShipper or ReplicaApplier (anything with .status());
+        # None on a standalone node.  Surfaces at /api/v1/replication
+        # and as carcs_replication_* gauges.
+        self.replication = replication
+        self.read_only = read_only
+        self.primary_url = primary_url
         self.router = Router()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.request_log = (
@@ -133,13 +145,20 @@ class CarCsApi:
             MetricsMiddleware(self.metrics),
             LoggingMiddleware(self.request_log),
             ErrorMiddleware(self.metrics, self.request_log),
+            *([ReadOnlyMiddleware(primary_url)] if read_only else []),
             SnapshotMiddleware(repo.db),
+            VersionHeaderMiddleware(repo.db),
             ConditionalGetMiddleware(self._etag, UNCONDITIONAL_PATHS),
         ]
         self._pipeline = compose(self.middlewares, self.router.dispatch)
 
     def _etag(self) -> str:
         return f'"carcs-v{self.repo.version}"'
+
+    def _replication_status(self) -> dict[str, Any]:
+        if self.replication is None:
+            return {"role": "standalone", "version": self.repo.version}
+        return self.replication.status()
 
     def __call__(self, request: Request) -> Response:
         return self._pipeline(request)
@@ -250,6 +269,13 @@ class CarCsApi:
             )
             for key, value in self.tracer.stats().items():
                 self.metrics.gauge(f"carcs_traces_{key}").set(value)
+            # Replication lag/offset gauges (numbers only; booleans such
+            # as `connected` export as 0/1, strings stay JSON-only).
+            for key, value in self._replication_status().items():
+                if isinstance(value, bool):
+                    value = int(value)
+                if isinstance(value, (int, float)):
+                    self.metrics.gauge(f"carcs_replication_{key}").set(value)
             if request.query_one("format") == "prometheus":
                 return text_response(
                     render_prometheus(self.metrics),
@@ -261,6 +287,10 @@ class CarCsApi:
                 # containing it: the histogram↔trace cross-reference.
                 "exemplars": self.tracer.exemplars(),
             })
+
+        @router.route("GET", f"{API_PREFIX}/replication")
+        def replication_status(request: Request) -> Response:
+            return json_response(self._replication_status())
 
         @router.route("GET", f"{API_PREFIX}/traces")
         def list_traces(request: Request) -> Response:

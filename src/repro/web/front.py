@@ -1,0 +1,341 @@
+"""The front tier: one entry point over a primary and N read replicas.
+
+:class:`FrontTier` is itself an application callable (``(Request) ->
+Response``) so it serves through the same :class:`~repro.web.server.
+ApiServer` adapter as a single node.  It routes by method:
+
+* **Writes** (POST/PUT/PATCH/DELETE) forward to the primary.  A primary
+  transport failure answers ``503`` with ``Retry-After`` — while reads
+  keep serving from the replicas.
+* **Reads** fan out round-robin across healthy replicas.  A replica that
+  fails at the transport level is **evicted** from the rotation and
+  probed via its ``/api/v1/replication`` status after a cooldown;
+  it is re-admitted once it reports connected with bounded lag.
+
+**Session guarantees.**  Clients that send an ``x-carcs-session``
+header get read-your-writes and monotonic reads across the fleet: the
+front tier records the highest ``x-carcs-version`` each session has
+observed (its *version floor*), and a replica response below the floor
+is discarded in favour of the next replica, falling back to the
+primary — which is always at least as new as any version the session
+saw.  Sessionless requests take the fastest replica answer with no
+guarantee beyond each node's own snapshot consistency.
+
+Every response is stamped with ``x-carcs-backend`` naming the node that
+served it.  ``GET /api/v1/fleet`` answers from the front tier itself
+with per-backend health, eviction state and session-table size.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.obs import trace as _trace
+
+from .http import Request, Response, error_response, json_response
+
+#: Method → forwarded to the primary (everything else is a read).
+MUTATING_METHODS = frozenset({"POST", "PUT", "PATCH", "DELETE"})
+
+SESSION_HEADER = "x-carcs-session"
+VERSION_HEADER = "x-carcs-version"
+BACKEND_HEADER = "x-carcs-backend"
+
+#: Seconds an evicted replica sits out before the first health probe.
+DEFAULT_PROBE_COOLDOWN = 1.0
+#: A probed replica re-admits only when its replication lag (in shipped
+#: frames) is at or below this bound.
+DEFAULT_MAX_LAG_FRAMES = 64
+#: Advisory client back-off when the primary is unreachable.
+DEFAULT_RETRY_AFTER = 1
+#: Session floors retained (LRU) before the oldest session forgets its
+#: guarantee and degrades to sessionless reads.
+MAX_SESSIONS = 10_000
+
+
+class BackendError(Exception):
+    """Transport-level failure talking to a backend (not an HTTP error)."""
+
+
+class LocalBackend:
+    """An in-process application object as a backend (tests, benches)."""
+
+    def __init__(self, name: str, app: Callable[[Request], Response]) -> None:
+        self.name = name
+        self.app = app
+
+    def request(self, request: Request) -> Response:
+        try:
+            return self.app(Request(
+                method=request.method,
+                path=request.path,
+                query=dict(request.query),
+                body=request.body,
+                headers=dict(request.headers),
+            ))
+        except Exception as exc:  # noqa: BLE001 — app object died
+            raise BackendError(f"{self.name}: {exc}") from exc
+
+
+class HttpBackend:
+    """A real node reached over HTTP (``carcs serve`` processes)."""
+
+    def __init__(self, name: str, base_url: str, *, timeout: float = 10.0) -> None:
+        self.name = name
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, request: Request) -> Response:
+        query = "&".join(
+            f"{key}={value}"
+            for key, values in request.query.items() for value in values
+        )
+        url = self.base_url + request.path + (f"?{query}" if query else "")
+        body = request.body
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body)
+        data = body.encode("utf-8") if isinstance(body, str) else body
+        req = urllib.request.Request(
+            url, data=data, method=request.method,
+            headers={"content-type": "application/json", **request.headers},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return self._to_response(resp.status, resp.headers, resp.read())
+        except urllib.error.HTTPError as exc:
+            # An HTTP status is a real answer from a live node, not a
+            # transport failure — pass it through.
+            return self._to_response(exc.code, exc.headers, exc.read())
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+            raise BackendError(f"{self.name}: {exc}") from exc
+
+    @staticmethod
+    def _to_response(status: int, headers: Any, raw: bytes) -> Response:
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError:
+            payload = raw.decode("utf-8", errors="replace")
+        return Response(
+            status=status, payload=payload,
+            headers={k.lower(): v for k, v in headers.items()},
+        )
+
+
+class _ReplicaSlot:
+    """Rotation state for one replica backend."""
+
+    def __init__(self, backend: Any) -> None:
+        self.backend = backend
+        self.healthy = True
+        self.evicted_at = 0.0
+        self.last_probe = 0.0
+        self.evictions = 0
+        self.readmissions = 0
+
+
+class FrontTier:
+    """Route writes to the primary, fan reads across replicas."""
+
+    def __init__(
+        self,
+        primary: Any,
+        replicas: list[Any] | tuple[Any, ...] = (),
+        *,
+        probe_cooldown: float = DEFAULT_PROBE_COOLDOWN,
+        max_lag_frames: int = DEFAULT_MAX_LAG_FRAMES,
+        retry_after: int = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        self.primary = primary
+        self.probe_cooldown = probe_cooldown
+        self.max_lag_frames = max_lag_frames
+        self.retry_after = retry_after
+        self._slots = [_ReplicaSlot(backend) for backend in replicas]
+        self._rr = 0
+        self._sessions: OrderedDict[str, int] = OrderedDict()
+        self._lock = threading.Lock()
+        # Counters for /api/v1/fleet.
+        self.reads = 0
+        self.writes = 0
+        self.primary_errors = 0
+        self.stale_retries = 0
+
+    # -- session floors ----------------------------------------------------
+
+    def _session_floor(self, session: str | None) -> int:
+        if not session:
+            return -1
+        with self._lock:
+            floor = self._sessions.get(session, -1)
+            if floor >= 0:
+                self._sessions.move_to_end(session)
+            return floor
+
+    def _raise_floor(self, session: str | None, response: Response) -> None:
+        if not session:
+            return
+        raw = response.headers.get(VERSION_HEADER)
+        if raw is None:
+            return
+        try:
+            version = int(raw)
+        except ValueError:
+            return
+        with self._lock:
+            if version > self._sessions.get(session, -1):
+                self._sessions[session] = version
+            self._sessions.move_to_end(session)
+            while len(self._sessions) > MAX_SESSIONS:
+                self._sessions.popitem(last=False)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def __call__(self, request: Request) -> Response:
+        if request.path.rstrip("/") == "/api/v1/fleet" and request.method == "GET":
+            return json_response(self.status())
+        session = request.header(SESSION_HEADER)
+        if request.method in MUTATING_METHODS:
+            response = self._dispatch_write(request)
+        else:
+            response = self._dispatch_read(request, session)
+        self._raise_floor(session, response)
+        if session:
+            response.headers.setdefault(SESSION_HEADER, session)
+        return response
+
+    def _dispatch_write(self, request: Request) -> Response:
+        self.writes += 1
+        with _trace.span("front.write", backend=self.primary.name):
+            try:
+                response = self.primary.request(request)
+            except BackendError as exc:
+                self.primary_errors += 1
+                response = error_response(
+                    503, f"primary unavailable: {exc}", request.request_id,
+                )
+                response.headers["retry-after"] = str(self.retry_after)
+                return response
+        response.headers[BACKEND_HEADER] = self.primary.name
+        return response
+
+    def _dispatch_read(self, request: Request, session: str | None) -> Response:
+        self.reads += 1
+        floor = self._session_floor(session)
+        self._maybe_readmit()
+        for slot in self._rotation():
+            try:
+                with _trace.span("front.read", backend=slot.backend.name):
+                    response = slot.backend.request(request)
+            except BackendError:
+                self._evict(slot)
+                continue
+            if floor >= 0 and self._served_version(response) < floor:
+                # This replica has not caught up to what the session
+                # already saw — read-your-writes says try a fresher node.
+                self.stale_retries += 1
+                continue
+            response.headers[BACKEND_HEADER] = slot.backend.name
+            return response
+        # No replica could satisfy the read (none configured, all
+        # evicted, or all below the session floor): the primary is the
+        # freshest copy by definition.
+        with _trace.span("front.read", backend=self.primary.name):
+            try:
+                response = self.primary.request(request)
+            except BackendError as exc:
+                self.primary_errors += 1
+                response = error_response(
+                    503, f"no backend can serve this read: {exc}",
+                    request.request_id,
+                )
+                response.headers["retry-after"] = str(self.retry_after)
+                return response
+        response.headers[BACKEND_HEADER] = self.primary.name
+        return response
+
+    @staticmethod
+    def _served_version(response: Response) -> int:
+        try:
+            return int(response.headers.get(VERSION_HEADER, "-1"))
+        except ValueError:
+            return -1
+
+    def _rotation(self) -> list[_ReplicaSlot]:
+        """Healthy replicas, starting after the last one used."""
+        with self._lock:
+            slots = list(self._slots)
+            self._rr += 1
+            start = self._rr
+        ordered = slots[start % len(slots):] + slots[:start % len(slots)] \
+            if slots else []
+        return [slot for slot in ordered if slot.healthy]
+
+    # -- replica health ----------------------------------------------------
+
+    def _evict(self, slot: _ReplicaSlot) -> None:
+        with self._lock:
+            if slot.healthy:
+                slot.healthy = False
+                slot.evictions += 1
+            slot.evicted_at = time.monotonic()
+
+    def _maybe_readmit(self) -> None:
+        """Probe evicted replicas whose cooldown elapsed; re-admit the
+        ones that answer their replication status with bounded lag."""
+        now = time.monotonic()
+        with self._lock:
+            due = [
+                slot for slot in self._slots
+                if not slot.healthy
+                and now - slot.evicted_at >= self.probe_cooldown
+                and now - slot.last_probe >= self.probe_cooldown
+            ]
+            for slot in due:
+                slot.last_probe = now
+        for slot in due:
+            try:
+                probe = slot.backend.request(
+                    Request(method="GET", path="/api/v1/replication")
+                )
+            except BackendError:
+                continue
+            status = probe.payload if isinstance(probe.payload, dict) else {}
+            lagging = status.get("lag_frames", 0) > self.max_lag_frames
+            disconnected = status.get("role") == "replica" and not status.get(
+                "connected", True
+            )
+            if probe.ok and not lagging and not disconnected:
+                with self._lock:
+                    slot.healthy = True
+                    slot.readmissions += 1
+
+    # -- observability -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            replicas = [
+                {
+                    "name": slot.backend.name,
+                    "healthy": slot.healthy,
+                    "evictions": slot.evictions,
+                    "readmissions": slot.readmissions,
+                }
+                for slot in self._slots
+            ]
+            sessions = len(self._sessions)
+        return {
+            "role": "router",
+            "primary": self.primary.name,
+            "replicas": replicas,
+            "healthy_replicas": sum(1 for r in replicas if r["healthy"]),
+            "sessions": sessions,
+            "reads": self.reads,
+            "writes": self.writes,
+            "primary_errors": self.primary_errors,
+            "stale_retries": self.stale_retries,
+        }

@@ -20,16 +20,24 @@ handler.  The production chain, outermost first:
    current MVCC snapshot (no lock at all) for the whole dispatch;
    mutating methods take the exclusive write lock, which only
    serializes writers against each other.
-7. :class:`ConditionalGetMiddleware` — ETag / If-None-Match 304
+7. :class:`VersionHeaderMiddleware` — stamps the served database
+   version (``x-carcs-version``, the replication offset) on every
+   response, 304s included.
+8. :class:`ConditionalGetMiddleware` — ETag / If-None-Match 304
    short-circuit (inside the pin, so the version read is consistent).
+
+Replica nodes additionally run :class:`ReadOnlyMiddleware` above the
+snapshot middleware, refusing local mutations with 403 and pointing at
+the primary.
 
 Ordering matters: metrics/logging sit outside the error boundary so
 500s are counted and logged; the snapshot pin sits outside the
 conditional-GET check so the ETag comparison and the dispatch it
-guards see one repository version.  Tracing sits directly under the
-request-id stamp (the trace reuses that id) and above everything else
-so the root span's wall time covers the full dispatch including write
-lock waits.
+guards see one repository version, and the version stamp sits between
+them so reads report their pinned version while 304s still carry it.
+Tracing sits directly under the request-id stamp (the trace reuses
+that id) and above everything else so the root span's wall time covers
+the full dispatch including write lock waits.
 """
 
 from __future__ import annotations
@@ -242,6 +250,59 @@ class SnapshotMiddleware:
             return call_next(request)
         finally:
             lock.release_write()
+
+
+class ReadOnlyMiddleware:
+    """Reject mutations on a read-replica node with 403.
+
+    Replicas converge by applying the primary's shipped frames; a local
+    write would fork their history from the stream.  The front tier
+    routes writes to the primary — a mutation landing here means a
+    client bypassed it, so the refusal names the right door.  Sits above
+    the snapshot middleware: a doomed write never queues on the write
+    lock (which the replication applier is using).
+    """
+
+    MUTATING_METHODS = frozenset({"POST", "PUT", "PATCH", "DELETE"})
+
+    def __init__(self, primary_url: str = "") -> None:
+        self.primary_url = primary_url
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        if request.method in self.MUTATING_METHODS:
+            detail = (
+                f"this node is a read replica; send writes to "
+                f"{self.primary_url}" if self.primary_url
+                else "this node is a read replica; send writes to the primary"
+            )
+            response = error_response(403, detail, request.request_id)
+            if self.primary_url:
+                response.headers["x-carcs-primary"] = self.primary_url
+            return response
+        return call_next(request)
+
+
+class VersionHeaderMiddleware:
+    """Stamp ``x-carcs-version`` — the replication offset — on every
+    response.
+
+    For reads the value is the MVCC version the request was served from
+    (it runs inside the snapshot pin, so ``db.version`` is the pinned
+    version); for writes it is the post-commit version.  The front tier
+    compares this header against each session's version floor to give
+    read-your-writes across replicas, so it must also ride on 304s —
+    which is why this sits *above* the conditional-GET short-circuit.
+    """
+
+    HEADER = "x-carcs-version"
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        response = call_next(request)
+        response.headers.setdefault(self.HEADER, str(self.db.version))
+        return response
 
 
 class ConditionalGetMiddleware:

@@ -7,11 +7,24 @@ mutate state request the function-scoped ``fresh_repo`` instead.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.repository import Repository
 from repro.corpus.seed import seed_all, seed_ontologies
 from repro.ontologies import load
+
+
+def pytest_collection_modifyitems(config, items):
+    """``multiproc`` tests boot several interpreters per test — opt in
+    with ``CARCS_MULTIPROC=1`` (CI does; see ``scripts/ci.sh``)."""
+    if os.environ.get("CARCS_MULTIPROC") == "1":
+        return
+    skip = pytest.mark.skip(reason="set CARCS_MULTIPROC=1 to run")
+    for item in items:
+        if "multiproc" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

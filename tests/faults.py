@@ -1,0 +1,112 @@
+"""Reusable fault-injection primitives for the storage/replication path.
+
+The durability claims of the engine ("a torn tail never corrupts
+committed history", "a failed checkpoint keeps the old snapshot valid")
+are only as good as the crashes they were tested against.  This module
+injects those crashes deterministically:
+
+* :class:`FaultyFile` — a file-object proxy with a byte *write budget*:
+  the write that would exceed it reaches disk only partially and then
+  raises :class:`CrashError`, which is exactly what a power cut mid-
+  ``write(2)`` leaves behind.  Wrap a live ``WalWriter``'s handle with
+  :func:`crash_wal_writes` to kill a real workload mid-commit.
+* :func:`failing_fsync` / :func:`failing_replace` — context managers
+  that make ``os.fsync`` / ``os.replace`` raise ``OSError``, simulating
+  a device error at the barrier / a crash before the atomic snapshot
+  publish.
+* :func:`tear` — truncate an on-disk file to a prefix, the post-mortem
+  form of a torn write.
+
+`CrashError` subclasses ``RuntimeError`` so production code that guards
+specific failure modes (``OSError``, ``ValueError``) never swallows an
+injected crash by accident.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from unittest import mock
+
+
+class CrashError(RuntimeError):
+    """The injected crash: the process 'died' at this exact write."""
+
+
+class FaultyFile:
+    """File-object proxy that tears the write exceeding its byte budget.
+
+    ``write_budget=None`` passes everything through (useful as a no-op
+    control).  Once the budget is exhausted the partial prefix of the
+    offending write is flushed to disk — a torn record — and every
+    subsequent write raises immediately.
+    """
+
+    def __init__(self, fh, *, write_budget: int | None = None) -> None:
+        self._fh = fh
+        self.write_budget = write_budget
+        self.torn = False
+
+    def write(self, data: bytes) -> int:
+        if self.write_budget is None:
+            return self._fh.write(data)
+        if self.torn:
+            raise CrashError("process already crashed")
+        if len(data) <= self.write_budget:
+            self.write_budget -= len(data)
+            return self._fh.write(data)
+        keep = self.write_budget
+        self.write_budget = 0
+        self.torn = True
+        if keep:
+            self._fh.write(data[:keep])
+        self._fh.flush()
+        raise CrashError(
+            f"torn write: {keep}/{len(data)} bytes reached disk"
+        )
+
+    def __getattr__(self, name: str):
+        return getattr(self._fh, name)
+
+
+def crash_wal_writes(db, write_budget: int) -> FaultyFile:
+    """Arm a durable database so its WAL tears after ``write_budget``
+    more bytes.  Returns the proxy (inspect ``.torn`` afterwards)."""
+    wal = db._wal
+    assert wal is not None, "database has no WAL attached"
+    proxy = FaultyFile(wal._fh, write_budget=write_budget)
+    wal._fh = proxy
+    return proxy
+
+
+@contextmanager
+def failing_fsync(exc: Exception | None = None):
+    """Every ``os.fsync`` inside the scope raises (device error at the
+    durability barrier)."""
+    error = exc if exc is not None else OSError(5, "injected fsync failure")
+
+    def boom(fd):
+        raise error
+
+    with mock.patch("os.fsync", boom):
+        yield
+
+
+@contextmanager
+def failing_replace(exc: Exception | None = None):
+    """Every ``os.replace`` inside the scope raises — the crash right
+    before a checkpoint's atomic snapshot publish."""
+    error = exc if exc is not None else OSError(5, "injected replace failure")
+
+    def boom(src, dst):
+        raise error
+
+    with mock.patch("os.replace", boom):
+        yield
+
+
+def tear(path: str | Path, keep_bytes: int) -> None:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes in place."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[:keep_bytes])

@@ -1,0 +1,242 @@
+"""Replication conformance: arbitrary interleavings of snapshot
+checkpoints and WAL-frame batches must converge byte-equal.
+
+The harness drives :meth:`ReplicaApplier.handle_message` directly — no
+sockets, fully deterministic.  A primary runs a mixed workload while a
+commit listener captures every shipped frame and an oracle dump after
+each commit; a seeded generator then delivers those frames to a fresh
+replica in randomized batches, interleaved with snapshot checkpoints
+(stale, current, and fast-forwarding ones) and duplicated batches.
+Whatever the interleaving, the replica must land byte-equal with the
+primary (``database_to_dict``), stale checkpoints must be skipped
+without rewinding readers, and a genuine gap must poison the stream
+with ``RecoveryError`` instead of silently diverging.
+"""
+
+import random
+
+import pytest
+
+from repro.db import Column, Database, ForeignKey, TableSchema, database_to_dict
+from repro.db.errors import RecoveryError
+from repro.replication import ReplicaApplier, frames_message, snapshot_message
+
+N_INTERLEAVINGS = 30
+
+
+def _strip_name(dump):
+    dump = dict(dump)
+    dump["name"] = "<node>"
+    return dump
+
+
+def _build_history():
+    """Run a workload on a primary; capture (frames, oracle dumps).
+
+    ``oracle[i]`` is the state after ``i`` commits; ``frames[i]`` is the
+    frame that moved ``oracle[i]`` to ``oracle[i+1]``.
+    """
+    db = Database("primary")
+    frames = []
+    db.add_commit_listener(frames.append)
+    oracle = [database_to_dict(db)]
+
+    def commit(fn):
+        fn()
+        oracle.append(database_to_dict(db))
+
+    commit(lambda: db.create_table(TableSchema(
+        "materials",
+        columns=(
+            Column("id", int),
+            Column("title", str),
+            Column("collection", str, default=""),
+        ),
+    )))
+    commit(lambda: db.create_table(TableSchema(
+        "links",
+        columns=(Column("id", int), Column("materials_id", int)),
+        foreign_keys=(
+            ForeignKey("materials_id", "materials", on_delete="cascade"),
+        ),
+    )))
+    for i in range(10):
+        commit(lambda i=i: db.insert(
+            "materials", title=f"m-{i}", collection="ab"[i % 2],
+        ))
+    commit(lambda: db.table("materials").create_index("collection"))
+
+    def batch():
+        with db.transaction():
+            for m in (1, 2, 3):
+                db.insert("links", materials_id=m)
+
+    commit(batch)
+    commit(lambda: db.update("materials", 4, collection="renamed"))
+    commit(lambda: db.delete("materials", 1))  # cascades into links
+    for i in range(4):
+        commit(lambda i=i: db.insert("materials", title=f"late-{i}"))
+    assert len(frames) == len(oracle) - 1
+    return db, frames, oracle
+
+
+@pytest.fixture(scope="module")
+def history():
+    return _build_history()
+
+
+def _fresh_applier():
+    replica = Database("replica")
+    # Address is never dialled — messages are delivered by hand.
+    return replica, ReplicaApplier(replica, ("127.0.0.1", 1))
+
+
+class TestInterleavings:
+    def test_randomized_interleavings_converge_byte_equal(self, history):
+        primary, frames, oracle = history
+        final = _strip_name(oracle[-1])
+        for trial in range(N_INTERLEAVINGS):
+            rng = random.Random(0xACE0 + trial)
+            replica, applier = _fresh_applier()
+            delivered = 0  # frames the replica is guaranteed to have
+            while delivered < len(frames):
+                roll = rng.random()
+                if roll < 0.25:
+                    # A checkpoint: anywhere in the already-delivered
+                    # past (stale -> skipped) or ahead (fast-forward).
+                    at = rng.randint(0, len(oracle) - 1)
+                    applier.handle_message(
+                        snapshot_message(oracle[at], ts=float(at))
+                    )
+                    delivered = max(delivered, at)
+                elif roll < 0.45 and delivered:
+                    # A duplicated batch from the past — idempotent.
+                    start = rng.randint(0, delivered - 1)
+                    end = rng.randint(start + 1, delivered)
+                    applier.handle_message(frames_message(
+                        frames[start:end], oracle[end]["version"], float(end),
+                    ))
+                else:
+                    # The next contiguous batch.
+                    end = rng.randint(delivered + 1, len(frames))
+                    applier.handle_message(frames_message(
+                        frames[delivered:end],
+                        oracle[end]["version"], float(end),
+                    ))
+                    delivered = end
+            assert _strip_name(database_to_dict(replica)) == final, (
+                f"interleaving {trial} diverged"
+            )
+            assert replica.version == primary.version
+
+    def test_counters_account_for_every_delivery(self, history):
+        _, frames, oracle = history
+        replica, applier = _fresh_applier()
+        # oracle[0] is the version-0 empty state the replica already
+        # has — a checkpoint at (or below) the current version counts
+        # as skipped, never re-applied.
+        applier.handle_message(snapshot_message(oracle[0], 0.0))
+        applier.handle_message(frames_message(frames, oracle[-1]["version"], 1.0))
+        # Replaying the identical batch skips every frame: by then the
+        # replica is past all of them (even the version-neutral index
+        # frame sits below the final version).
+        applier.handle_message(frames_message(frames, oracle[-1]["version"], 2.0))
+        assert applier.frames_applied == len(frames)
+        assert applier.frames_skipped == len(frames)
+        assert applier.snapshots_applied == 0
+        assert applier.checkpoints_skipped == 1
+
+    def test_neutral_frame_at_current_version_reapplies(self, history):
+        """A pure create_index frame never bumps the version, so a
+        duplicate arriving while the replica sits exactly at its version
+        cannot be told from a new one — it must (idempotently) apply
+        rather than be dropped, or a fresh index would be lost."""
+        _, frames, oracle = history
+        neutral_at = next(
+            i for i, f in enumerate(frames)
+            if all(op["o"] == "create_index" for op in f["ops"])
+        )
+        replica, applier = _fresh_applier()
+        applier.handle_message(frames_message(
+            frames[:neutral_at + 1], oracle[neutral_at + 1]["version"], 0.0,
+        ))
+        applied = applier.frames_applied
+        applier.handle_message(frames_message(
+            [frames[neutral_at]], oracle[neutral_at + 1]["version"], 1.0,
+        ))
+        assert applier.frames_applied == applied + 1
+        table = next(
+            t for t in database_to_dict(replica)["tables"]
+            if t["schema"]["name"] == "materials"
+        )
+        assert table["indexes"] == ["collection"]
+
+
+class TestCheckpointMidBatch:
+    """The documented semantics for a checkpoint arriving mid-batch."""
+
+    def test_stale_checkpoint_is_skipped_not_rewound(self, history):
+        _, frames, oracle = history
+        replica, applier = _fresh_applier()
+        applier.handle_message(frames_message(frames[:5], oracle[5]["version"], 0.0))
+        state = database_to_dict(replica)
+        # A checkpoint captured *before* frames the replica already
+        # applied (it raced the frame batch): applying it would rewind
+        # concurrent readers, so it must be a counted no-op.
+        applier.handle_message(snapshot_message(oracle[3], 1.0))
+        assert database_to_dict(replica) == state
+        assert applier.checkpoints_skipped == 1
+        assert applier.snapshots_applied == 0
+
+    def test_checkpoint_at_current_version_is_skipped(self, history):
+        _, frames, oracle = history
+        replica, applier = _fresh_applier()
+        applier.handle_message(frames_message(frames[:5], oracle[5]["version"], 0.0))
+        applier.handle_message(snapshot_message(oracle[5], 1.0))
+        assert applier.checkpoints_skipped == 1
+
+    def test_ahead_checkpoint_fast_forwards(self, history):
+        _, frames, oracle = history
+        replica, applier = _fresh_applier()
+        applier.handle_message(frames_message(frames[:2], oracle[2]["version"], 0.0))
+        applier.handle_message(snapshot_message(oracle[9], 1.0))
+        assert replica.version == oracle[9]["version"]
+        assert _strip_name(database_to_dict(replica)) == _strip_name(oracle[9])
+        # ...and the frame overlap right after the jump skips cleanly.
+        applier.handle_message(
+            frames_message(frames[2:], oracle[-1]["version"], 2.0)
+        )
+        assert _strip_name(database_to_dict(replica)) == _strip_name(oracle[-1])
+
+
+class TestGaps:
+    def test_version_gap_raises_instead_of_diverging(self, history):
+        _, frames, oracle = history
+        replica, applier = _fresh_applier()
+        applier.handle_message(frames_message(frames[:3], oracle[3]["version"], 0.0))
+        before = database_to_dict(replica)
+        with pytest.raises(RecoveryError, match="replication gap"):
+            applier.handle_message(
+                frames_message(frames[5:], oracle[-1]["version"], 1.0)
+            )
+        # The failed frame must not have mutated anything.
+        assert database_to_dict(replica) == before
+
+    def test_durable_replica_recovers_to_applied_state(self, history, tmp_path):
+        """A durable replica survives a crash: the bootstrap load
+        checkpoints its on-disk snapshot (the replay base its own WAL
+        frames count from), so reopening without an explicit checkpoint
+        must recover everything that was applied."""
+        _, frames, oracle = history
+        replica = Database.open(tmp_path / "replica-store", wal_sync="off")
+        applier = ReplicaApplier(replica, ("127.0.0.1", 1))
+        applier.handle_message(snapshot_message(oracle[4], 0.0))
+        applier.handle_message(
+            frames_message(frames[4:], oracle[-1]["version"], 1.0)
+        )
+        state = _strip_name(database_to_dict(replica))
+        replica.close()  # flush only — no checkpoint: simulate crash+reopen
+        reopened = Database.open(tmp_path / "replica-store", wal_sync="off")
+        assert reopened.recovery_report["frames_replayed"] == len(frames) - 4
+        assert _strip_name(database_to_dict(reopened)) == state
+        reopened.close()

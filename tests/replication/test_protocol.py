@@ -1,0 +1,98 @@
+"""Wire-protocol conformance: framing, CRC, torn streams, EOF semantics."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.replication.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    encode_message,
+    frames_message,
+    heartbeat_message,
+    hello,
+    recv_message,
+    send_message,
+    snapshot_message,
+)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_every_message_kind_round_trips(self, pair):
+        left, right = pair
+        messages = [
+            hello("replica-1", 42),
+            hello("replica-1", -1),
+            snapshot_message({"version": 7, "tables": {}}, 123.5),
+            frames_message(
+                [{"v": 8, "ops": [{"t": "x", "o": "insert"}]}], 9, 124.0,
+            ),
+            heartbeat_message(9, 125.0),
+        ]
+        for message in messages:
+            send_message(left, message)
+        for message in messages:
+            assert recv_message(right) == message
+
+    def test_clean_eof_at_boundary_reads_none(self, pair):
+        left, right = pair
+        send_message(left, heartbeat_message(1, 0.0))
+        left.close()
+        assert recv_message(right) == {"type": "heartbeat", "pv": 1, "ts": 0.0}
+        assert recv_message(right) is None
+
+    def test_sizes_are_reported(self, pair):
+        left, _ = pair
+        message = hello("r", 0)
+        assert send_message(left, message) == len(encode_message(message))
+
+
+class TestTornStreams:
+    def test_eof_mid_header_raises(self, pair):
+        left, right = pair
+        left.sendall(encode_message(hello("r", 0))[:3])
+        left.close()
+        with pytest.raises(ProtocolError, match="short read"):
+            recv_message(right)
+
+    def test_eof_mid_payload_raises(self, pair):
+        left, right = pair
+        blob = encode_message(snapshot_message({"version": 1}, 0.0))
+        left.sendall(blob[:-5])
+        left.close()
+        with pytest.raises(ProtocolError, match="short read"):
+            recv_message(right)
+
+    def test_crc_mismatch_raises(self, pair):
+        left, right = pair
+        blob = bytearray(encode_message(hello("r", 0)))
+        blob[-1] ^= 0xFF
+        left.sendall(bytes(blob))
+        with pytest.raises(ProtocolError, match="CRC"):
+            recv_message(right)
+
+    def test_absurd_length_is_rejected_without_allocating(self, pair):
+        left, right = pair
+        left.sendall(struct.pack("<II", MAX_MESSAGE_BYTES + 1, 0))
+        with pytest.raises(ProtocolError, match="corrupt length"):
+            recv_message(right)
+
+    def test_non_object_payload_is_rejected(self, pair):
+        left, right = pair
+        import json
+        import zlib
+
+        payload = json.dumps([1, 2, 3]).encode()
+        left.sendall(struct.pack("<II", len(payload), zlib.crc32(payload)))
+        left.sendall(payload)
+        with pytest.raises(ProtocolError, match="object with a 'type'"):
+            recv_message(right)

@@ -1,0 +1,177 @@
+"""Live WAL shipping over TCP: bootstrap, streaming, catch-up, rejoin.
+
+These tests run a real :class:`PrimaryShipper` listener and real
+:class:`ReplicaApplier` threads against loopback sockets — the same code
+paths ``carcs serve --primary`` / ``--replica`` exercise, minus the
+process boundary (the marker-gated multi-process suite covers that).
+"""
+
+import time
+
+import pytest
+
+from repro.db import Column, Database, TableSchema, database_to_dict
+from repro.replication import PrimaryShipper, ReplicaApplier
+
+CONVERGE_TIMEOUT = 10.0
+
+
+def _converged(primary: Database, replica: Database) -> bool:
+    deadline = time.time() + CONVERGE_TIMEOUT
+    while time.time() < deadline:
+        if replica.version >= primary.version:
+            break
+        time.sleep(0.01)
+    a = database_to_dict(primary)
+    b = database_to_dict(replica)
+    a["name"] = b["name"] = "<node>"
+    return a == b
+
+
+@pytest.fixture()
+def primary():
+    db = Database("primary")
+    db.create_table(TableSchema(
+        "items", columns=(Column("id", int), Column("name", str)),
+    ))
+    for i in range(5):
+        db.insert("items", name=f"seed-{i}")
+    return db
+
+
+class TestShipAndConverge:
+    def test_bootstrap_then_stream(self, primary):
+        with PrimaryShipper(primary) as shipper:
+            replica = Database("replica")
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                assert _converged(primary, replica)
+                assert applier.snapshots_applied == 1  # the bootstrap
+                for i in range(25):
+                    primary.insert("items", name=f"live-{i}")
+                assert _converged(primary, replica)
+                assert applier.frames_applied == 25
+                status = applier.status()
+                assert status["role"] == "replica"
+                assert status["lag_versions"] == 0
+
+    def test_fan_out_to_multiple_replicas(self, primary):
+        with PrimaryShipper(primary) as shipper:
+            replicas = [Database(f"replica-{i}") for i in range(3)]
+            appliers = [
+                ReplicaApplier(r, shipper.address).start() for r in replicas
+            ]
+            try:
+                for applier in appliers:
+                    assert applier.wait_ready(CONVERGE_TIMEOUT)
+                for i in range(10):
+                    primary.insert("items", name=f"fan-{i}")
+                for replica in replicas:
+                    assert _converged(primary, replica)
+                assert shipper.status()["connected_replicas"] == 3
+            finally:
+                for applier in appliers:
+                    applier.stop()
+
+    def test_mid_stream_checkpoints_do_not_disturb_convergence(self, primary):
+        with PrimaryShipper(primary, checkpoint_every=5) as shipper:
+            replica = Database("replica")
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                for i in range(23):
+                    primary.insert("items", name=f"ck-{i}")
+                assert _converged(primary, replica)
+                # Periodic checkpoints rode along; the replica was
+                # already past each one when it arrived.
+                deadline = time.time() + CONVERGE_TIMEOUT
+                while shipper.snapshots_shipped < 2 and time.time() < deadline:
+                    time.sleep(0.01)
+                assert shipper.snapshots_shipped >= 2
+                assert applier.checkpoints_skipped >= 1
+
+
+class TestKillAndRejoin:
+    def test_rejoin_within_retention_streams_frames(self, primary):
+        with PrimaryShipper(primary, retain_frames=100) as shipper:
+            replica = Database("replica")
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                assert _converged(primary, replica)
+            # replica offline; a few writes land (within retention)
+            for i in range(7):
+                primary.insert("items", name=f"offline-{i}")
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                assert _converged(primary, replica)
+                # catch-up used the frame path, not a snapshot
+                assert applier.snapshots_applied == 0
+                assert applier.frames_applied == 7
+
+    def test_rejoin_past_retention_rebootstraps_from_snapshot(self, primary):
+        with PrimaryShipper(primary, retain_frames=4) as shipper:
+            replica = Database("replica")
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                assert _converged(primary, replica)
+            # more offline writes than the retention window holds
+            for i in range(20):
+                primary.insert("items", name=f"gone-{i}")
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                assert _converged(primary, replica)
+                assert applier.snapshots_applied == 1
+
+    def test_replica_from_the_future_rebootstraps(self, primary):
+        """A replica whose version exceeds the primary's (diverged
+        history — e.g. offsets from a different primary) must be reset
+        by snapshot, not trusted to stream."""
+        with PrimaryShipper(primary) as shipper:
+            replica = Database("replica")
+            replica.create_table(TableSchema(
+                "foreign", columns=(Column("id", int), Column("x", str)),
+            ))
+            for i in range(30):
+                replica.insert("foreign", x=f"alien-{i}")
+            assert replica.version > primary.version
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                assert _converged(primary, replica)
+                assert "foreign" not in replica
+
+
+class TestLagObservability:
+    def test_heartbeats_keep_lag_fresh_when_idle(self, primary):
+        with PrimaryShipper(primary, heartbeat_interval=0.05) as shipper:
+            replica = Database("replica")
+            with ReplicaApplier(replica, shipper.address) as applier:
+                assert applier.wait_ready(CONVERGE_TIMEOUT)
+                deadline = time.time() + CONVERGE_TIMEOUT
+                while applier.heartbeats_seen < 3 and time.time() < deadline:
+                    time.sleep(0.01)
+                assert applier.heartbeats_seen >= 3
+                status = applier.status()
+                assert status["lag_frames"] == 0
+                assert status["lag_seconds"] == 0.0
+                assert status["connected"]
+
+    def test_disconnected_replica_reports_reconnects(self, primary):
+        shipper = PrimaryShipper(primary).start()
+        replica = Database("replica")
+        with ReplicaApplier(
+            replica, shipper.address, reconnect_delay=0.05
+        ) as applier:
+            assert applier.wait_ready(CONVERGE_TIMEOUT)
+            shipper.stop()  # primary goes away
+            deadline = time.time() + CONVERGE_TIMEOUT
+            while applier.reconnects < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert applier.reconnects >= 2
+            # primary returns on the same port
+            revived = PrimaryShipper(
+                primary, shipper.address[0], shipper.address[1],
+            ).start()
+            try:
+                primary.insert("items", name="after-outage")
+                assert _converged(primary, replica)
+            finally:
+                revived.stop()

@@ -49,8 +49,10 @@ class TestCompose:
         ]
 
     def test_api_chain_order(self, api):
-        # The production chain must keep the id stamp outermost and the
-        # snapshot pin outside the conditional-GET check.
+        # The production chain must keep the id stamp outermost, the
+        # snapshot pin outside the conditional-GET check, and the
+        # version stamp between them (pinned version on reads, stamped
+        # on 304s too).
         names = [type(m).__name__ for m in api.middlewares]
         assert names == [
             "RequestIdMiddleware",
@@ -59,8 +61,19 @@ class TestCompose:
             "LoggingMiddleware",
             "ErrorMiddleware",
             "SnapshotMiddleware",
+            "VersionHeaderMiddleware",
             "ConditionalGetMiddleware",
         ]
+
+    def test_read_only_chain_gains_the_refusal_above_the_pin(self):
+        from repro.core.repository import Repository
+        from repro.web import CarCsApi
+
+        api = CarCsApi(Repository(), read_only=True)
+        names = [type(m).__name__ for m in api.middlewares]
+        assert names.index("ReadOnlyMiddleware") < names.index(
+            "SnapshotMiddleware"
+        )
 
 
 class TestRequestIds:
