@@ -27,6 +27,11 @@ PYTHONPATH=src python -m pytest -q benchmarks/bench_obs.py
 # 30% of in-memory (docs/architecture.md, "Storage & durability").
 PYTHONPATH=src python -m pytest -q benchmarks/bench_storage.py
 
+# Jobs gate: enqueue-to-suggestion throughput of the classification
+# queue must stay above its floor at a 10^3-material backlog
+# (docs/architecture.md, "Jobs").
+PYTHONPATH=src python -m pytest -q benchmarks/bench_jobs.py
+
 # Replication gate: read fan-out across replicas must scale >= 3x with
 # 4 replicas on >= 4 usable CPUs (no-collapse floor on smaller hosts),
 # and replica staleness must stay bounded under sustained writes

@@ -23,6 +23,9 @@ Examples::
     carcs serve --replica 127.0.0.1:9090 --port 8081
     carcs serve --router --primary-url http://127.0.0.1:8080 \
         --replica-url http://127.0.0.1:8081
+    carcs serve --workers 2             # drain jobs beside the server
+    carcs jobs ./storage --enqueue-classify --drain
+    carcs worker ./storage              # external worker pool
 """
 
 from __future__ import annotations
@@ -293,6 +296,86 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run a standalone worker pool against a durable storage directory.
+
+    The queue lives in the same database the server commits to, so a
+    worker process started beside ``carcs serve`` (same directory)
+    drains the jobs the API enqueues — and a worker killed mid-job is
+    harmless: its lease expires and the job is leased out again.
+    """
+    import time
+
+    from repro.db import Database
+    from repro.jobs import JobQueue, WorkerPool, default_handlers
+
+    db = Database.open(args.dir)
+    if "materials" not in db:
+        print(f"{args.dir} has no materials table — nothing to classify",
+              file=sys.stderr)
+        db.close()
+        return 1
+    repo = Repository(db)
+    queue = JobQueue(db)
+    pool = WorkerPool(
+        queue, default_handlers(repo),
+        size=args.threads, name="cli",
+    ).start()
+    counts = queue.counts()
+    print(f"worker pool ({args.threads} threads) on {args.dir}: "
+          f"{counts['queued']} queued, {counts['leased']} leased "
+          f"(Ctrl-C to stop)")
+    try:
+        if args.drain:
+            pool.drain(timeout=args.timeout)
+        else:
+            while True:
+                time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        pool.stop()
+        db.close()
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """Inspect and drive the durable job queue of a storage directory."""
+    from repro.db import Database
+    from repro.jobs import JobQueue, default_handlers, run_pending
+
+    db = Database.open(args.dir)
+    queue = JobQueue(db)
+    try:
+        if args.enqueue_classify:
+            job = queue.enqueue("classify", {})
+            print(f"enqueued classify job {job['id']}")
+        if args.drain:
+            if "materials" not in db:
+                print(f"{args.dir} has no materials table", file=sys.stderr)
+                return 1
+            run = run_pending(queue, default_handlers(Repository(db)))
+            print(f"ran {run} job(s)")
+        if args.job is not None:
+            job = queue.get(args.job)
+            if job is None:
+                print(f"no job with id {args.job}", file=sys.stderr)
+                return 1
+            for key in ("id", "kind", "status", "attempts", "max_attempts",
+                        "payload", "result", "error"):
+                print(f"{key}: {job.get(key)}")
+            return 0
+        counts = queue.counts()
+        print("  ".join(f"{state}={n}" for state, n in counts.items()))
+        for job in queue.jobs()[:args.limit]:
+            print(f"  #{job['id']} {job['kind']:10s} {job['status']:7s} "
+                  f"attempts={job['attempts']}/{job['max_attempts']} "
+                  f"{job['error'] or ''}".rstrip())
+    finally:
+        db.close()
+    return 0
+
+
 def _parse_address(raw: str) -> tuple[str, int]:
     host, _, port = raw.rpartition(":")
     if not host or not port.isdigit():
@@ -371,14 +454,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ).start()
         host, port = replication.address
         print(f"shipping WAL frames at {host}:{port}")
-    api = CarCsApi(repo, replication=replication)
+    api = CarCsApi(repo, replication=replication, workers=args.workers)
     server = ApiServer(api, host=args.host, port=args.port, threaded=True)
-    print(f"serving CAR-CS API at {server.url} (Ctrl-C to stop)")
+    suffix = f", {args.workers} job worker(s)" if args.workers else ""
+    print(f"serving CAR-CS API at {server.url}{suffix} (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        api.close()
         if replication is not None:
             replication.stop()
     return 0
@@ -504,7 +589,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "write target in replica 403s)")
     p.add_argument("--replica-url", action="append", default=[],
                    help="replica node base URL (--router; repeatable)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="start N in-process job workers beside the server "
+                        "(0 = rely on external 'carcs worker' processes)")
     p.set_defaults(fn=cmd_serve, needs_repo=False)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a job worker pool against a durable storage directory",
+    )
+    p.add_argument("dir")
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument("--drain", action="store_true",
+                   help="exit once the queue is empty instead of looping")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="drain deadline in seconds (with --drain)")
+    p.set_defaults(fn=cmd_worker, needs_repo=False)
+
+    p = sub.add_parser(
+        "jobs",
+        help="inspect/drive the durable job queue of a storage directory",
+    )
+    p.add_argument("dir")
+    p.add_argument("--job", type=int, default=None,
+                   help="show one job in full")
+    p.add_argument("--limit", type=int, default=20,
+                   help="jobs listed in the overview")
+    p.add_argument("--enqueue-classify", action="store_true",
+                   help="enqueue a classification sweep of every "
+                        "unclassified material")
+    p.add_argument("--drain", action="store_true",
+                   help="run pending jobs inline before reporting")
+    p.set_defaults(fn=cmd_jobs, needs_repo=False)
 
     p = sub.add_parser(
         "snapshot",

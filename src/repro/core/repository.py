@@ -52,6 +52,12 @@ class PermissionError_(Exception):
     """An operation requires a role the acting user does not have."""
 
 
+#: System account the automatic classification service suggests as.
+MACHINE_USER = "carcs-ml"
+#: System editor used by the unauthenticated review endpoints.
+SYSTEM_EDITOR = "carcs-editor"
+
+
 class Repository:
     """Facade over the relational engine implementing the CAR-CS model."""
 
@@ -177,6 +183,11 @@ class Repository:
                 Column("action", str),  # "add" | "remove"
                 Column("status", str, default=SubmissionStatus.PENDING.value),
                 Column("reviewed_by", int, nullable=True, default=None),
+                # Machine-assist metadata: the classifier's confidence in
+                # [0, 1] and which model produced it ("nb", "knn",
+                # "nb+knn"); human suggestions leave both at defaults.
+                Column("confidence", float, nullable=True, default=None),
+                Column("origin", str, default="human"),
             ),
             foreign_keys=(
                 ForeignKey("material_id", "materials", on_delete="cascade"),
@@ -619,6 +630,101 @@ class Repository:
             else:
                 self.declassify(sug["material_id"], sug["ontology_key"])
         return status
+
+    # ------------------------------------------- machine-assist suggestions
+
+    def ensure_user(self, name: str, role: Role) -> int:
+        """Find-or-create a (system) user account; returns its id."""
+        with self.db.transaction():
+            row = self.db.table("users").find_one(name=name)
+            if row is not None:
+                return row["id"]
+            return self.add_user(name, role)
+
+    def machine_suggest(
+        self, material_id: int, key: str, *,
+        confidence: float, source: str = "nb+knn",
+    ) -> int | None:
+        """File a machine ``add`` suggestion, idempotently.
+
+        Returns the new suggestion id, or ``None`` when the write would
+        duplicate existing state: the material is already classified
+        under ``key``, or an equivalent suggestion is already pending /
+        was already machine-filed.  This per-``(material, key)``
+        idempotency is what makes classification jobs safe to re-run
+        after a worker crash or lease re-issue.
+        """
+        self.entry_id(key)  # must exist
+        self.db.table("materials").get(material_id)
+        with self.db.transaction():
+            if key in self.classification_keys().get(material_id, frozenset()):
+                return None
+            for row in self.db.table("suggestions").find(
+                material_id=material_id, ontology_key=key,
+            ):
+                if row["action"] != "add":
+                    continue
+                if (row["status"] == SubmissionStatus.PENDING.value
+                        or row.get("origin") == "machine"):
+                    return None
+            suggested_by = self.ensure_user(MACHINE_USER, Role.USER)
+            return self.db.insert(
+                "suggestions",
+                material_id=material_id,
+                suggested_by=suggested_by,
+                ontology_key=key,
+                action="add",
+                confidence=float(confidence),
+                origin="machine",
+            )["id"]
+
+    def suggestions(
+        self, *, status: str | None = None,
+        material_id: int | None = None, origin: str | None = None,
+    ) -> list[dict]:
+        """Suggestion rows, highest confidence first (``None`` last).
+
+        Filters compose; each row additionally carries the entry's
+        ontology name (joined from ``ontology_entries``)."""
+        with self.db.pinned():
+            table = self.db.table("suggestions")
+            filters = {}
+            if status is not None:
+                filters["status"] = status
+            if material_id is not None:
+                filters["material_id"] = material_id
+            rows = table.find(**filters)
+            if origin is not None:
+                rows = [r for r in rows if r.get("origin", "human") == origin]
+            entries = self.db.table("ontology_entries")
+            out = []
+            for row in rows:
+                enriched = dict(row)
+                entry = entries.find_one(key=row["ontology_key"])
+                enriched["ontology"] = entry["ontology"] if entry else None
+                out.append(enriched)
+            out.sort(key=lambda r: (
+                -(r.get("confidence") if r.get("confidence") is not None
+                  else -1.0),
+                r["id"],
+            ))
+            return out
+
+    def accept_suggestion(self, suggestion_id: int,
+                          *, editor: int | None = None) -> SubmissionStatus:
+        """Approve a pending suggestion (applying it) as ``editor``, or
+        as the system editor account when none is given."""
+        if editor is None:
+            editor = self.ensure_user(SYSTEM_EDITOR, Role.EDITOR)
+        return self.review_suggestion(suggestion_id, editor=editor,
+                                      approve=True)
+
+    def reject_suggestion(self, suggestion_id: int,
+                          *, editor: int | None = None) -> SubmissionStatus:
+        if editor is None:
+            editor = self.ensure_user(SYSTEM_EDITOR, Role.EDITOR)
+        return self.review_suggestion(suggestion_id, editor=editor,
+                                      approve=False)
 
     # ------------------------------------------------- cached analytics
 

@@ -60,7 +60,9 @@ _LINK_TABLES = frozenset((
 #: Tables whose mutations cannot change any search result: skipping them
 #: means user sign-ups and curation-workflow writes no longer invalidate
 #: the index at all (the dense path rebuilt on *every* version bump).
-_IRRELEVANT_TABLES = frozenset(("users", "submissions", "suggestions"))
+_IRRELEVANT_TABLES = frozenset(
+    ("users", "submissions", "suggestions", "_jobs")
+)
 
 #: Facet-name tables: inserts are inert (a name row affects nothing
 #: until a link row references it, and that link has its own journal

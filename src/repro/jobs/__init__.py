@@ -1,0 +1,62 @@
+"""Durable background jobs for CAR-CS.
+
+Job state lives in the ``_jobs`` system table of the relational
+engine, so the queue inherits WAL durability, crash recovery and
+replication without any persistence code of its own.  See
+:mod:`repro.jobs.queue` for the lease/heartbeat/retry semantics,
+:mod:`repro.jobs.worker` for the execution loop, and
+:mod:`repro.jobs.classify` for the automatic classification service
+built on top.
+"""
+
+from .classify import (
+    DEFAULT_ONTOLOGIES,
+    ClassificationService,
+    Suggestion,
+    default_handlers,
+    make_classify_handler,
+    material_text,
+    unclassified_material_ids,
+)
+from .queue import (
+    DEAD,
+    DONE,
+    JOBS_TABLE,
+    LEASED,
+    QUEUED,
+    STATES,
+    JobQueue,
+    QueueFull,
+    StaleLease,
+)
+from .worker import (
+    FatalJobError,
+    JobContext,
+    Worker,
+    WorkerPool,
+    run_pending,
+)
+
+__all__ = [
+    "JOBS_TABLE",
+    "QUEUED",
+    "LEASED",
+    "DONE",
+    "DEAD",
+    "STATES",
+    "JobQueue",
+    "QueueFull",
+    "StaleLease",
+    "FatalJobError",
+    "JobContext",
+    "Worker",
+    "WorkerPool",
+    "run_pending",
+    "ClassificationService",
+    "Suggestion",
+    "DEFAULT_ONTOLOGIES",
+    "default_handlers",
+    "make_classify_handler",
+    "material_text",
+    "unclassified_material_ids",
+]

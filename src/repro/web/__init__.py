@@ -1,12 +1,15 @@
 """In-process REST substrate (replaces the paper's Django/Heroku stack)."""
 
-from .api import API_PREFIX, CarCsApi
+from .api import API_PREFIX, API_V2_PREFIX, CarCsApi
 from .client import Client
 from .front import BackendError, FrontTier, HttpBackend, LocalBackend
 from .http import (
     HttpError,
     Request,
     Response,
+    cursor_page,
+    decode_cursor,
+    encode_cursor,
     error_response,
     json_response,
     paginated,
@@ -14,6 +17,7 @@ from .http import (
 )
 from .middleware import (
     ConditionalGetMiddleware,
+    backpressure_response,
     ErrorMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
@@ -29,6 +33,7 @@ from .server import ApiServer
 
 __all__ = [
     "API_PREFIX",
+    "API_V2_PREFIX",
     "ApiServer",
     "BackendError",
     "CarCsApi",
@@ -50,7 +55,11 @@ __all__ = [
     "SnapshotMiddleware",
     "TracingMiddleware",
     "VersionHeaderMiddleware",
+    "backpressure_response",
     "compose",
+    "cursor_page",
+    "decode_cursor",
+    "encode_cursor",
     "error_response",
     "json_response",
     "paginated",

@@ -27,6 +27,7 @@ from repro.core.material import CourseLevel, Material, MaterialKind
 from repro.core.ontology import BloomLevel
 from repro.core.repository import Repository
 from repro.core.search import SearchFilters
+from repro.jobs import JobQueue, WorkerPool, default_handlers
 from repro.obs import (
     MetricsRegistry,
     RequestLog,
@@ -57,17 +58,23 @@ from .middleware import (
 )
 from .router import Router
 
-#: Version prefix every canonical route is mounted under.
+#: The deprecated v1 prefix — served as a compatibility shim.
 API_PREFIX = "/api/v1"
+
+#: The current, resource-oriented surface (see :mod:`repro.web.v2`).
+API_V2_PREFIX = "/api/v2"
+
+#: RFC 8594 ``Sunset`` date stamped on every v1 response: the v1 shim
+#: is scheduled to disappear; ``/api/v2`` is the successor.
+V1_SUNSET = "Wed, 30 Jun 2027 00:00:00 GMT"
 
 #: Paths whose payload changes without a repository mutation — they are
 #: exempt from the version-derived ETag and never 304.  Entries cover
 #: nested paths too (``/traces`` exempts ``/traces/<id>``).
-UNCONDITIONAL_PATHS = (
-    f"{API_PREFIX}/metrics",
-    f"{API_PREFIX}/healthz",
-    f"{API_PREFIX}/traces",
-    f"{API_PREFIX}/replication",
+UNCONDITIONAL_PATHS = tuple(
+    f"{prefix}{suffix}"
+    for prefix in (API_PREFIX, API_V2_PREFIX)
+    for suffix in ("/metrics", "/healthz", "/traces", "/replication")
 )
 
 
@@ -115,6 +122,9 @@ class CarCsApi:
         replication: Any = None,
         read_only: bool = False,
         primary_url: str = "",
+        queue: JobQueue | None = None,
+        workers: int = 0,
+        max_queued_jobs: int = 1_000,
     ) -> None:
         self.repo = repo
         # A PrimaryShipper or ReplicaApplier (anything with .status());
@@ -124,6 +134,14 @@ class CarCsApi:
         self.read_only = read_only
         self.primary_url = primary_url
         self.router = Router()
+        # The durable job queue backing /api/v2/jobs.  A replica must
+        # not create the _jobs table locally (its state comes solely
+        # from the primary's frame stream), so it gets a read-only view
+        # that activates once the primary ships the table.
+        self.queue = queue if queue is not None else JobQueue(
+            repo.db, create=not read_only, max_queued=max_queued_jobs,
+        )
+        self.job_handlers = default_handlers(repo)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.request_log = (
             request_log if request_log is not None else RequestLog()
@@ -139,6 +157,16 @@ class CarCsApi:
         self.request_log.metrics = self.metrics
         self._started = time.monotonic()
         self._register()
+        from .v2 import register_v2
+        register_v2(self)
+        # In-process worker pool draining the queue beside the server
+        # (``carcs serve --workers N``); 0 = external workers only.
+        self.workers: WorkerPool | None = None
+        if workers > 0 and not read_only:
+            self.workers = WorkerPool(
+                self.queue, self.job_handlers,
+                size=workers, metrics=self.metrics, name="api",
+            ).start()
         self.middlewares = [
             RequestIdMiddleware(),
             TracingMiddleware(self.tracer),
@@ -154,6 +182,12 @@ class CarCsApi:
 
     def _etag(self) -> str:
         return f'"carcs-v{self.repo.version}"'
+
+    def close(self) -> None:
+        """Stop the in-process worker pool (if one was started)."""
+        if self.workers is not None:
+            self.workers.stop()
+            self.workers = None
 
     def _replication_status(self) -> dict[str, Any]:
         if self.replication is None:
@@ -224,28 +258,36 @@ class CarCsApi:
         router = self.router
 
         def route(method: str, path: str):
-            """Mount under ``/api/v1`` + keep the unprefixed path as a
+            """Mount under ``/api/v1`` (the compatibility shim: answers
+            byte-identically but carries the ``Sunset`` header pointing
+            clients at ``/api/v2``) + keep the unprefixed path as a
             deprecated alias that still dispatches."""
 
             def register(handler):
-                router.add(method, API_PREFIX + path, handler)
-                router.add(method, path, handler, deprecated=True)
+                router.add(method, API_PREFIX + path, handler,
+                           sunset=V1_SUNSET)
+                router.add(method, path, handler, deprecated=True,
+                           sunset=V1_SUNSET)
                 return handler
 
             return register
 
-        @router.route("GET", API_PREFIX)
+        @router.route("GET", API_PREFIX, sunset=V1_SUNSET)
         def api_index(request: Request) -> Response:
             return json_response({
                 "service": "carcs",
                 "api_version": "v1",
+                "successor": API_V2_PREFIX,
+                "sunset": V1_SUNSET,
                 "routes": [
                     {"method": r.method, "path": r.pattern}
-                    for r in router.routes() if not r.deprecated
+                    for r in router.routes()
+                    if not r.deprecated
+                    and r.pattern.startswith(API_PREFIX)
                 ],
             })
 
-        @router.route("GET", f"{API_PREFIX}/healthz")
+        @router.route("GET", f"{API_PREFIX}/healthz", sunset=V1_SUNSET)
         def healthz(request: Request) -> Response:
             return json_response({
                 "status": "ok",
@@ -253,7 +295,7 @@ class CarCsApi:
                 "uptime_seconds": round(time.monotonic() - self._started, 3),
             })
 
-        @router.route("GET", f"{API_PREFIX}/metrics")
+        @router.route("GET", f"{API_PREFIX}/metrics", sunset=V1_SUNSET)
         def metrics(request: Request) -> Response:
             # Mirror the repository/cache counters into gauges at scrape
             # time so one export carries the whole picture: per-route
@@ -276,6 +318,10 @@ class CarCsApi:
                     value = int(value)
                 if isinstance(value, (int, float)):
                     self.metrics.gauge(f"carcs_replication_{key}").set(value)
+            # Queue depth by job state (empty on a replica until the
+            # primary ships the _jobs table).
+            for state, value in self.queue.counts().items():
+                self.metrics.gauge("carcs_jobs", state=state).set(value)
             if request.query_one("format") == "prometheus":
                 return text_response(
                     render_prometheus(self.metrics),
@@ -288,11 +334,11 @@ class CarCsApi:
                 "exemplars": self.tracer.exemplars(),
             })
 
-        @router.route("GET", f"{API_PREFIX}/replication")
+        @router.route("GET", f"{API_PREFIX}/replication", sunset=V1_SUNSET)
         def replication_status(request: Request) -> Response:
             return json_response(self._replication_status())
 
-        @router.route("GET", f"{API_PREFIX}/traces")
+        @router.route("GET", f"{API_PREFIX}/traces", sunset=V1_SUNSET)
         def list_traces(request: Request) -> Response:
             summaries = self.tracer.store.summaries()
             status = request.query_one("status")
@@ -302,7 +348,7 @@ class CarCsApi:
             payload["tracer"] = self.tracer.stats()
             return json_response(payload)
 
-        @router.route("GET", f"{API_PREFIX}/traces/<trace_id>")
+        @router.route("GET", f"{API_PREFIX}/traces/<trace_id>", sunset=V1_SUNSET)
         def get_trace(request: Request) -> Response:
             trace_id = request.params["trace_id"]
             record = self.tracer.store.get(trace_id)
@@ -648,3 +694,13 @@ class CarCsApi:
         @route("GET", "/stats")
         def stats(request: Request) -> Response:
             return json_response(self.repo.stats())
+
+        # The observability endpoints serve identically on the current
+        # surface — same handler objects, no Sunset header.  Resource
+        # routes get genuinely redesigned shapes in repro.web.v2; these
+        # are operational plumbing, not resources.
+        router.add("GET", f"{API_V2_PREFIX}/healthz", healthz)
+        router.add("GET", f"{API_V2_PREFIX}/metrics", metrics)
+        router.add("GET", f"{API_V2_PREFIX}/replication", replication_status)
+        router.add("GET", f"{API_V2_PREFIX}/traces", list_traces)
+        router.add("GET", f"{API_V2_PREFIX}/traces/<trace_id>", get_trace)

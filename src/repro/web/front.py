@@ -38,7 +38,10 @@ from typing import Any, Callable
 
 from repro.obs import trace as _trace
 
-from .http import Request, Response, error_response, json_response
+from repro.obs import MetricsRegistry
+
+from .http import Request, Response, json_response
+from .middleware import backpressure_response
 
 #: Method → forwarded to the primary (everything else is a read).
 MUTATING_METHODS = frozenset({"POST", "PUT", "PATCH", "DELETE"})
@@ -150,11 +153,13 @@ class FrontTier:
         probe_cooldown: float = DEFAULT_PROBE_COOLDOWN,
         max_lag_frames: int = DEFAULT_MAX_LAG_FRAMES,
         retry_after: int = DEFAULT_RETRY_AFTER,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.primary = primary
         self.probe_cooldown = probe_cooldown
         self.max_lag_frames = max_lag_frames
         self.retry_after = retry_after
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._slots = [_ReplicaSlot(backend) for backend in replicas]
         self._rr = 0
         self._sessions: OrderedDict[str, int] = OrderedDict()
@@ -215,11 +220,11 @@ class FrontTier:
                 response = self.primary.request(request)
             except BackendError as exc:
                 self.primary_errors += 1
-                response = error_response(
+                return backpressure_response(
                     503, f"primary unavailable: {exc}", request.request_id,
+                    retry_after=self.retry_after, metrics=self.metrics,
+                    reason="primary-unavailable",
                 )
-                response.headers["retry-after"] = str(self.retry_after)
-                return response
         response.headers[BACKEND_HEADER] = self.primary.name
         return response
 
@@ -249,12 +254,12 @@ class FrontTier:
                 response = self.primary.request(request)
             except BackendError as exc:
                 self.primary_errors += 1
-                response = error_response(
+                return backpressure_response(
                     503, f"no backend can serve this read: {exc}",
                     request.request_id,
+                    retry_after=self.retry_after, metrics=self.metrics,
+                    reason="no-backend",
                 )
-                response.headers["retry-after"] = str(self.retry_after)
-                return response
         response.headers[BACKEND_HEADER] = self.primary.name
         return response
 

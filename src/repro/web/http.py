@@ -9,6 +9,8 @@ are involved — the test client calls the application object directly.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 from dataclasses import dataclass, field
 from typing import Any
@@ -175,6 +177,59 @@ def paginated(items: list, request: Request, *,
         "total": len(items),
         "limit": limit,
         "offset": offset,
+    }
+
+
+def encode_cursor(offset: int) -> str:
+    """Opaque continuation token for :func:`cursor_page`.
+
+    Deliberately *opaque* (URL-safe base64 over a tiny JSON document)
+    so clients treat it as a bookmark instead of arithmetic — the
+    server is free to change the underlying scheme without breaking
+    pagination loops."""
+    raw = json.dumps({"o": int(offset)}).encode("utf-8")
+    return base64.urlsafe_b64encode(raw).decode("ascii").rstrip("=")
+
+
+def decode_cursor(token: str) -> int:
+    """Inverse of :func:`encode_cursor`; 400 on anything malformed."""
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        raw = base64.urlsafe_b64decode(padded.encode("ascii"))
+        document = json.loads(raw.decode("utf-8"))
+        offset = document["o"]
+        if not isinstance(offset, int) or offset < 0:
+            raise ValueError(offset)
+        return offset
+    except (binascii.Error, ValueError, KeyError, TypeError,
+            UnicodeDecodeError) as exc:
+        raise HttpError(
+            400, f"invalid pagination cursor {token!r}"
+        ) from exc
+
+
+def cursor_page(items: list, request: Request, *,
+                default_limit: int) -> dict[str, Any]:
+    """Window ``items`` into the v2 list envelope ``{"items", "total",
+    "limit", "next_cursor"}``.
+
+    Clients pass the previous response's ``next_cursor`` back as the
+    ``cursor`` query parameter; ``next_cursor`` is ``None`` on the last
+    page.  ``total`` still counts the full result set."""
+    limit = request.query_int("limit", default_limit)
+    assert limit is not None
+    if limit < 0:
+        raise HttpError(400, "query parameter 'limit' must be >= 0")
+    token = request.query_one("cursor")
+    offset = decode_cursor(token) if token else 0
+    window = list(items[offset:offset + limit])
+    next_offset = offset + limit
+    has_more = limit > 0 and next_offset < len(items)
+    return {
+        "items": window,
+        "total": len(items),
+        "limit": limit,
+        "next_cursor": encode_cursor(next_offset) if has_more else None,
     }
 
 

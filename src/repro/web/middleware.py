@@ -65,6 +65,31 @@ Middleware = Callable[[Request, Handler], Response]
 UNMATCHED = "<unmatched>"
 
 
+def backpressure_response(
+    status: int,
+    message: str,
+    request_id: str = "",
+    *,
+    retry_after: int = 1,
+    metrics: MetricsRegistry | None = None,
+    reason: str = "overload",
+) -> Response:
+    """The one way CAR-CS sheds load.
+
+    Every "come back later" answer — the front tier's primary-outage
+    503s and the job queue's saturation 429 — goes through here, so the
+    ``Retry-After`` header, the uniform error envelope and the
+    ``carcs_shed_total`` counter can never drift apart again.
+    """
+    response = error_response(status, message, request_id)
+    response.headers["retry-after"] = str(retry_after)
+    if metrics is not None:
+        metrics.counter(
+            "carcs_shed_total", status=str(status), reason=reason,
+        ).inc()
+    return response
+
+
 def compose(middlewares: Sequence[Middleware], endpoint: Handler) -> Handler:
     """Fold ``middlewares`` (outermost first) around ``endpoint``."""
     handler = endpoint

@@ -57,6 +57,9 @@ class Route:
     types: dict[str, str]
     handler: Handler
     deprecated: bool = False
+    #: RFC 8594 ``Sunset`` header value (an HTTP-date) announcing when
+    #: the route is scheduled to disappear; ``None`` for none.
+    sunset: str | None = None
 
 
 class Router:
@@ -66,18 +69,21 @@ class Router:
         self._routes: list[Route] = []
 
     def add(self, method: str, pattern: str, handler: Handler, *,
-            deprecated: bool = False) -> None:
+            deprecated: bool = False, sunset: str | None = None) -> None:
         regex, types = _compile(pattern)
         self._routes.append(Route(
             method=method.upper(), pattern=pattern, regex=regex,
             types=types, handler=handler, deprecated=deprecated,
+            sunset=sunset,
         ))
 
-    def route(self, method: str, pattern: str):
+    def route(self, method: str, pattern: str, *,
+              deprecated: bool = False, sunset: str | None = None):
         """Decorator form: ``@router.route("GET", "/things/<int:id>")``."""
 
         def register(handler: Handler) -> Handler:
-            self.add(method, pattern, handler)
+            self.add(method, pattern, handler,
+                     deprecated=deprecated, sunset=sunset)
             return handler
 
         return register
@@ -105,6 +111,8 @@ class Router:
                 )
             if route.deprecated:
                 response.headers.setdefault("deprecation", "true")
+            if route.sunset is not None:
+                response.headers.setdefault("sunset", route.sunset)
             return response
         if path_matched:
             return error_response(

@@ -1,0 +1,597 @@
+"""The ``/api/v2`` surface: resources, cursors, and async jobs.
+
+v1 grew handler-by-handler around the paper's Heroku prototype and
+shows it: materials live under ``/assignments``, classification edits
+are verbs on that path, recommendation is ``POST /recommend``, and
+every list paginates by raw ``offset`` arithmetic.  v2 is the
+resource-oriented redesign:
+
+* **Nouns, uniformly.**  ``/materials`` (not ``/assignments``),
+  ``/materials/<id>/classifications`` as a proper sub-resource,
+  ``POST /recommendations``.
+* **Opaque cursors.**  Every list answers the envelope
+  ``{"items", "total", "limit", "next_cursor"}``; clients hand
+  ``next_cursor`` back as ``?cursor=`` instead of computing offsets.
+  ``next_cursor`` is ``null`` on the last page.
+* **Async work as a resource.**  ``POST /jobs/classify`` answers
+  ``202 Accepted`` with a ``Location`` to poll and a ``Retry-After``
+  hint; the durable queue behind it survives crashes via the WAL.
+  Machine classifications land as *pending suggestions* reviewed
+  through ``/suggestions/<id>/accept`` — never directly into the
+  classification tables.
+* **Creation answers ``Location``.**  ``POST /materials`` (201) points
+  at the new resource, as does the 202 above.
+
+v1 keeps serving as a byte-identical compatibility shim carrying an
+RFC 8594 ``Sunset`` header; see ``docs/api.md`` for the migration
+table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.material import CourseLevel, Material, MaterialKind
+from repro.db.errors import RowNotFound
+from repro.jobs import QueueFull, unclassified_material_ids
+
+from .http import HttpError, Request, Response, cursor_page, json_response
+from .middleware import backpressure_response
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from .api import CarCsApi
+
+#: Advisory poll interval (seconds) stamped on 202s and unfinished jobs.
+JOB_RETRY_AFTER = 1
+
+#: Job fields exposed over the API (lease bookkeeping stays internal).
+_JOB_FIELDS = (
+    "id", "kind", "status", "attempts", "max_attempts",
+    "payload", "result", "error", "enqueued_at", "updated_at",
+)
+
+
+def _job_payload(job: dict[str, Any], prefix: str) -> dict[str, Any]:
+    out = {field: job.get(field) for field in _JOB_FIELDS}
+    out["url"] = f"{prefix}/jobs/{job['id']}"
+    return out
+
+
+def _suggestion_payload(row: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "id": row["id"],
+        "material_id": row["material_id"],
+        "key": row["ontology_key"],
+        "ontology": row.get("ontology"),
+        "action": row["action"],
+        "status": row["status"],
+        "confidence": row.get("confidence"),
+        "origin": row.get("origin", "human"),
+    }
+
+
+def register_v2(api: "CarCsApi") -> None:
+    """Mount the v2 resource routes on ``api.router``.
+
+    Reuses the api object's helpers (``_material_or_404`` etc.) so v1
+    and v2 share one behaviour for parsing and lookups while the
+    *shapes* diverge.  The ops endpoints (healthz/metrics/traces/
+    replication) are mounted by ``CarCsApi._register`` since their
+    closures live there.
+    """
+    from .api import API_V2_PREFIX, _material_payload
+
+    router = api.router
+    repo = api.repo
+    prefix = API_V2_PREFIX
+
+    def route(method: str, path: str):
+        return router.route(method, prefix + path)
+
+    # ------------------------------------------------------------ index
+
+    @route("GET", "")
+    def v2_index(request: Request) -> Response:
+        return json_response({
+            "service": "carcs",
+            "api_version": "v2",
+            "routes": [
+                {"method": r.method, "path": r.pattern}
+                for r in router.routes()
+                if not r.deprecated and r.pattern.startswith(prefix)
+            ],
+        })
+
+    # -------------------------------------------------------- materials
+
+    @route("GET", "/materials")
+    def list_materials(request: Request) -> Response:
+        text, filters = api._parse_search_request(request)
+        hits = api._search.search(
+            text, filters, limit=max(repo.material_count(), 1),
+        )
+        payload = cursor_page([
+            {"id": h.material.id, "title": h.material.title,
+             "kind": h.material.kind.value,
+             "collection": h.material.collection, "score": h.score}
+            for h in hits
+        ], request, default_limit=100)
+        return json_response(payload)
+
+    @route("POST", "/materials")
+    def create_material(request: Request) -> Response:
+        body = request.json()
+        if "title" not in body:
+            raise HttpError(400, "'title' is required")
+        try:
+            material = Material(
+                title=body["title"],
+                description=body.get("description", ""),
+                kind=MaterialKind(body.get("kind", "assignment")),
+                authors=tuple(body.get("authors", ())),
+                url=body.get("url", ""),
+                course_level=(
+                    CourseLevel(body["course_level"])
+                    if body.get("course_level") else None
+                ),
+                languages=tuple(body.get("languages", ())),
+                datasets=tuple(body.get("datasets", ())),
+                tags=tuple(body.get("tags", ())),
+                collection=body.get("collection", ""),
+                year=body.get("year"),
+            )
+        except ValueError as exc:
+            raise HttpError(400, str(exc))
+        cs = api._parse_classification(body.get("classifications", []))
+        try:
+            stored = repo.add_material(material, cs)
+        except (ValueError, KeyError) as exc:
+            raise HttpError(400, str(exc))
+        response = json_response(
+            _material_payload(repo, stored), status=201,
+        )
+        response.headers["location"] = f"{prefix}/materials/{stored.id}"
+        return response
+
+    @route("GET", "/materials/<int:id>")
+    def get_material(request: Request) -> Response:
+        material = api._material_or_404(request)
+        return json_response(_material_payload(repo, material))
+
+    @route("PATCH", "/materials/<int:id>")
+    def update_material(request: Request) -> Response:
+        material = api._material_or_404(request)
+        body = request.json()
+        allowed = {"title", "description", "url", "collection", "year"}
+        changes = {k: v for k, v in body.items() if k in allowed}
+        if not changes:
+            raise HttpError(
+                400, f"nothing to update; allowed: {sorted(allowed)}"
+            )
+        assert material.id is not None
+        updated = repo.update_material(material.id, **changes)
+        return json_response(_material_payload(repo, updated))
+
+    @route("DELETE", "/materials/<int:id>")
+    def delete_material(request: Request) -> Response:
+        material = api._material_or_404(request)
+        assert material.id is not None
+        repo.delete_material(material.id)
+        return json_response({"deleted": material.id})
+
+    # --------------------------------- classifications as a sub-resource
+
+    @route("GET", "/materials/<int:id>/classifications")
+    def list_classifications(request: Request) -> Response:
+        material = api._material_or_404(request)
+        assert material.id is not None
+        cs = repo.classification_of(material.id)
+        return json_response(cursor_page([
+            {"ontology": item.ontology, "key": item.key,
+             "bloom": item.bloom.value if item.bloom else None}
+            for item in cs.items()
+        ], request, default_limit=100))
+
+    @route("POST", "/materials/<int:id>/classifications")
+    def add_classification(request: Request) -> Response:
+        material = api._material_or_404(request)
+        body = request.json()
+        cs = api._parse_classification([body])
+        assert material.id is not None
+        for item in cs.items():
+            try:
+                repo.classify(
+                    material.id, item.ontology, item.key, bloom=item.bloom
+                )
+            except KeyError as exc:
+                raise HttpError(400, str(exc))
+        return json_response(
+            _material_payload(repo, repo.get_material(material.id)),
+            status=201,
+        )
+
+    @route("DELETE", "/materials/<int:id>/classifications")
+    def remove_classification(request: Request) -> Response:
+        material = api._material_or_404(request)
+        key = request.query_one("key")
+        if not key:
+            raise HttpError(400, "query parameter 'key' is required")
+        assert material.id is not None
+        removed = repo.declassify(material.id, key)
+        if not removed:
+            raise HttpError(404, f"material not classified under {key!r}")
+        return json_response({"removed": key})
+
+    # ------------------------------------------- derived material views
+
+    @route("GET", "/materials/<int:id>/similar")
+    def similar_materials(request: Request) -> Response:
+        material = api._material_or_404(request)
+        assert material.id is not None
+        try:
+            hits = api._search.similar_to(
+                material.id, limit=request.query_int("limit", 10) or 10,
+            )
+        except KeyError as exc:
+            raise HttpError(404, str(exc))
+        return json_response({
+            "material": material.title,
+            "similar": [
+                {"id": h.material.id, "title": h.material.title,
+                 "collection": h.material.collection, "score": h.score}
+                for h in hits
+            ],
+        })
+
+    @route("GET", "/materials/<int:id>/variants")
+    def material_variants(request: Request) -> Response:
+        from repro.analysis.variants import find_variants
+
+        material = api._material_or_404(request)
+        assert material.id is not None
+        hits = find_variants(
+            repo, material.id,
+            min_overlap=request.query_int("min_overlap", 2) or 2,
+            limit=request.query_int("limit", 10) or 10,
+        )
+        return json_response({
+            "material": material.title,
+            "variants": [
+                {
+                    "id": h.material.id,
+                    "title": h.material.title,
+                    "overlap": h.overlap,
+                    "jaccard": h.jaccard,
+                    "differing_facets": list(h.differing_facets),
+                }
+                for h in hits
+            ],
+        })
+
+    @route("GET", "/materials/<int:id>/lint")
+    def material_lint(request: Request) -> Response:
+        from repro.analysis.consistency import lint_material
+
+        material = api._material_or_404(request)
+        assert material.id is not None
+        findings = lint_material(repo, material.id)
+        return json_response({
+            "material": material.title,
+            "findings": [
+                {"rule": f.rule, "detail": f.detail} for f in findings
+            ],
+        })
+
+    # -------------------------------------------------------- ontologies
+
+    @route("GET", "/ontologies")
+    def list_ontologies(request: Request) -> Response:
+        return json_response(cursor_page([
+            {"name": name, "entries": len(onto),
+             "areas": [a.label for a in onto.areas()]}
+            for name, onto in sorted(repo.ontologies.items())
+        ], request, default_limit=50))
+
+    @route("GET", "/ontologies/<name>/entries")
+    def ontology_entries(request: Request) -> Response:
+        name = request.params["name"]
+        try:
+            onto = repo.ontology(name)
+        except KeyError as exc:
+            raise HttpError(404, str(exc))
+        phrase = request.query_one("search", "") or ""
+        if phrase:
+            nodes = onto.search(phrase, limit=len(onto))
+        else:
+            nodes = onto.nodes()
+        return json_response(cursor_page([
+            {"key": n.key, "label": n.label, "kind": n.kind.value,
+             "path": onto.path_string(n.key)}
+            for n in nodes
+        ], request, default_limit=50))
+
+    # --------------------------------------------------------- analytics
+
+    @route("GET", "/search")
+    def search(request: Request) -> Response:
+        text, filters = api._parse_search_request(request)
+        hits = api._search.search(
+            text, filters, limit=max(repo.material_count(), 1),
+        )
+        payload = cursor_page([
+            {"id": h.material.id, "title": h.material.title,
+             "kind": h.material.kind.value,
+             "collection": h.material.collection, "score": h.score}
+            for h in hits
+        ], request, default_limit=20)
+        payload["mode"] = api._search.mode
+        return json_response(payload)
+
+    @route("GET", "/coverage")
+    def coverage(request: Request) -> Response:
+        collection = request.query_one("collection")
+        ontology = request.query_one("ontology")
+        if not collection or not ontology:
+            raise HttpError(400, "'collection' and 'ontology' are required")
+        try:
+            onto = repo.ontology(ontology)
+        except KeyError as exc:
+            raise HttpError(404, str(exc))
+        api._collection_ids(collection)  # 404 on unknown collection
+        report = repo.coverage(ontology, collection=collection)
+        return json_response({
+            "collection": collection,
+            "ontology": ontology,
+            "n_materials": report.n_materials,
+            "areas": [
+                {"code": area.code, "label": area.label, "count": count}
+                for area, count in report.area_ranking(onto)
+            ],
+            "entries_touched": len(report.rollup_counts),
+        })
+
+    @route("GET", "/similarity")
+    def similarity(request: Request) -> Response:
+        left = request.query_one("left")
+        right = request.query_one("right")
+        if not left or not right:
+            raise HttpError(
+                400, "'left' and 'right' collections are required"
+            )
+        threshold = request.query_int("threshold", 2) or 2
+        graph = repo.similarity(
+            api._collection_ids(left),
+            api._collection_ids(right),
+            threshold=threshold,
+            left_group=left,
+            right_group=right,
+        )
+        return json_response({
+            "threshold": threshold,
+            "nodes": [
+                {"id": n, "group": d["group"], "title": d["title"],
+                 "degree": graph.degree(n)}
+                for n, d in graph.nodes(data=True)
+            ],
+            "edges": [
+                {"left": u, "right": v, "shared": d["shared"],
+                 "shared_keys": list(d["shared_keys"])}
+                for u, v, d in graph.edges(data=True)
+            ],
+        })
+
+    @route("GET", "/gaps")
+    def gaps(request: Request) -> Response:
+        from repro.core.gaps import find_gaps
+
+        reference = request.query_one("reference")
+        candidate = request.query_one("candidate")
+        ontology = request.query_one("ontology", "CS13") or "CS13"
+        if not reference or not candidate:
+            raise HttpError(400, "'reference' and 'candidate' are required")
+        try:
+            onto = repo.ontology(ontology)
+        except KeyError as exc:
+            raise HttpError(404, str(exc))
+        api._collection_ids(reference)
+        api._collection_ids(candidate)
+        ref = repo.coverage(ontology, collection=reference)
+        cand = repo.coverage(ontology, collection=candidate)
+        report = find_gaps(
+            onto, ref, cand,
+            reference_name=reference, candidate_name=candidate,
+        )
+        return json_response({
+            "ontology": ontology,
+            "alignment": report.alignment,
+            "missing_in_candidate": [
+                {"key": e.key, "path": e.path,
+                 "reference_count": e.reference_count}
+                for e in report.top_development_targets(20)
+            ],
+            "unique_to_candidate": [
+                {"key": e.key, "path": e.path,
+                 "candidate_count": e.candidate_count}
+                for e in report.unique_to_candidate[:20]
+            ],
+        })
+
+    @route("GET", "/plan")
+    def plan(request: Request) -> Response:
+        from repro.analysis.planner import core_targets, plan_course
+        from repro.core.ontology import Tier
+
+        ontology = request.query_one("ontology", "PDC12") or "PDC12"
+        try:
+            onto = repo.ontology(ontology)
+        except KeyError as exc:
+            raise HttpError(404, str(exc))
+        tiers = (Tier.CORE, Tier.CORE1)
+        max_materials = request.query_int("max_materials")
+        course = plan_course(
+            repo, ontology, core_targets(onto, tiers),
+            max_materials=max_materials,
+        )
+        return json_response({
+            "ontology": ontology,
+            "coverage_ratio": course.coverage_ratio,
+            "picks": [
+                {"id": p.material_id, "title": p.title,
+                 "newly_covered": list(p.newly_covered)}
+                for p in course.picks
+            ],
+            "uncovered": sorted(course.uncovered),
+        })
+
+    @route("GET", "/stats")
+    def stats(request: Request) -> Response:
+        return json_response(repo.stats())
+
+    @route("POST", "/recommendations")
+    def recommendations(request: Request) -> Response:
+        body = request.json()
+        text = body.get("text", "")
+        selected = body.get("selected", [])
+        if not text and not selected:
+            raise HttpError(400, "'text' or 'selected' is required")
+        recs = repo.recommend(text, selected, top=body.get("top", 10))
+        return json_response({
+            "suggestions": [
+                {"key": r.key, "score": r.score, "source": r.source}
+                for r in recs
+            ]
+        })
+
+    # --------------------------------------------------- jobs (async work)
+
+    @route("POST", "/jobs/classify")
+    def enqueue_classify(request: Request) -> Response:
+        body = request.json() if request.body is not None else {}
+        payload: dict[str, Any] = {}
+        if body.get("material_ids") is not None:
+            ids = body["material_ids"]
+            if (not isinstance(ids, list)
+                    or not all(isinstance(i, int) for i in ids)):
+                raise HttpError(400, "'material_ids' must be a list of ints")
+            payload["material_ids"] = ids
+        if body.get("collection") is not None:
+            payload["collection"] = str(body["collection"])
+        if body.get("ontologies") is not None:
+            payload["ontologies"] = [str(o) for o in body["ontologies"]]
+        if body.get("top") is not None:
+            payload["top"] = int(body["top"])
+        try:
+            job = api.queue.enqueue(
+                "classify", payload,
+                idempotency_key=body.get("idempotency_key"),
+            )
+        except QueueFull as exc:
+            return backpressure_response(
+                429, str(exc), request.request_id,
+                retry_after=JOB_RETRY_AFTER, metrics=api.metrics,
+                reason="queue-full",
+            )
+        pending = unclassified_material_ids(
+            repo, collection=payload.get("collection"),
+        )
+        targets = payload.get("material_ids", pending)
+        response = json_response({
+            "job": _job_payload(job, prefix),
+            "targets": len(targets),
+        }, status=202)
+        response.headers["location"] = f"{prefix}/jobs/{job['id']}"
+        response.headers["retry-after"] = str(JOB_RETRY_AFTER)
+        return response
+
+    @route("GET", "/jobs")
+    def list_jobs(request: Request) -> Response:
+        status = request.query_one("status")
+        jobs = api.queue.jobs(status)
+        return json_response(cursor_page(
+            [_job_payload(j, prefix) for j in jobs],
+            request, default_limit=50,
+        ))
+
+    @route("GET", "/jobs/<int:id>")
+    def get_job(request: Request) -> Response:
+        job = api.queue.get(request.params["id"])
+        if job is None:
+            raise HttpError(404, f"no job with id {request.params['id']}")
+        response = json_response(_job_payload(job, prefix))
+        if job["status"] in ("queued", "leased"):
+            # Still running: tell pollers when to come back.
+            response.headers["retry-after"] = str(JOB_RETRY_AFTER)
+        return response
+
+    # ------------------------------------------- suggestions (review queue)
+
+    @route("GET", "/suggestions")
+    def list_suggestions(request: Request) -> Response:
+        rows = repo.suggestions(
+            status=request.query_one("status"),
+            material_id=request.query_int("material_id"),
+            origin=request.query_one("origin"),
+        )
+        return json_response(cursor_page(
+            [_suggestion_payload(r) for r in rows],
+            request, default_limit=50,
+        ))
+
+    @route("GET", "/suggestions/<int:id>")
+    def get_suggestion(request: Request) -> Response:
+        sid = request.params["id"]
+        rows = [r for r in repo.suggestions() if r["id"] == sid]
+        if not rows:
+            raise HttpError(404, f"no suggestion with id {sid}")
+        return json_response(_suggestion_payload(rows[0]))
+
+    def _review_one(sid: int, approve: bool) -> str:
+        """Apply one review; raises HttpError with the right status."""
+        try:
+            if approve:
+                status = repo.accept_suggestion(sid)
+            else:
+                status = repo.reject_suggestion(sid)
+        except RowNotFound:
+            raise HttpError(404, f"no suggestion with id {sid}")
+        except ValueError as exc:
+            # "suggestion already reviewed" — the review is not
+            # repeatable, so a replayed accept is a conflict, not a 400.
+            raise HttpError(409, str(exc))
+        return status.value
+
+    @route("POST", "/suggestions/<int:id>/accept")
+    def accept_suggestion(request: Request) -> Response:
+        sid = request.params["id"]
+        return json_response({"id": sid, "status": _review_one(sid, True)})
+
+    @route("POST", "/suggestions/<int:id>/reject")
+    def reject_suggestion(request: Request) -> Response:
+        sid = request.params["id"]
+        return json_response({"id": sid, "status": _review_one(sid, False)})
+
+    def _review_batch(request: Request, approve: bool) -> Response:
+        body = request.json()
+        ids = body.get("ids")
+        if (not isinstance(ids, list)
+                or not all(isinstance(i, int) for i in ids)):
+            raise HttpError(400, "'ids' must be a list of ints")
+        done: list[int] = []
+        failed: list[dict[str, Any]] = []
+        for sid in ids:
+            try:
+                _review_one(sid, approve)
+            except HttpError as exc:
+                failed.append({"id": sid, "error": exc.message})
+            else:
+                done.append(sid)
+        key = "accepted" if approve else "rejected"
+        return json_response({key: done, "failed": failed})
+
+    @route("POST", "/suggestions/accept")
+    def accept_suggestions(request: Request) -> Response:
+        return _review_batch(request, True)
+
+    @route("POST", "/suggestions/reject")
+    def reject_suggestions(request: Request) -> Response:
+        return _review_batch(request, False)

@@ -110,3 +110,24 @@ def tear(path: str | Path, keep_bytes: int) -> None:
     path = Path(path)
     data = path.read_bytes()
     path.write_bytes(data[:keep_bytes])
+
+
+class CrashBudget:
+    """A callable fuse: pass through N times, then raise CrashError.
+
+    Thread it into any injectable callback (a job heartbeat, a commit
+    listener) to kill a workload at a *deterministic* point mid-run —
+    e.g. "the worker died after writing its first batch".
+    """
+
+    def __init__(self, allowed: int) -> None:
+        self.allowed = allowed
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs) -> None:
+        self.calls += 1
+        if self.calls > self.allowed:
+            raise CrashError(
+                f"process crashed at call {self.calls} "
+                f"(budget was {self.allowed})"
+            )

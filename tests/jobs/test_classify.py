@@ -1,0 +1,175 @@
+"""The automatic classification service: train, suggest, review."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import ClassificationSet
+from repro.core.material import Material, MaterialKind
+from repro.corpus.seed import seed_all
+from repro.jobs import (
+    ClassificationService,
+    default_handlers,
+    material_text,
+    unclassified_material_ids,
+)
+from repro.jobs.worker import JobContext
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Seeded corpus shared by this module; tests add their own
+    unclassified materials and target them explicitly by id."""
+    return seed_all()
+
+
+@pytest.fixture(scope="module")
+def service(corpus):
+    return ClassificationService(corpus)
+
+
+def _add_unclassified(repo, template_id: int, *, collection="inbox"):
+    """An unclassified clone of an already-classified material — the
+    easiest text for the model to place."""
+    template = repo.get_material(template_id)
+    clone = Material(
+        title=f"Incoming copy of {template.title}",
+        description=template.description,
+        kind=MaterialKind.ASSIGNMENT,
+        languages=template.languages,
+        tags=template.tags,
+        collection=collection,
+    )
+    return repo.add_material(clone, ClassificationSet())
+
+
+def _classified_id(repo) -> int:
+    keys = repo.classification_keys()
+    return next(mid for mid in sorted(keys) if keys[mid])
+
+
+def test_unclassified_material_ids(corpus):
+    before = unclassified_material_ids(corpus)
+    stored = _add_unclassified(corpus, _classified_id(corpus),
+                               collection="inbox-a")
+    after = unclassified_material_ids(corpus)
+    assert stored.id in after
+    assert set(after) - set(before) == {stored.id}
+    assert unclassified_material_ids(corpus, collection="inbox-a") == [
+        stored.id
+    ]
+
+
+def test_suggest_for_places_lookalike_material(corpus, service):
+    template_id = _classified_id(corpus)
+    stored = _add_unclassified(corpus, template_id)
+    suggestions = service.suggest_for([stored.id])[stored.id]
+    assert suggestions, "a near-duplicate must draw suggestions"
+    template_keys = corpus.classification_keys()[template_id]
+    assert {s.key for s in suggestions} & set(template_keys)
+    assert all(s.confidence >= service.min_confidence for s in suggestions)
+    assert all(s.ontology in ("CS13", "PDC12") for s in suggestions)
+    # Ranked best-first.
+    confidences = [s.confidence for s in suggestions]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_classify_materials_writes_pending_suggestions(corpus, service):
+    stored = _add_unclassified(corpus, _classified_id(corpus))
+    report = service.classify_materials([stored.id])
+    assert report["suggested"] > 0
+    rows = corpus.suggestions(material_id=stored.id, origin="machine")
+    assert len(rows) == report["suggested"]
+    assert all(r["status"] == "pending" for r in rows)
+    assert all(r["confidence"] is not None for r in rows)
+    # Confidence-ranked, best first.
+    confidences = [r["confidence"] for r in rows]
+    assert confidences == sorted(confidences, reverse=True)
+
+
+def test_classify_is_idempotent_per_material_key(corpus, service):
+    stored = _add_unclassified(corpus, _classified_id(corpus))
+    first = service.classify_materials([stored.id])
+    assert first["suggested"] > 0
+    again = service.classify_materials([stored.id])
+    assert again["suggested"] == 0
+    assert again["skipped"] == first["suggested"]
+    assert len(corpus.suggestions(material_id=stored.id)) == first["suggested"]
+
+
+def test_accept_applies_classification_and_analytics_see_it(corpus, service):
+    stored = _add_unclassified(corpus, _classified_id(corpus),
+                               collection="inbox-accept")
+    service.classify_materials([stored.id])
+    rows = corpus.suggestions(material_id=stored.id, status="pending")
+    best = rows[0]
+    ontology = best["ontology"]
+    before = corpus.coverage(ontology, collection="inbox-accept")
+    assert sum(before.rollup_counts.values()) == 0
+
+    corpus.accept_suggestion(best["id"])
+
+    keys = corpus.classification_keys()[stored.id]
+    assert best["ontology_key"] in keys
+    # The memoized coverage invalidates on the classification write.
+    after = corpus.coverage(ontology, collection="inbox-accept")
+    assert sum(after.rollup_counts.values()) > 0
+
+
+def test_reject_leaves_material_unclassified(corpus, service):
+    stored = _add_unclassified(corpus, _classified_id(corpus))
+    service.classify_materials([stored.id])
+    rows = corpus.suggestions(material_id=stored.id, status="pending")
+    corpus.reject_suggestion(rows[0]["id"])
+    assert best_status(corpus, rows[0]["id"]) == "rejected"
+    assert not corpus.classification_keys()[stored.id]
+
+
+def best_status(repo, suggestion_id: int) -> str:
+    return repo.db.table("suggestions").get(suggestion_id)["status"]
+
+
+def test_handler_sweeps_collection_and_heartbeats(corpus):
+    service = ClassificationService(corpus, batch_size=1)
+    stored_a = _add_unclassified(corpus, _classified_id(corpus),
+                                 collection="inbox-sweep")
+    stored_b = _add_unclassified(corpus, _classified_id(corpus),
+                                 collection="inbox-sweep")
+    beats = []
+
+    class FakeCtx:
+        payload = {"collection": "inbox-sweep"}
+
+        def heartbeat(self):
+            beats.append(1)
+
+    from repro.jobs import make_classify_handler
+
+    handler = make_classify_handler(corpus, service)
+    report = handler(FakeCtx())
+    assert report["materials"] == 2
+    assert report["suggested"] > 0
+    # batch_size=1 over two materials -> one between-batch heartbeat.
+    assert len(beats) == 1
+    for stored in (stored_a, stored_b):
+        assert corpus.suggestions(material_id=stored.id, status="pending")
+
+
+def test_handler_accepts_explicit_ids(corpus):
+    stored = _add_unclassified(corpus, _classified_id(corpus))
+
+    class FakeCtx:
+        payload = {"material_ids": [stored.id], "top": 2}
+
+        def heartbeat(self):
+            pass
+
+    report = default_handlers(corpus)["classify"](FakeCtx())
+    assert report["materials"] == 1
+    assert len(corpus.suggestions(material_id=stored.id)) <= 2
+
+
+def test_material_text_folds_facets(corpus):
+    stored = corpus.get_material(_classified_id(corpus))
+    text = material_text(stored)
+    assert stored.title in text

@@ -1,0 +1,146 @@
+"""Worker loop semantics: outcomes, retries, dead-letters, pools."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.db import Database
+from repro.jobs import (
+    DEAD,
+    DONE,
+    QUEUED,
+    FatalJobError,
+    JobQueue,
+    WorkerPool,
+    run_pending,
+)
+from repro.obs import MetricsRegistry
+
+from .test_queue import FakeClock
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def queue(clock):
+    # No retry backoff: a failed job is immediately runnable again,
+    # which keeps the synchronous drain tests single-pass.
+    return JobQueue(Database("worker-test"), clock=clock, base_backoff=0.0)
+
+
+def test_run_pending_executes_handlers(queue):
+    seen = []
+
+    def handler(ctx):
+        seen.append(ctx.payload["n"])
+        return {"doubled": ctx.payload["n"] * 2}
+
+    for n in range(3):
+        queue.enqueue("double", {"n": n})
+    assert run_pending(queue, {"double": handler}) == 3
+    assert seen == [0, 1, 2]
+    assert queue.get(1)["result"] == {"doubled": 0}
+    assert queue.counts()[DONE] == 3
+
+
+def test_ordinary_exception_retries_until_done(queue):
+    attempts = []
+
+    def flaky(ctx):
+        attempts.append(ctx.job["attempts"])
+        if len(attempts) < 3:
+            raise RuntimeError("transient")
+        return "ok"
+
+    queue.enqueue("flaky", max_attempts=5)
+    assert run_pending(queue, {"flaky": flaky}) == 3
+    job = queue.get(1)
+    assert job["status"] == DONE
+    assert attempts == [1, 2, 3]
+
+
+def test_exhausted_retries_dead_letter(queue):
+    def always_broken(ctx):
+        raise RuntimeError("perma-broken")
+
+    queue.enqueue("broken", max_attempts=2)
+    assert run_pending(queue, {"broken": always_broken}) == 2
+    job = queue.get(1)
+    assert job["status"] == DEAD
+    assert "perma-broken" in job["error"]
+
+
+def test_fatal_error_skips_retries(queue):
+    def fatal(ctx):
+        raise FatalJobError("bad payload")
+
+    queue.enqueue("fatal", max_attempts=5)
+    assert run_pending(queue, {"fatal": fatal}) == 1
+    job = queue.get(1)
+    assert job["status"] == DEAD
+    assert job["attempts"] == 1
+    assert "bad payload" in job["error"]
+
+
+def test_unknown_kind_dead_letters(queue):
+    queue.enqueue("mystery")
+    run_pending(queue, {})
+    job = queue.get(1)
+    assert job["status"] == DEAD
+    assert "no handler" in job["error"]
+
+
+def test_outcome_metrics(queue):
+    metrics = MetricsRegistry()
+
+    def fatal(ctx):
+        raise FatalJobError("nope")
+
+    queue.enqueue("ok")
+    queue.enqueue("fatal")
+    run_pending(queue, {"ok": lambda ctx: 1, "fatal": fatal},
+                metrics=metrics)
+    counters = metrics.export()["counters"]
+    assert counters['carcs_jobs_total{kind="ok",outcome="done"}']["value"] == 1
+    assert counters['carcs_jobs_total{kind="fatal",outcome="dead"}']["value"] == 1
+    assert any(k.startswith("carcs_job_seconds")
+               for k in metrics.export()["histograms"])
+
+
+def test_heartbeat_keeps_long_job_leased(queue, clock):
+    def slow(ctx):
+        clock.advance(queue.visibility_timeout - 1)
+        ctx.heartbeat()
+        clock.advance(queue.visibility_timeout - 1)
+        ctx.heartbeat()
+        return "survived"
+
+    queue.enqueue("slow")
+    assert run_pending(queue, {"slow": slow}) == 1
+    assert queue.get(1)["status"] == DONE
+
+
+def test_worker_pool_drains_concurrently():
+    queue = JobQueue(Database("pool-test"), base_backoff=0.0)
+    gate = threading.Barrier(2, timeout=5.0)
+
+    def meet(ctx):
+        # Both workers must be inside a job at once to pass the barrier.
+        gate.wait()
+        return "met"
+
+    queue.enqueue("meet")
+    queue.enqueue("meet")
+    pool = WorkerPool(queue, {"meet": meet}, size=2, poll_interval=0.01)
+    pool.start()
+    try:
+        assert pool.drain(timeout=10.0)
+    finally:
+        pool.stop()
+    assert queue.counts()[DONE] == 2
+    assert queue.counts()[QUEUED] == 0

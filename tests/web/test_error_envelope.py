@@ -1,0 +1,101 @@
+"""Every 4xx/5xx the system emits shares one error envelope.
+
+The shape is ``{"error": {"code", "message", "request_id"}}`` — router
+404/405s, handler 400s, the 500 boundary, replica 403s, the front
+tier's 503s and the job queue's 429 all flow through the same builder
+(:func:`repro.web.http.error_response`), so clients parse one shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.repository import Repository
+from repro.corpus.seed import seed_ontologies
+from repro.web import CarCsApi, Client, FrontTier, LocalBackend, Request
+from repro.web.api import API_V2_PREFIX
+
+
+def _api(**kwargs) -> CarCsApi:
+    repo = Repository()
+    seed_ontologies(repo)
+    return CarCsApi(repo, **kwargs)
+
+
+def _explode(request):
+    raise RuntimeError("kaboom")
+
+
+def _broken_backend() -> LocalBackend:
+    return LocalBackend("primary", _explode)
+
+
+CASES = {
+    "router-404": lambda: Client(_api()).get("/api/v2/not-a-resource"),
+    "router-405": lambda: Client(_api()).delete("/api/v2/search"),
+    "resource-404": lambda: Client(_api()).get("/api/v2/materials/12345"),
+    "validation-400": lambda: Client(_api()).post(
+        "/api/v2/materials", body={}
+    ),
+    "cursor-400": lambda: Client(_api()).get("/api/v2/materials?cursor=@@"),
+    "boundary-500": lambda: Client(_crashing_api()).get("/api/v2/crash"),
+    "replica-403": lambda: Client(
+        _api(read_only=True, primary_url="http://primary:8080")
+    ).post("/api/v2/materials", body={"title": "x"}),
+    "front-tier-503": lambda: FrontTier(_broken_backend())(
+        Request.build("POST", "/api/v2/materials", body={"title": "x"})
+    ),
+    "queue-429": lambda: _saturated_queue_response(),
+}
+
+
+def _crashing_api() -> CarCsApi:
+    api = _api()
+    api.router.add("GET", f"{API_V2_PREFIX}/crash", _explode)
+    return api
+
+
+def _saturated_queue_response():
+    client = Client(_api(max_queued_jobs=1), root=API_V2_PREFIX)
+    assert client.post("/jobs/classify", body={}).status == 202
+    return client.post("/jobs/classify", body={})
+
+
+EXPECTED_STATUS = {
+    "router-404": 404,
+    "router-405": 405,
+    "resource-404": 404,
+    "validation-400": 400,
+    "cursor-400": 400,
+    "boundary-500": 500,
+    "replica-403": 403,
+    "front-tier-503": 503,
+    "queue-429": 429,
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_error_envelope_shape(case):
+    response = CASES[case]()
+    assert response.status == EXPECTED_STATUS[case]
+    envelope = response.error
+    assert envelope is not None, "4xx/5xx must carry the error envelope"
+    assert set(envelope) == {"code", "message", "request_id"}
+    assert envelope["code"] == response.status
+    assert isinstance(envelope["message"], str) and envelope["message"]
+    assert isinstance(envelope["request_id"], str)
+
+
+@pytest.mark.parametrize("case", sorted(set(CASES) - {"front-tier-503"}))
+def test_request_id_is_filled_through_the_pipeline(case):
+    """Inside the middleware chain the id middleware stamps every
+    envelope (the front tier sits outside it and has no request ids)."""
+    response = CASES[case]()
+    assert response.error["request_id"]
+    assert response.error["request_id"] == response.headers["x-request-id"]
+
+
+@pytest.mark.parametrize("case", ["front-tier-503", "queue-429"])
+def test_shed_responses_carry_retry_after(case):
+    response = CASES[case]()
+    assert int(response.headers["retry-after"]) >= 1
