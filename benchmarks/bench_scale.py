@@ -17,17 +17,27 @@ import urllib.request
 import pytest
 
 from repro.core.coverage import compute_coverage
+from repro.core.gaps import find_gaps
+from repro.core.ontology import NodeKind
 from repro.core.repository import Repository
 from repro.core.search import SearchEngine
 from repro.core.similarity import incidence, shared_item_matrix, similarity_graph
 from repro.corpus import keys as K
 from repro.corpus.generator import GeneratorConfig, seed_synthetic
 from repro.corpus.seed import seed_all, seed_ontologies
+from repro.db import query as db_query
 from repro.web import CarCsApi
 from repro.web.server import ApiServer
 
 SIZES = (100, 400, 1600)
 CACHE_SCALE_N = 10_000
+PLANNER_SCALE_N = 100_000
+#: CI latency budgets for the 10⁵-material analytics (generous multiples
+#: of observed times — ~0.35 s coverage, ~0.02 s gaps on a dev host — so
+#: slow shared runners don't flake, while a regression to scan-and-sort
+#: behaviour still trips them).
+COVERAGE_BUDGET_S = 2.5
+GAP_BUDGET_S = 1.5
 HTTP_CLIENTS = 8
 HTTP_REQUESTS_PER_CLIENT = 40
 
@@ -180,6 +190,111 @@ def test_cache_hit_rate_under_read_heavy_load(big_repo, cache_enabled):
           f"{stats.hit_rate:.1%} ({stats.hits} hits, {stats.misses} misses, "
           f"{stats.invalidations} invalidations)")
     assert stats.hit_rate > 0.9
+
+
+@pytest.fixture(scope="module")
+def mega_repo():
+    """A 10⁵-material corpus for the planner/analytics gates.
+
+    Seeded by direct row inserts inside one transaction — the
+    ``Repository.add_material`` path (author/tag dedup, submission
+    bookkeeping) would dominate the suite at this scale, and the gates
+    measure reads, not ingest.  Materials spread over 100 collections
+    (~10³ rows each) with ~2 classifications per material."""
+    repo = Repository()
+    seed_ontologies(repo)
+    onto = repo.ontology("CS13")
+    keys = [n.key for n in onto.nodes()
+            if n.kind in (NodeKind.TOPIC, NodeKind.LEARNING_OUTCOME)]
+    eids = [repo.entry_id(k) for k in keys]
+    db = repo.db
+    with db.transaction():
+        for i in range(PLANNER_SCALE_N):
+            mid = db.insert(
+                "materials",
+                title=f"material {i:06d}",
+                collection=f"c{i % 100:02d}",
+                year=2000 + i % 20,
+            )["id"]
+            for j in range(2):
+                db.insert(
+                    "material_classifications",
+                    materials_id=mid,
+                    ontology_entries_id=eids[(i + j * 7) % len(eids)],
+                )
+    return repo
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_planner_speedup_at_1e5(mega_repo):
+    """GATE — a planner-chosen indexed equality+order query must beat
+    the naive full-scan interpretation ≥10× at 10⁵ rows.
+
+    ``filter(collection=...)`` resolves through the hash index (~10³ of
+    10⁵ rows touched); the naive reference interpreter copies and
+    filters the whole table before sorting."""
+    q = (db_query(mega_repo.db, "materials")
+         .filter(collection="c07").order_by("title").limit(20))
+    planned_s = _best_of(lambda: q.all())
+    naive_s = _best_of(lambda: q._run_naive())
+    assert q.all() == q._run_naive()
+    speedup = naive_s / planned_s if planned_s else float("inf")
+    print(f"\nSCALE planner n={PLANNER_SCALE_N}: "
+          f"planned {planned_s * 1e3:.2f} ms, naive {naive_s * 1e3:.1f} ms, "
+          f"{speedup:,.0f}x  [{q.plan().summary()}]")
+    assert naive_s >= 10 * planned_s, (
+        f"planned query only {speedup:.1f}x faster "
+        f"(planned {planned_s:.4f}s, naive {naive_s:.4f}s)"
+    )
+
+
+def test_coverage_latency_at_1e5(mega_repo):
+    """GATE — full-corpus coverage at 10⁵ materials stays within its CI
+    latency budget (cold, cache cleared every round)."""
+    def cold_coverage():
+        mega_repo.cache.clear()
+        return compute_coverage(mega_repo, "CS13")
+
+    elapsed = _best_of(cold_coverage)
+    report = compute_coverage(mega_repo, "CS13")
+    assert report.n_materials == PLANNER_SCALE_N
+    print(f"\nSCALE coverage n={PLANNER_SCALE_N}: {elapsed * 1e3:.0f} ms "
+          f"(budget {COVERAGE_BUDGET_S:.1f} s)")
+    assert elapsed < COVERAGE_BUDGET_S, (
+        f"coverage took {elapsed:.2f}s at n={PLANNER_SCALE_N} "
+        f"(budget {COVERAGE_BUDGET_S}s)"
+    )
+
+
+def test_gap_latency_at_1e5(mega_repo):
+    """GATE — subset coverage + gap comparison against the full corpus
+    stays within its CI latency budget at 10⁵ materials."""
+    onto = mega_repo.ontology("CS13")
+    reference = compute_coverage(mega_repo, "CS13")
+
+    def cold_gaps():
+        mega_repo.cache.clear()
+        candidate = compute_coverage(mega_repo, "CS13", collection="c01")
+        return find_gaps(onto, reference, candidate,
+                         reference_name="all", candidate_name="c01")
+
+    elapsed = _best_of(cold_gaps)
+    report = cold_gaps()
+    assert report.alignment > 0
+    print(f"\nSCALE gaps n={PLANNER_SCALE_N}: {elapsed * 1e3:.0f} ms "
+          f"(budget {GAP_BUDGET_S:.1f} s)")
+    assert elapsed < GAP_BUDGET_S, (
+        f"gap analysis took {elapsed:.2f}s at n={PLANNER_SCALE_N} "
+        f"(budget {GAP_BUDGET_S}s)"
+    )
 
 
 def _hammer(url: str, clients: int, per_client: int) -> tuple[float, int]:

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Execute the ``python`` code blocks of the documented guides.
+
+``docs/db-internals.md`` teaches the storage engine through runnable
+examples whose ``assert`` lines state the API contract.  This gate
+extracts every fenced ``python`` block from each guarded document and
+executes them top-to-bottom in one shared namespace per document — if
+an engine API is renamed, a plan shape changes, or a documented number
+drifts, the corresponding block raises and CI fails, pointing at the
+exact block and line.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_doc_snippets.py
+
+Exit status 1 reports the failing document, block number, and the
+traceback of the first broken snippet.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Documents whose python blocks must execute cleanly.
+GUARDED_DOCS = ("docs/db-internals.md",)
+
+_FENCE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
+)
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """(starting line number, source) for every ```python fence."""
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start(1)) + 1
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+def run_document(path: Path) -> int:
+    text = path.read_text(encoding="utf-8")
+    blocks = python_blocks(text)
+    if not blocks:
+        print(f"{path}: no python blocks found (is the doc gutted?)")
+        return 1
+    namespace: dict = {"__name__": f"docsnippet:{path.name}"}
+    for number, (line, source) in enumerate(blocks, start=1):
+        # Pad with blank lines so tracebacks point at the real line in
+        # the markdown file, not a line within the extracted block.
+        padded = "\n" * (line - 1) + source
+        try:
+            exec(compile(padded, str(path), "exec"), namespace)
+        except Exception:
+            print(f"{path}: block {number} (line {line}) failed:")
+            traceback.print_exc()
+            return 1
+    print(f"{path.relative_to(REPO_ROOT)}: "
+          f"{len(blocks)} python block(s) executed OK")
+    return 0
+
+
+def main() -> int:
+    status = 0
+    for rel in GUARDED_DOCS:
+        path = REPO_ROOT / rel
+        if not path.exists():
+            print(f"{rel}: missing")
+            status = 1
+            continue
+        status |= run_document(path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,12 @@ CARCS_MULTIPROC=1 PYTHONPATH=src python -m pytest -q \
     tests/replication/test_multiprocess.py
 
 # Docs gate: the generated API reference must match the live route
-# table, and every relative doc link must resolve.
+# table, every relative doc link must resolve, and the runnable
+# examples in docs/db-internals.md must execute against the real
+# engine API (drift fails the build).
 PYTHONPATH=src python scripts/gen_api_docs.py --check
 python scripts/check_doc_links.py
+PYTHONPATH=src python scripts/check_doc_snippets.py
 
 # Observability gate: sampled tracing must stay within its 10%
 # warm-path overhead budget (docs/architecture.md, "Observability").
@@ -31,6 +34,12 @@ PYTHONPATH=src python -m pytest -q benchmarks/bench_storage.py
 # queue must stay above its floor at a 10^3-material backlog
 # (docs/architecture.md, "Jobs").
 PYTHONPATH=src python -m pytest -q benchmarks/bench_jobs.py
+
+# Planner gate: at 10^5 materials a planner-chosen indexed
+# equality+order query must beat the naive full-scan interpretation
+# >= 10x, and the coverage/gap analytics must stay within their latency
+# budgets (docs/architecture.md, "Query planning").
+PYTHONPATH=src python -m pytest -q benchmarks/bench_scale.py -k "at_1e5"
 
 # Replication gate: read fan-out across replicas must scale >= 3x with
 # 4 replicas on >= 4 usable CPUs (no-collapse floor on smaller hosts),

@@ -15,6 +15,8 @@ Examples::
     carcs recommend "parallel loops over an image with OpenMP"
     carcs plan --ontology PDC12 --tier core
     carcs diff PDC12 PDC19
+    carcs explain materials --eq collection=nifty --order title
+    carcs explain materials --range year:2010:2020 --order year --limit 5
     carcs trace coverage --collection itcs3145 --ontology PDC12
     carcs export snapshot.json ; carcs --snapshot snapshot.json stats
     carcs snapshot ./storage            # durable dir: checkpoint + WAL
@@ -166,6 +168,78 @@ def cmd_plan(repo: Repository, args: argparse.Namespace) -> int:
         max_materials=args.max_materials,
     )
     print(plan.format(onto))
+    return 0
+
+
+def _explain_value(raw: str):
+    """CLI literal -> column value: int/float when they parse, ``null``
+    for None, anything else verbatim."""
+    if raw == "null":
+        return None
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def cmd_explain(repo: Repository, args: argparse.Namespace) -> int:
+    """Build a query from the command line, run it, and print the plan
+    the cost-based planner chose — estimated vs. actual rows per node,
+    plus the table's declared indexes."""
+    from repro.db import query as db_query
+    from repro.db import render_plan
+    from repro.db.errors import SchemaError
+
+    try:
+        q = db_query(repo.db, args.table)
+        for spec in args.eq or ():
+            column, sep, raw = spec.partition("=")
+            if not sep:
+                raise SystemExit(f"--eq expects COLUMN=VALUE, got {spec!r}")
+            q = q.filter(**{column: _explain_value(raw)})
+        for spec in args.range or ():
+            parts = spec.split(":")
+            if len(parts) != 3:
+                raise SystemExit(
+                    f"--range expects COLUMN:LOW:HIGH (empty = unbounded), "
+                    f"got {spec!r}"
+                )
+            column, low, high = parts
+            q = q.where_range(
+                column,
+                _explain_value(low) if low else None,
+                _explain_value(high) if high else None,
+            )
+        for spec in args.prefix or ():
+            column, sep, raw = spec.partition("=")
+            if not sep:
+                raise SystemExit(
+                    f"--prefix expects COLUMN=PREFIX, got {spec!r}"
+                )
+            q = q.where_prefix(column, raw)
+        if args.order:
+            q = q.order_by(args.order, descending=args.desc)
+        if args.limit is not None:
+            q = q.limit(args.limit)
+        if args.offset:
+            q = q.offset(args.offset)
+        report = q.explain()
+    except SchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"table:   {report['table']}")
+    print(f"plan:    {report['summary']}")
+    print(f"rows:    {report['rows']} returned "
+          f"(planner estimate {report['est_rows']:g})")
+    indexes = repo.db.table(args.table).indexes()
+    if indexes:
+        rendered = ", ".join(
+            f"{column} ({kind})" for column, kind in sorted(indexes.items())
+        )
+        print(f"indexes: {rendered}")
+    print(render_plan(report["plan"]))
     return 0
 
 
@@ -522,6 +596,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tier", choices=("core", "core2", "all"), default="core")
     p.add_argument("--max-materials", type=int, default=None)
     p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser(
+        "explain",
+        help="show the query plan the cost-based planner picks for an "
+             "ad-hoc query (estimated vs. actual rows per node)",
+    )
+    p.add_argument("table", help="table to query (e.g. materials)")
+    p.add_argument("--eq", action="append", metavar="COLUMN=VALUE",
+                   help="equality filter (repeatable)")
+    p.add_argument("--range", action="append", metavar="COLUMN:LOW:HIGH",
+                   help="range filter, empty bound = unbounded (repeatable)")
+    p.add_argument("--prefix", action="append", metavar="COLUMN=PREFIX",
+                   help="string-prefix filter (repeatable)")
+    p.add_argument("--order", default=None, help="order-by column")
+    p.add_argument("--desc", action="store_true", help="descending order")
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--offset", type=int, default=0)
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser("diff", help="diff two ontology editions")
     p.add_argument("old")

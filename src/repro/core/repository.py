@@ -19,6 +19,7 @@ import threading
 from typing import Iterable, Mapping
 
 from repro.db import Column, Database, ForeignKey, ManyToMany, TableSchema
+from repro.db import query as db_query
 from repro.db.errors import RowNotFound
 from repro.obs import trace as _trace
 
@@ -156,6 +157,10 @@ class Repository:
         db.table("ontology_entries").create_index("parent_key")
         db.table("ontology_entries").create_index("key")  # entry_id() hot path
         db.table("materials").create_index("collection")
+        # Sorted: ordered material listings and year-range analytics go
+        # through planner index scans instead of full sorts.
+        db.table("materials").create_sorted_index("title")
+        db.table("materials").create_sorted_index("year")
 
         self._bind_link_tables(db)
         db.create_table(TableSchema(
@@ -173,6 +178,7 @@ class Repository:
                 ForeignKey("submitted_by", "users"),
             ),
         ))
+        db.table("submissions").create_index("status")
         db.create_table(TableSchema(
             "suggestions",
             columns=(
@@ -194,6 +200,7 @@ class Repository:
                 ForeignKey("suggested_by", "users"),
             ),
         ))
+        db.table("suggestions").create_index("status")
 
     def _bind_link_tables(self, db: Database) -> None:
         """Bind the many-to-many helpers (creating their tables only when
@@ -399,10 +406,12 @@ class Repository:
 
     def materials(self, collection: str | None = None) -> list[Material]:
         with self.db.pinned():
-            table = self.db.table("materials")
-            rows = table.find(collection=collection) if collection else table.find()
-            rows.sort(key=lambda r: r["id"])
-            return [self._row_to_material(r) for r in rows]
+            q = db_query(self.db, "materials")
+            if collection:
+                q = q.filter(collection=collection)
+            return [
+                self._row_to_material(r) for r in q.order_by("id").all()
+            ]
 
     def material_count(self, collection: str | None = None) -> int:
         if collection is None:
@@ -465,14 +474,21 @@ class Repository:
             return cs
 
     def materials_with(self, key: str) -> list[Material]:
-        """All materials classified under the ontology entry ``key``."""
+        """All materials classified under the ontology entry ``key``.
+
+        Runs as a planner semi-join: the entry resolves through the
+        ``key`` hash index and the link table is probed per entry pk,
+        never materialized."""
         with self.db.pinned():
-            try:
-                eid = self.entry_id(key)
-            except KeyError:
-                return []
-            mids = sorted(self.material_classifications.left_of(eid))
-            return [self.get_material(mid) for mid in mids]
+            rows = db_query(self.db, "ontology_entries").filter(
+                key=key
+            ).join_via(
+                "material_classifications",
+                local_column="ontology_entries_id",
+                remote_column="materials_id",
+                remote_table="materials",
+            )
+            return [self._row_to_material(r) for r in rows]
 
     @Memo(*_CLASSIFICATION_TABLES, copy=list)
     def classification_pairs(
@@ -489,10 +505,11 @@ class Repository:
             entries = self.db.table("ontology_entries")
             wanted: set[int] | None = None
             if collection is not None:
-                wanted = {
-                    r["id"]
-                    for r in self.db.table("materials").find(collection=collection)
-                }
+                wanted = set(
+                    db_query(self.db, "materials").filter(
+                        collection=collection
+                    ).values("id")
+                )
             out = []
             for mid, eid in self.material_classifications.pairs():
                 if wanted is not None and mid not in wanted:
@@ -577,17 +594,16 @@ class Repository:
         return status
 
     def pending_submissions(self) -> list[dict]:
-        return self.db.table("submissions").find(
+        return db_query(self.db, "submissions").filter(
             status=SubmissionStatus.PENDING.value
-        )
+        ).order_by("id").all()
 
     def approved_material_ids(self) -> set[int]:
-        return {
-            r["material_id"]
-            for r in self.db.table("submissions").find(
+        return set(
+            db_query(self.db, "submissions").filter(
                 status=SubmissionStatus.APPROVED.value
-            )
-        }
+            ).values("material_id")
+        )
 
     def suggest_classification(
         self, material_id: int, key: str, *, action: str, suggested_by: int
@@ -687,15 +703,18 @@ class Repository:
         Filters compose; each row additionally carries the entry's
         ontology name (joined from ``ontology_entries``)."""
         with self.db.pinned():
-            table = self.db.table("suggestions")
-            filters = {}
+            q = db_query(self.db, "suggestions")
             if status is not None:
-                filters["status"] = status
+                q = q.filter(status=status)
             if material_id is not None:
-                filters["material_id"] = material_id
-            rows = table.find(**filters)
+                q = q.filter(material_id=material_id)
             if origin is not None:
-                rows = [r for r in rows if r.get("origin", "human") == origin]
+                # Residual predicate (tolerates rows restored from dumps
+                # that predate the origin column).
+                q = q.where(
+                    lambda r: r.get("origin", "human") == origin
+                )
+            rows = q.all()
             entries = self.db.table("ontology_entries")
             out = []
             for row in rows:

@@ -20,6 +20,7 @@ from .errors import (
     UniqueViolation,
 )
 from .locks import RWLock
+from .plan import PlanNode, QuerySpec, RangeBound, build_plan, render_plan
 from .query import Query, query
 from .relations import ManyToMany
 from .schema import Column, ForeignKey, TableSchema
@@ -30,7 +31,7 @@ from .snapshot import (
     database_to_dict,
     restore_database,
 )
-from .table import Table
+from .table import SortedIndex, Table
 from .wal import WalWriter, read_wal, truncate_wal
 
 __all__ = [
@@ -43,22 +44,28 @@ __all__ = [
     "IntegrityError",
     "ManyToMany",
     "NotNullViolation",
+    "PlanNode",
     "Query",
+    "QuerySpec",
     "RWLock",
+    "RangeBound",
     "RecoveryError",
     "RowNotFound",
     "SchemaError",
     "Snapshot",
+    "SortedIndex",
     "Table",
     "TableSchema",
     "TableSnapshot",
     "TransactionError",
     "UniqueViolation",
     "WalWriter",
+    "build_plan",
     "current_pin",
     "database_to_dict",
     "query",
     "read_wal",
+    "render_plan",
     "restore_database",
     "truncate_wal",
 ]

@@ -377,9 +377,16 @@ class Database:
             # never drift from live state.
             self._commit_ops([frame_op])
 
-    def _log_index(self, table: str, column: str) -> None:
-        """Record a ``create_index`` in the frame/WAL (version-neutral)."""
+    def _log_index(self, table: str, column: str, *,
+                   kind: str = "hash") -> None:
+        """Record a ``create_index`` in the frame/WAL (version-neutral).
+
+        ``kind`` distinguishes sorted from hash indexes; hash frames
+        omit the field so logs written before sorted indexes existed
+        replay unchanged."""
         frame_op = {"t": table, "o": "create_index", "c": column}
+        if kind != "hash":
+            frame_op["k"] = kind
         if self._frame_active:
             self._frame_ops.append(frame_op)
 
@@ -865,7 +872,10 @@ class Database:
             elif kind == "drop_table":
                 self.drop_table(name)
             elif kind == "create_index":
-                self._live_table(name).create_index(op["c"])
+                if op.get("k") == "sorted":
+                    self._live_table(name).create_sorted_index(op["c"])
+                else:
+                    self._live_table(name).create_index(op["c"])
             else:
                 raise RecoveryError(f"unknown WAL op {kind!r}")
 

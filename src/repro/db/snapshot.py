@@ -66,18 +66,22 @@ class TableSnapshot:
     """
 
     __slots__ = ("schema", "version", "_base", "_delta", "_indexed",
-                 "_lazy", "_size")
+                 "_sorted_cols", "_lazy", "_lazy_sorted", "_size")
 
     def __init__(self, schema: TableSchema, version: int,
                  base: dict[Any, dict], delta: dict[Any, Any],
-                 indexed: frozenset[str]) -> None:
+                 indexed: frozenset[str],
+                 sorted_cols: frozenset[str] = frozenset()) -> None:
         self.schema = schema
         self.version = version
         self._base = base
         self._delta = delta
         self._indexed = indexed
+        self._sorted_cols = sorted_cols
         # column -> {value: [pk, ...]}, built lazily on first indexed find.
         self._lazy: dict[str, dict[Any, list]] = {}
+        # column -> SortedIndex, built lazily on first ordered access.
+        self._lazy_sorted: dict[str, Any] = {}
         size = len(base)
         for pk, row in delta.items():
             if row is _TOMBSTONE:
@@ -92,7 +96,7 @@ class TableSnapshot:
     def capture(cls, table: "Table") -> "TableSnapshot":
         """Full snapshot of a live table (open/DDL/consolidation path)."""
         return cls(table.schema, table.version, dict(table._rows), {},
-                   frozenset(table._indexes))
+                   frozenset(table._indexes), frozenset(table._sorted))
 
     def advance(self, table: "Table",
                 ops: Iterable[dict[str, Any]]) -> "TableSnapshot":
@@ -115,7 +119,8 @@ class TableSnapshot:
         else:
             base = self._base
         return TableSnapshot(self.schema, table.version, base, delta,
-                             frozenset(table._indexes))
+                             frozenset(table._indexes),
+                             frozenset(table._sorted))
 
     # -- introspection -----------------------------------------------------
 
@@ -131,6 +136,30 @@ class TableSnapshot:
 
     def has_index(self, column: str) -> bool:
         return column in self._indexed
+
+    def has_sorted_index(self, column: str) -> bool:
+        return column in self._sorted_cols
+
+    def sorted_index(self, column: str):
+        """Lazily-built :class:`repro.db.table.SortedIndex` over this
+        snapshot's rows (same benign build race as :meth:`_index_for`)."""
+        sindex = self._lazy_sorted.get(column)
+        if sindex is None:
+            from .table import SortedIndex
+
+            sindex = SortedIndex()
+            for pk, row in self._items():
+                sindex.add(row[column], pk)
+            self._lazy_sorted[column] = sindex
+        return sindex
+
+    def indexes(self) -> dict[str, str]:
+        """Declared secondary indexes: column -> "hash" | "sorted" |
+        "hash+sorted" (introspection for EXPLAIN and the docs)."""
+        out = {c: "hash" for c in self._indexed}
+        for c in self._sorted_cols:
+            out[c] = "hash+sorted" if c in out else "sorted"
+        return out
 
     def pks(self) -> list[Any]:
         return [pk for pk, _ in self._items()]
@@ -181,6 +210,24 @@ class TableSnapshot:
                 index.setdefault(row[column], []).append(pk)
             self._lazy[column] = index
         return index
+
+    # -- planner accessors (shared duck-type with Table) -------------------
+
+    def eq_pks(self, column: str, value: Any) -> list[Any]:
+        """Pks matching ``column == value`` via the lazy hash index (the
+        column must be hash-indexed)."""
+        return self._index_for(column).get(value, [])
+
+    def eq_count(self, column: str, value: Any) -> int:
+        return len(self._index_for(column).get(value, ()))
+
+    def row(self, pk: Any) -> dict[str, Any] | None:
+        """The raw stored row (no copy) — planner-internal."""
+        return self._lookup(pk)
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Raw stored rows (no copies) — planner-internal."""
+        return (row for _, row in self._items())
 
     def find(self, **equals: Any) -> list[dict[str, Any]]:
         if not equals:
@@ -334,6 +381,7 @@ def database_to_dict(db: "Database") -> dict[str, Any]:
                 "next_id": table._next_id,
                 "version": table._version,
                 "indexes": list(table._indexes),
+                "sorted_indexes": list(table._sorted),
             })
         return {
             "format": 1,
@@ -373,6 +421,14 @@ def load_tables(db: "Database", data: dict[str, Any]) -> None:
                 for pk, row in table._rows.items():
                     index.setdefault(row[column], set()).add(pk)
                 table._indexes[column] = index
+        for column in entry.get("sorted_indexes", ()):
+            if column not in table._sorted:
+                from .table import SortedIndex
+
+                sindex = SortedIndex()
+                for pk, row in table._rows.items():
+                    sindex.add(row[column], pk)
+                table._sorted[column] = sindex
         tables[schema.name] = table
     db._tables = tables
     db._version = data.get("version", 0)

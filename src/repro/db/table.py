@@ -1,10 +1,21 @@
 """Row storage with constraint enforcement and secondary indexes.
 
 Rows are stored as immutable-by-convention dicts keyed by primary key.
-Secondary indexes are ordinary hash indexes (``value -> set of pks``)
-maintained incrementally on every write, which keeps equality lookups O(1)
-for the hot paths in CAR-CS (all the many-to-many join traversals behind
-coverage and similarity computations).
+Two kinds of secondary index are maintained incrementally on every
+write:
+
+* **hash indexes** (``value -> set of pks``) keep equality lookups O(1)
+  for the hot paths in CAR-CS (all the many-to-many join traversals
+  behind coverage and similarity computations);
+* **sorted indexes** (:class:`SortedIndex`, a bisect-maintained
+  ``(value, pk)`` list) additionally support range and prefix scans and
+  yield rows *in order*, which lets the query planner
+  (:mod:`repro.db.plan`) answer ``where_range``/``where_prefix``
+  predicates without a full scan and elide explicit sorts.
+
+Both kinds double as the planner's cardinality statistics: bucket sizes
+and bisect offsets are exact, incrementally-maintained row-count
+estimates, so the cost model never needs a separate ANALYZE pass.
 
 Every table carries a **mutation version**: a monotonic counter bumped on
 each successful insert/update/delete.  The analytics cache
@@ -21,6 +32,8 @@ pre-transaction state in O(ops) rather than O(table size).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
+from operator import itemgetter
 from typing import Any, Callable, Iterable, Iterator
 
 from .errors import (
@@ -30,6 +43,111 @@ from .errors import (
     UniqueViolation,
 )
 from .schema import Column, TableSchema
+
+_VALUE = itemgetter(0)
+
+
+class SortedIndex:
+    """A bisect-maintained ordered index over one column.
+
+    Non-``None`` values live in ``entries`` as ``(value, pk)`` tuples
+    kept sorted (ties ordered by pk); ``None`` values live in ``nones``
+    sorted by pk.  That layout mirrors the engine's canonical sort
+    order — value ascending, ``None`` last, pk as the tie-break — so a
+    scan over the index *is* the sorted result and the planner can
+    elide explicit sorts.
+
+    Every probe (:meth:`eq_count`, :meth:`range_bounds`) is an exact
+    cardinality answered by two bisects, which is what the cost model
+    in :mod:`repro.db.plan` uses as its row estimates.
+    """
+
+    __slots__ = ("entries", "nones")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[Any, Any]] = []
+        self.nones: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.entries) + len(self.nones)
+
+    def add(self, value: Any, pk: Any) -> None:
+        if value is None:
+            insort(self.nones, pk)
+        else:
+            insort(self.entries, (value, pk))
+
+    def remove(self, value: Any, pk: Any) -> None:
+        if value is None:
+            i = bisect_left(self.nones, pk)
+            if i < len(self.nones) and self.nones[i] == pk:
+                del self.nones[i]
+        else:
+            i = bisect_left(self.entries, (value, pk))
+            if i < len(self.entries) and self.entries[i] == (value, pk):
+                del self.entries[i]
+
+    # -- probes (exact, O(log n)) -----------------------------------------
+
+    def eq_pks(self, value: Any) -> list[Any]:
+        """Pks whose column equals ``value``, in pk order."""
+        if value is None:
+            return list(self.nones)
+        lo = bisect_left(self.entries, value, key=_VALUE)
+        hi = bisect_right(self.entries, value, key=_VALUE)
+        return [pk for _, pk in self.entries[lo:hi]]
+
+    def eq_count(self, value: Any) -> int:
+        if value is None:
+            return len(self.nones)
+        lo = bisect_left(self.entries, value, key=_VALUE)
+        return bisect_right(self.entries, value, key=_VALUE) - lo
+
+    def range_bounds(
+        self, low: Any, high: Any,
+        include_low: bool = True, include_high: bool = False,
+    ) -> tuple[int, int]:
+        """Slice bounds of ``entries`` matching the (half-)open range.
+        ``None`` bounds are unbounded on that side; ``None`` values
+        never match a range (SQL semantics)."""
+        if low is None:
+            lo = 0
+        elif include_low:
+            lo = bisect_left(self.entries, low, key=_VALUE)
+        else:
+            lo = bisect_right(self.entries, low, key=_VALUE)
+        if high is None:
+            hi = len(self.entries)
+        elif include_high:
+            hi = bisect_right(self.entries, high, key=_VALUE)
+        else:
+            hi = bisect_left(self.entries, high, key=_VALUE)
+        return lo, max(lo, hi)
+
+    def prefix_bounds(self, prefix: str) -> tuple[int, int]:
+        """Slice bounds of entries whose string value starts with
+        ``prefix`` (the empty prefix matches every non-``None`` value)."""
+        if not prefix:
+            return 0, len(self.entries)
+        lo = bisect_left(self.entries, prefix, key=_VALUE)
+        hi = bisect_left(self.entries, prefix + "\U0010ffff", key=_VALUE)
+        return lo, max(lo, hi)
+
+    def scan(self, lo: int, hi: int, *, descending: bool = False,
+             with_nones: bool = False) -> Iterator[Any]:
+        """Pks of ``entries[lo:hi]`` in index order.  ``with_nones``
+        appends the ``None``-valued pks where the canonical sort puts
+        them: last ascending, first descending."""
+        if descending:
+            if with_nones:
+                yield from reversed(self.nones)
+            for i in range(hi - 1, lo - 1, -1):
+                yield self.entries[i][1]
+        else:
+            for i in range(lo, hi):
+                yield self.entries[i][1]
+            if with_nones:
+                yield from self.nones
 
 
 class Table:
@@ -49,6 +167,8 @@ class Table:
         }
         # secondary hash indexes: column -> {value: set(pk)}
         self._indexes: dict[str, dict[Any, set]] = {}
+        # sorted secondary indexes: column -> SortedIndex
+        self._sorted: dict[str, SortedIndex] = {}
         # Monotonic mutation counter (rolled back with aborted transactions).
         self._version = 0
         # Owning database, set by Database.create_table; enables transaction
@@ -97,8 +217,61 @@ class Table:
         if self._db is not None:
             self._db._log_index(self.name, column)
 
+    def create_sorted_index(self, column: str) -> None:
+        """Build (idempotently) a sorted index on ``column``.
+
+        Sorted indexes answer range/prefix predicates and yield rows in
+        the canonical sort order (value ascending, ``None`` last, pk
+        tie-break) — the query planner uses them for
+        ``where_range``/``where_prefix`` scans and to elide sorts.
+        Like hash indexes they are transactional DDL, journaled through
+        the WAL and rebuilt on recovery and replica apply.
+        """
+        if column in self._sorted:
+            return
+        self.schema.column(column)  # validates existence
+        index = SortedIndex()
+        for pk, row in self._rows.items():
+            index.add(row[column], pk)
+        self._sorted[column] = index
+        self._journal(lambda: self._sorted.pop(column, None))
+        if self._db is not None:
+            self._db._log_index(self.name, column, kind="sorted")
+
     def has_index(self, column: str) -> bool:
         return column in self._indexes
+
+    def has_sorted_index(self, column: str) -> bool:
+        return column in self._sorted
+
+    def sorted_index(self, column: str) -> SortedIndex:
+        return self._sorted[column]
+
+    def indexes(self) -> dict[str, str]:
+        """Declared secondary indexes: column -> "hash" | "sorted" |
+        "hash+sorted" (introspection for EXPLAIN and the docs)."""
+        out = {c: "hash" for c in self._indexes}
+        for c in self._sorted:
+            out[c] = "hash+sorted" if c in out else "sorted"
+        return out
+
+    # -- planner accessors (shared duck-type with TableSnapshot) -----------
+
+    def eq_pks(self, column: str, value: Any) -> Iterable[Any]:
+        """Pks matching ``column == value`` via the hash index (the
+        column must be hash-indexed)."""
+        return self._indexes[column].get(value, ())
+
+    def eq_count(self, column: str, value: Any) -> int:
+        return len(self._indexes[column].get(value, ()))
+
+    def row(self, pk: Any) -> dict[str, Any] | None:
+        """The raw stored row (no copy) — planner-internal."""
+        return self._rows.get(pk)
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Raw stored rows (no copies) — planner-internal."""
+        return iter(list(self._rows.values()))
 
     # -- transaction journal ----------------------------------------------
 
@@ -145,6 +318,8 @@ class Table:
                 bucket.discard(pk)
                 if not bucket:
                     del index2[row[column]]
+        for column, sindex in self._sorted.items():
+            sindex.remove(row[column], pk)
 
     def _raw_put(self, pk: Any, row: dict[str, Any]) -> None:
         """Re-add ``row`` under ``pk`` to rows, unique and secondary indexes."""
@@ -153,6 +328,8 @@ class Table:
             index[self._unique_key(group, row)] = pk
         for column, index2 in self._indexes.items():
             index2.setdefault(row[column], set()).add(pk)
+        for column, sindex in self._sorted.items():
+            sindex.add(row[column], pk)
 
     # -- writes -----------------------------------------------------------
 
@@ -231,6 +408,10 @@ class Table:
                 if not index2[old[column]]:
                     del index2[old[column]]
                 index2.setdefault(new[column], set()).add(pk)
+        for column, sindex in self._sorted.items():
+            if old[column] != new[column]:
+                sindex.remove(old[column], pk)
+                sindex.add(new[column], pk)
         self._rows[pk] = new
 
         def undo() -> None:
@@ -284,6 +465,13 @@ class Table:
                 key=lambda c: len(self._indexes[c].get(equals[c], ())),
             )
             pks: Iterable[Any] = self._indexes[seed_col].get(equals[seed_col], set())
+            candidates = (self._rows[pk] for pk in pks)
+        elif any(c in self._sorted for c in equals):
+            seed_col = min(
+                (c for c in equals if c in self._sorted),
+                key=lambda c: self._sorted[c].eq_count(equals[c]),
+            )
+            pks = self._sorted[seed_col].eq_pks(equals[seed_col])
             candidates = (self._rows[pk] for pk in pks)
         else:
             candidates = iter(self._rows.values())

@@ -36,6 +36,7 @@ import time
 from typing import Any, Callable
 
 from repro.db import Column, Database, TableSchema
+from repro.db import query as db_query
 
 #: Name of the system table.  The leading underscore keeps it visually
 #: apart from the CAR-CS data model; the search index ignores it (see
@@ -129,6 +130,9 @@ class JobQueue:
             db.create_table(_jobs_schema())
             db.table(JOBS_TABLE).create_index("status")
             db.table(JOBS_TABLE).create_index("idempotency_key")
+            # Sorted: the lease scan is a range predicate
+            # (``not_before <= now``) the planner turns into a bisect.
+            db.table(JOBS_TABLE).create_sorted_index("not_before")
 
     # ------------------------------------------------------------- helpers
 
@@ -214,13 +218,18 @@ class JobQueue:
         or dead-letter them once out of attempts.  Returns how many
         jobs changed state."""
         now = float(self.clock()) if now is None else now
-        table = self.db.table(JOBS_TABLE)
         moved = 0
         with self.db.transaction():
-            for row in table.find(status=LEASED):
-                deadline = row["lease_deadline"]
-                if deadline is not None and deadline > now:
-                    continue
+            # Planner-backed: the status equality probes the hash index;
+            # the deadline check stays a residual predicate because an
+            # expired lease may also have a NULL deadline.
+            expired = db_query(self.db, JOBS_TABLE).filter(
+                status=LEASED
+            ).where(
+                lambda r: r["lease_deadline"] is None
+                or r["lease_deadline"] <= now
+            )
+            for row in expired:
                 if row["attempts"] >= row["max_attempts"]:
                     self.db.update(
                         JOBS_TABLE, row["id"],
@@ -253,16 +262,18 @@ class JobQueue:
             else float(visibility_timeout)
         )
         now = float(self.clock())
-        table = self.db.table(JOBS_TABLE)
         with self.db.transaction():
             self.requeue_expired(now)
-            runnable = [
-                r for r in table.find(status=QUEUED)
-                if r["not_before"] <= now
-            ]
-            if not runnable:
+            # Planner-backed runnable scan: status probes the hash
+            # index, ``not_before <= now`` is a sorted-index range, and
+            # the oldest-job pick is an ordered first().
+            row = db_query(self.db, JOBS_TABLE).filter(
+                status=QUEUED
+            ).where_range(
+                "not_before", high=now, include_high=True
+            ).order_by("id").first()
+            if row is None:
                 return None
-            row = min(runnable, key=lambda r: r["id"])
             updated = self.db.update(
                 JOBS_TABLE, row["id"],
                 status=LEASED,
@@ -340,11 +351,12 @@ class JobQueue:
         """All jobs (newest first), optionally filtered."""
         if not self.available:
             return []
-        table = self.db.table(JOBS_TABLE)
-        rows = table.find(status=status) if status else table.find()
+        q = db_query(self.db, JOBS_TABLE)
+        if status:
+            q = q.filter(status=status)
         if kind is not None:
-            rows = [r for r in rows if r["kind"] == kind]
-        rows.sort(key=lambda r: -r["id"])
+            q = q.filter(kind=kind)
+        rows = q.order_by("id", descending=True).all()
         return [self._decode(r) for r in rows]
 
     def counts(self) -> dict[str, int]:

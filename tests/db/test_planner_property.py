@@ -1,0 +1,234 @@
+"""Property test: planned execution ≡ the naive full-scan interpreter.
+
+For randomized schemas (index configurations), row sets, mutation
+histories and query pipelines, ``Query.all()`` (planned) must return
+exactly what ``Query._run_naive()`` (scan + filter + canonical sort)
+returns — as an ordered list when the pipeline orders, as a row *set*
+otherwise.  The same must hold inside transactions, on pinned MVCC
+snapshots, and on a replica fed by shipped WAL frames.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Column, Database, TableSchema, query
+
+GROUPS = ["x", "y", "z"]
+
+rows_st = st.lists(
+    st.tuples(
+        st.text(alphabet="abc", min_size=0, max_size=3),   # name
+        st.sampled_from(GROUPS),                           # group
+        st.one_of(st.none(), st.integers(0, 5)),           # score
+    ),
+    max_size=25,
+)
+
+# Which secondary indexes exist — the planner must be correct for every
+# combination, including none at all (pure full-scan fallback).
+indexes_st = st.sets(st.sampled_from([
+    ("hash", "group"), ("hash", "name"), ("hash", "score"),
+    ("sorted", "name"), ("sorted", "score"), ("sorted", "group"),
+]))
+
+PREDICATES = {
+    "even_score": lambda r: r["score"] is not None and r["score"] % 2 == 0,
+    "short_name": lambda r: len(r["name"]) <= 1,
+}
+
+
+@st.composite
+def pipelines(draw):
+    """A random query pipeline, as declarative (op, *args) steps."""
+    ops = []
+    if draw(st.booleans()):
+        ops.append(("eq", "group", draw(st.sampled_from(GROUPS + ["w"]))))
+    if draw(st.booleans()):
+        column = draw(st.sampled_from(["name", "score", "id"]))
+        if column == "name":
+            value = draw(st.text(alphabet="abc", max_size=3))
+        else:
+            value = draw(st.one_of(st.none(), st.integers(0, 6))) \
+                if column == "score" else draw(st.integers(0, 30))
+        ops.append(("eq", column, value))
+    if draw(st.booleans()):
+        low = draw(st.one_of(st.none(), st.integers(0, 5)))
+        high = draw(st.one_of(st.none(), st.integers(0, 5)))
+        ops.append(("range", "score", low, high,
+                    draw(st.booleans()), draw(st.booleans())))
+    if draw(st.booleans()):
+        ops.append(("prefix", "name",
+                    draw(st.sampled_from(["", "a", "ab", "b", "ca", "d"]))))
+    if draw(st.booleans()):
+        column = draw(st.sampled_from(["group", "score"]))
+        values = draw(st.lists(
+            st.sampled_from(GROUPS) if column == "group"
+            else st.one_of(st.none(), st.integers(0, 5)),
+            max_size=3,
+        ))
+        ops.append(("in", column, values))
+    if draw(st.booleans()):
+        ops.append(("where", draw(st.sampled_from(sorted(PREDICATES)))))
+    ordered = draw(st.booleans())
+    if ordered:
+        ops.append(("order", draw(st.sampled_from(["name", "score", "id"])),
+                    draw(st.booleans())))
+        # Slicing without an order is unspecified; only pair it with one.
+        if draw(st.booleans()):
+            ops.append(("offset", draw(st.integers(0, 5))))
+        if draw(st.booleans()):
+            ops.append(("limit", draw(st.integers(0, 6))))
+    return ops
+
+
+@st.composite
+def mutations(draw, n_rows):
+    """Post-insert deletes/updates, exercising index maintenance."""
+    steps = []
+    for pk in draw(st.lists(st.integers(1, max(n_rows, 1)), max_size=4)):
+        if draw(st.booleans()):
+            steps.append(("delete", pk))
+        else:
+            steps.append(("update", pk, {
+                "score": draw(st.one_of(st.none(), st.integers(0, 5))),
+                "name": draw(st.text(alphabet="abc", max_size=3)),
+            }))
+    return steps
+
+
+def build_db(rows, indexes):
+    db = Database("prop")
+    db.create_table(TableSchema(
+        "items",
+        columns=(
+            Column("id", int),
+            Column("name", str),
+            Column("group", str),
+            Column("score", int, nullable=True),
+        ),
+    ))
+    items = db.table("items")
+    for kind, column in indexes:
+        if kind == "hash":
+            items.create_index(column)
+        else:
+            items.create_sorted_index(column)
+    for name, group, score in rows:
+        db.insert("items", name=name, group=group, score=score)
+    return db
+
+
+def apply_mutations(db, steps):
+    from repro.db.errors import RowNotFound
+    for step in steps:
+        try:
+            if step[0] == "delete":
+                db.delete("items", step[1])
+            else:
+                db.update("items", step[1], **step[2])
+        except (RowNotFound, KeyError):
+            pass  # mutating an already-deleted pk is fine to skip
+
+
+def build_query(db, ops):
+    q = query(db, "items")
+    ordered = False
+    for op in ops:
+        if op[0] == "eq":
+            q = q.filter(**{op[1]: op[2]})
+        elif op[0] == "range":
+            q = q.where_range(op[1], op[2], op[3],
+                              include_low=op[4], include_high=op[5])
+        elif op[0] == "prefix":
+            q = q.where_prefix(op[1], op[2])
+        elif op[0] == "in":
+            q = q.where_in(op[1], op[2])
+        elif op[0] == "where":
+            q = q.where(PREDICATES[op[1]])
+        elif op[0] == "order":
+            q = q.order_by(op[1], op[2])
+            ordered = True
+        elif op[0] == "offset":
+            q = q.offset(op[1])
+        elif op[0] == "limit":
+            q = q.limit(op[1])
+    return q, ordered
+
+
+def assert_equivalent(q, ordered):
+    planned = q.all()
+    naive = q._run_naive()
+    if ordered:
+        assert planned == naive
+    else:
+        key = lambda r: r["id"]
+        assert sorted(planned, key=key) == sorted(naive, key=key)
+    assert q.count() == len(naive)
+    assert q.exists() == bool(naive)
+
+
+@given(rows=rows_st, indexes=indexes_st, ops=pipelines(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_planned_matches_naive(rows, indexes, ops, data):
+    db = build_db(rows, indexes)
+    apply_mutations(db, data.draw(mutations(len(rows))))
+    q, ordered = build_query(db, ops)
+    assert_equivalent(q, ordered)
+
+
+@given(rows=rows_st, indexes=indexes_st, ops=pipelines(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_planned_matches_naive_in_transaction_and_pin(
+        rows, indexes, ops, data):
+    db = build_db(rows, indexes)
+    steps = data.draw(mutations(len(rows)))
+    with db.pinned():
+        # The pin observes one committed version through snapshots —
+        # planned and naive must agree on *that* state too.
+        pre_q, pre_ordered = build_query(db, ops)
+        assert_equivalent(pre_q, pre_ordered)
+    with db.transaction():
+        apply_mutations(db, steps)
+        # Inside the transaction, queries see its uncommitted writes.
+        q, ordered = build_query(db, ops)
+        assert_equivalent(q, ordered)
+    # After commit the answer is unchanged (same state, fresh plan).
+    q, ordered = build_query(db, ops)
+    assert_equivalent(q, ordered)
+
+
+@given(rows=rows_st, indexes=indexes_st, ops=pipelines(), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_replica_planned_matches_primary(rows, indexes, ops, data):
+    primary = Database("primary")
+    replica = Database("replica")
+    primary.add_commit_listener(replica.apply_frame)
+    db = primary
+    # Re-run the schema/row setup through the listener-attached primary.
+    db.create_table(TableSchema(
+        "items",
+        columns=(
+            Column("id", int),
+            Column("name", str),
+            Column("group", str),
+            Column("score", int, nullable=True),
+        ),
+    ))
+    items = db.table("items")
+    for kind, column in indexes:
+        if kind == "hash":
+            items.create_index(column)
+        else:
+            items.create_sorted_index(column)
+    for name, group, score in rows:
+        db.insert("items", name=name, group=group, score=score)
+    apply_mutations(db, data.draw(mutations(len(rows))))
+    q_primary, ordered = build_query(primary, ops)
+    q_replica, _ = build_query(replica, ops)
+    naive = q_primary._run_naive()
+    planned = q_replica.all()
+    if ordered:
+        assert planned == naive
+    else:
+        key = lambda r: r["id"]
+        assert sorted(planned, key=key) == sorted(naive, key=key)
+    assert q_replica.count() == len(naive)
