@@ -40,7 +40,7 @@ import time
 import pytest
 
 from repro.obs import MODE_ALL, MODE_OFF, MODE_SAMPLED, TraceStore, Tracer
-from repro.web import CarCsApi
+from repro.web import CarCsApi, FrontTier, HttpBackend, LocalBackend
 from repro.web.http import Request
 from repro.web.server import ApiServer
 
@@ -152,6 +152,121 @@ def test_sampled_overhead_within_budget(harness):
         f"sampled-mode tracing exceeds the {OVERHEAD_BUDGET:.0%} warm-path "
         f"budget: {'; '.join(failures)}"
     )
+
+
+@pytest.fixture(scope="module")
+def fleet_harness(repo):
+    """A router (FrontTier) proxying a primary, both ways it deploys.
+
+    The *numerator* pipeline drives a LocalBackend front in-process —
+    tracing cost is pure server-side CPU, identical whichever transport
+    carries the hop, and the in-process form is the only one whose
+    per-mode difference is stable (see the module docstring).  The
+    *baseline* is the topology a real client actually pays for:
+    ``carcs serve --router`` proxies over :class:`HttpBackend`, so the
+    untraced request crosses two HTTP/1.1 hops (client → router →
+    primary), both served live on loopback.
+    """
+    member_tracer = Tracer(
+        TraceStore(capacity=256), mode=MODE_OFF, sample_every=1, slow_ms=1e9,
+    )
+    router_tracer = Tracer(
+        TraceStore(capacity=256), mode=MODE_OFF, sample_every=1, slow_ms=1e9,
+    )
+    app = CarCsApi(repo, tracer=member_tracer)
+    front = FrontTier(
+        LocalBackend("primary", app), [],
+        tracer=router_tracer, name="router",
+    )
+    with ApiServer(app, port=0) as member_server:
+        http_front = FrontTier(
+            HttpBackend("primary", member_server.url), [],
+            tracer=router_tracer, name="router",
+        )
+        with ApiServer(http_front, port=0) as router_server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", router_server.port
+            )
+
+            def get(path: str) -> int:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                response.read()
+                return response.status
+
+            for path in (SEARCH, COVERAGE):
+                assert get(path) == 200
+            yield front, get, router_tracer, member_tracer
+            conn.close()
+
+
+def _front_chunk(front, path: str) -> float:
+    """Mean in-process seconds per proxied request over one warm chunk."""
+    build = Request.build
+    start = time.perf_counter()
+    for _ in range(REQUESTS_PER_CHUNK):
+        assert front(build("GET", path)).status == 200
+    return (time.perf_counter() - start) / REQUESTS_PER_CHUNK
+
+
+def test_propagation_overhead_within_budget(fleet_harness):
+    """Trace-context propagation on a router→primary proxied request —
+    traceparent injection at the router, segment continuation at the
+    member, two flight recorders instead of one — must stay within the
+    same 10% warm-path budget as single-node tracing."""
+    front, get, router_tracer, member_tracer = fleet_harness
+    prop_modes = (MODE_OFF, MODE_SAMPLED)
+    failures = []
+    for path in (SEARCH, COVERAGE):
+        pipeline = {mode: float("inf") for mode in prop_modes}
+        for round_no in range(ROUNDS):
+            shift = round_no % len(prop_modes)
+            for mode in prop_modes[shift:] + prop_modes[:shift]:
+                router_tracer.configure(
+                    mode=mode, sample_every=1, slow_ms=1e9,
+                )
+                member_tracer.configure(
+                    mode=mode, sample_every=1, slow_ms=1e9,
+                )
+                seconds = _front_chunk(front, path)
+                if seconds < pipeline[mode]:
+                    pipeline[mode] = seconds
+        router_tracer.configure(mode=MODE_OFF)
+        member_tracer.configure(mode=MODE_OFF)
+        baseline = min(
+            _http_chunk(get, path) for _ in range(BASELINE_ROUNDS)
+        )
+        print(f"\n{path} (router -> primary)")
+        print(f"  http request (off): {baseline * 1e6:8.2f} us/req")
+        for mode in prop_modes:
+            delta = pipeline[mode] - pipeline[MODE_OFF]
+            print(f"  proxied {mode:8s} {pipeline[mode] * 1e6:8.2f} us/req"
+                  f"  delta {delta * 1e6:+7.2f} us  overhead "
+                  f"{_overhead(pipeline, baseline, mode):+7.2%}")
+        overhead = _overhead(pipeline, baseline, MODE_SAMPLED)
+        if overhead > OVERHEAD_BUDGET:
+            failures.append(f"{path}: {overhead:.1%}")
+    assert not failures, (
+        f"trace propagation exceeds the {OVERHEAD_BUDGET:.0%} warm-path "
+        f"budget on proxied requests: {'; '.join(failures)}"
+    )
+
+
+def test_propagation_actually_crosses_the_hop(fleet_harness):
+    # Guard against "fast because propagation silently no-ops": with
+    # tracing on, one request must land one segment in *each* tier's
+    # store under the same trace id.
+    front, get, router_tracer, member_tracer = fleet_harness
+    for tracer in (router_tracer, member_tracer):
+        tracer.configure(mode=MODE_SAMPLED, sample_every=1, slow_ms=1e9)
+        tracer.reset()
+    response = front(Request.build("GET", SEARCH))
+    assert response.status == 200
+    trace_id = response.headers["x-trace-id"]
+    assert router_tracer.store.get(trace_id) is not None
+    assert member_tracer.store.get(trace_id) is not None
+    for tracer in (router_tracer, member_tracer):
+        tracer.configure(mode=MODE_OFF)
 
 
 def test_traced_requests_actually_produce_traces(harness):

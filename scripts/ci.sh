@@ -8,10 +8,11 @@ cd "$(dirname "$0")/.."
 python -m compileall -q src
 PYTHONPATH=src python -m pytest -x -q tests/
 
-# Multi-process replication e2e: real `carcs serve` primary/replica/
-# router processes over loopback (skipped by default; CI opts in).
+# Multi-process e2e: real `carcs serve` primary/replica/router
+# processes over loopback — replication, plus one trace id covering
+# router -> primary -> job worker (skipped by default; CI opts in).
 CARCS_MULTIPROC=1 PYTHONPATH=src python -m pytest -q \
-    tests/replication/test_multiprocess.py
+    tests/replication/test_multiprocess.py tests/web/test_multiproc_trace.py
 
 # Docs gate: the generated API reference must match the live route
 # table, every relative doc link must resolve, and the runnable
@@ -22,7 +23,9 @@ python scripts/check_doc_links.py
 PYTHONPATH=src python scripts/check_doc_snippets.py
 
 # Observability gate: sampled tracing must stay within its 10%
-# warm-path overhead budget (docs/architecture.md, "Observability").
+# warm-path overhead budget, single-node and with trace-context
+# propagation on a router->primary proxied request
+# (docs/architecture.md, "Observability").
 PYTHONPATH=src python -m pytest -q benchmarks/bench_obs.py
 
 # Storage gate: pinned MVCC reads must beat the RWLock read path >= 2x

@@ -18,6 +18,8 @@ Examples::
     carcs explain materials --eq collection=nifty --order title
     carcs explain materials --range year:2010:2020 --order year --limit 5
     carcs trace coverage --collection itcs3145 --ontology PDC12
+    carcs trace --id 7f3a... --url http://127.0.0.1:8088   # fleet trace
+    carcs top --url http://127.0.0.1:8088 --interval 2     # live ops view
     carcs export snapshot.json ; carcs --snapshot snapshot.json stats
     carcs snapshot ./storage            # durable dir: checkpoint + WAL
     carcs recover ./storage             # replay WAL tail, report, stats
@@ -304,11 +306,64 @@ def cmd_lint(repo: Repository, args: argparse.Namespace) -> int:
     return 1
 
 
-def cmd_trace(repo: Repository, args: argparse.Namespace) -> int:
-    """Run one repository operation fully traced and pretty-print the
-    span tree (wall/self/CPU time per layer)."""
-    from repro.obs import MODE_ALL, get_tracer, render_text
+def _fetch_json(url: str, timeout: float = 5.0):
+    """GET ``url`` and decode the JSON body (stdlib only)."""
+    import json
+    from urllib.request import urlopen
 
+    with urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Two modes sharing one renderer:
+
+    * ``carcs trace <op>`` — run one repository operation fully traced
+      in-process and pretty-print the span tree (wall/self/CPU per
+      layer).
+    * ``carcs trace --id TRACE_ID --url URL`` — fetch a trace from a
+      running node.  Against the front tier this is the *stitched*
+      fleet-wide tree (router → primary/replica → job segments, each
+      hop labelled ``@process``); against a single node its local
+      segments are stitched client-side.
+    """
+    from repro.obs import (
+        MODE_ALL,
+        get_tracer,
+        render_text,
+        render_tree,
+        stitch_trace,
+    )
+
+    if args.id:
+        base = args.url.rstrip("/")
+        try:
+            payload = _fetch_json(f"{base}/api/v2/traces/{args.id}")
+        except Exception as exc:  # noqa: BLE001 — network CLI boundary
+            print(f"could not fetch trace {args.id!r} from {base}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if "processes" not in payload:
+            # A member node's local payload: stitch its segments here so
+            # the single-node view renders identically.
+            from urllib.parse import urlparse
+
+            process = urlparse(base).netloc or base
+            segments = payload.get("segments") or (
+                [payload["root"]] if payload.get("root") else []
+            )
+            payload = stitch_trace(
+                payload.get("trace_id", args.id),
+                [(process, segment) for segment in segments],
+            )
+        print(render_tree(payload))
+        return 0
+
+    if not args.op:
+        print("trace: either an operation or --id TRACE_ID is required",
+              file=sys.stderr)
+        return 2
+    repo = _open_repository(args)
     tracer = get_tracer()
     tracer.configure(mode=MODE_ALL, slow_ms=args.slow_ms)
     with tracer.trace(f"cli.{args.op}") as root:
@@ -333,6 +388,105 @@ def cmd_trace(repo: Repository, args: argparse.Namespace) -> int:
         return 1
     print(render_text(record))
     return 0
+
+
+def _fleet_members(base: str):
+    """Resolve what ``carcs top`` watches: ``(router status | None,
+    [(member name, base url), ...])``.
+
+    Pointed at a front tier, ``/api/v1/fleet`` names the primary and
+    every replica (with URLs); pointed at a single node — or when the
+    fleet endpoint is unreachable — the URL itself is the one member.
+    """
+    try:
+        fleet = _fetch_json(f"{base}/api/v1/fleet")
+    except Exception:  # noqa: BLE001 — not a router; treat as one node
+        return None, [("node", base)]
+    members = []
+    if fleet.get("primary_url"):
+        members.append((fleet.get("primary", "primary"), fleet["primary_url"]))
+    for replica in fleet.get("replicas", ()):
+        if replica.get("url"):
+            members.append((replica["name"], replica["url"]))
+    if not members:
+        members = [("node", base)]
+    return fleet, members
+
+
+def _top_cell(value, width: int, precision: int = 2) -> str:
+    if value is None:
+        return f"{'-':>{width}s}"
+    return f"{value:>{width}.{precision}f}"
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal ops view over a fleet (or a single node).
+
+    Each refresh makes one ``/api/v2/slo`` fetch per member — that
+    payload already carries the burn-rate windows, queue depth and
+    replication lag — and renders one row per member: request rate,
+    p99 latency, availability, the availability/latency burn rates,
+    queued jobs and replica lag.
+    """
+    import time as _time
+
+    base = args.url.rstrip("/")
+    clear = sys.stdout.isatty() and args.iterations != 1
+    iteration = 0
+    while True:
+        fleet, members = _fleet_members(base)
+        lines = []
+        if fleet is not None:
+            replicas = fleet.get("replicas", [])
+            lines.append(
+                f"router {fleet.get('name', 'router')}: "
+                f"reads={fleet.get('reads', 0)} "
+                f"writes={fleet.get('writes', 0)} "
+                f"healthy={fleet.get('healthy_replicas', 0)}/{len(replicas)} "
+                f"sessions={fleet.get('sessions', 0)} "
+                f"primary_errors={fleet.get('primary_errors', 0)}"
+            )
+        lines.append(
+            f"{'member':<14s} {'req/s':>8s} {'p99ms':>8s} {'avail':>8s} "
+            f"{'burn:a':>8s} {'burn:l':>8s} {'queued':>7s} {'lag s':>8s} "
+            f"{'up s':>9s}"
+        )
+        for name, url in members:
+            try:
+                slo = _fetch_json(f"{url.rstrip('/')}/api/v2/slo")
+            except Exception as exc:  # noqa: BLE001 — keep rendering
+                lines.append(f"{name:<14s} unreachable: {exc}")
+                continue
+            windows = slo.get("windows", {})
+            window = windows.get(args.window)
+            if window is None:
+                window = next(iter(windows.values()), {})
+            jobs = slo.get("jobs", {})
+            replication = slo.get("replication", {})
+            queued = (jobs.get("queued", 0) or 0) + (jobs.get("leased", 0) or 0)
+            lines.append(
+                f"{name:<14s} "
+                f"{_top_cell(window.get('req_s'), 8)} "
+                f"{_top_cell(window.get('p99_ms'), 8, 1)} "
+                f"{_top_cell(window.get('availability'), 8, 4)} "
+                f"{_top_cell(window.get('availability_burn'), 8)} "
+                f"{_top_cell(window.get('latency_burn'), 8)} "
+                f"{queued:>7d} "
+                f"{_top_cell(replication.get('lag_seconds'), 8, 3)} "
+                f"{_top_cell(slo.get('uptime_seconds'), 9, 1)}"
+            )
+        if clear:
+            print("\x1b[2J\x1b[H", end="")
+        print("\n".join(lines), flush=True)
+        iteration += 1
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        if not clear:
+            print()
 
 
 def cmd_snapshot(repo: Repository, args: argparse.Namespace) -> int:
@@ -638,12 +792,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser(
-        "trace", help="run one operation fully traced; print the span tree"
+        "trace",
+        help="run one operation fully traced and print the span tree, or "
+             "fetch a (stitched, fleet-wide) trace from a running node "
+             "with --id/--url",
     )
     p.add_argument(
-        "op",
+        "op", nargs="?", default=None,
         choices=("search", "coverage", "similarity", "recommend", "stats"),
     )
+    p.add_argument("--id", default=None, metavar="TRACE_ID",
+                   help="fetch this trace over HTTP instead of running "
+                        "an operation locally")
+    p.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="node or front-tier base URL (with --id)")
     p.add_argument("--query", default=None, help="search/recommend text")
     p.add_argument("--collection", default=None)
     p.add_argument("--ontology", default="PDC12")
@@ -652,7 +814,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     p.add_argument("--slow-ms", type=float, default=100.0,
                    help="slow-span threshold for the SLOW marker")
-    p.set_defaults(fn=cmd_trace)
+    p.set_defaults(fn=cmd_trace, needs_repo=False)
+
+    p = sub.add_parser(
+        "top",
+        help="live fleet ops view: per-member request rate, p99, SLO "
+             "burn rates, queue depth and replica lag",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="front-tier (or single node) base URL")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after N refreshes (0 = until Ctrl-C)")
+    p.add_argument("--window", default="5m",
+                   help="SLO window to display (5m, 1h)")
+    p.set_defaults(fn=cmd_top, needs_repo=False)
 
     p = sub.add_parser(
         "serve",

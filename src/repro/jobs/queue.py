@@ -37,6 +37,7 @@ from typing import Any, Callable
 
 from repro.db import Column, Database, TableSchema
 from repro.db import query as db_query
+from repro.obs import trace as _trace
 
 #: Name of the system table.  The leading underscore keeps it visually
 #: apart from the CAR-CS data model; the search index ignores it (see
@@ -74,6 +75,10 @@ def _jobs_schema() -> TableSchema:
             Column("lease_owner", str, nullable=True, default=None),
             Column("lease_deadline", float, nullable=True, default=None),
             Column("idempotency_key", str, nullable=True, default=None),
+            # traceparent of the enqueuing request: the worker opens its
+            # job.run root from it, so the async leg of a request shares
+            # the request's trace id (see repro.obs.trace).
+            Column("trace_context", str, nullable=True, default=None),
             Column("result", str, nullable=True, default=None),
             Column("error", str, default=""),
             Column("enqueued_at", float, default=0.0),
@@ -185,9 +190,19 @@ class JobQueue:
         With an ``idempotency_key``, re-enqueueing returns the existing
         job instead of filing a duplicate — callers may retry the call
         blindly after a timeout.
+
+        The ambient trace context (if the caller runs inside a traced
+        request) is persisted with the row, so the worker that later
+        runs the job can open its ``job.run`` span in the *same* trace.
         """
         now = float(self.clock())
         table = self.db.table(JOBS_TABLE)
+        extra: dict[str, Any] = {}
+        if "trace_context" in table.schema.column_names():
+            # Storage directories written before the column existed
+            # replay their old schema on open; jobs there simply stay
+            # unlinked instead of failing the insert.
+            extra["trace_context"] = _trace.current_traceparent()
         with self.db.transaction():
             if idempotency_key is not None:
                 existing = table.find_one(idempotency_key=idempotency_key)
@@ -208,6 +223,7 @@ class JobQueue:
                 idempotency_key=idempotency_key,
                 enqueued_at=now,
                 updated_at=now,
+                **extra,
             )
         return self._decode(row)
 

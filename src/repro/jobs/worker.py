@@ -20,7 +20,11 @@ Failure taxonomy:
 
 Every run is wrapped in a ``job.run`` trace span and lands in the
 ``carcs_job_seconds`` histogram / ``carcs_jobs_total`` counters when a
-metrics registry is attached.
+metrics registry is attached.  With a :class:`~repro.obs.Tracer`
+attached, ``job.run`` opens as the *root of its own trace segment*
+using the trace context the enqueuing request persisted in the job row
+— so the asynchronous leg of a classify request carries the request's
+trace id and stitches under its enqueue span in the fleet-wide view.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ import time
 import traceback
 from typing import Any, Callable, Mapping
 
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, Tracer
 from repro.obs import trace as _trace
 
 from .queue import JobQueue, StaleLease
@@ -74,6 +78,7 @@ class Worker(threading.Thread):
         worker_id: str,
         poll_interval: float = 0.05,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         super().__init__(name=f"carcs-worker-{worker_id}", daemon=True)
         self.queue = queue
@@ -81,8 +86,28 @@ class Worker(threading.Thread):
         self.worker_id = worker_id
         self.poll_interval = poll_interval
         self.metrics = metrics
+        self.tracer = tracer
         self.jobs_run = 0
         self._stop_event = threading.Event()
+
+    def _job_span(self, job: dict[str, Any]):
+        """The ``job.run`` span: a root in the enqueuing request's trace
+        when a tracer is attached (worker threads have no ambient trace
+        to hang a child under), else a plain child span."""
+        attrs = dict(
+            kind=job["kind"], job=job["id"], attempt=job["attempts"],
+            worker=self.worker_id,
+        )
+        if self.tracer is None:
+            return _trace.span("job.run", **attrs)
+        context = _trace.parse_traceparent(job.get("trace_context"))
+        if context is not None:
+            trace_id, parent_span_id = context
+            attrs[_trace.REMOTE_PARENT_ATTR] = parent_span_id
+        else:
+            trace_id = None
+        return self.tracer.trace("job.run", trace_id=trace_id, fresh=True,
+                                 **attrs)
 
     def stop(self) -> None:
         self._stop_event.set()
@@ -99,10 +124,7 @@ class Worker(threading.Thread):
         """Execute one leased job; returns the outcome label."""
         start = time.perf_counter()
         outcome = "done"
-        with _trace.span(
-            "job.run", kind=job["kind"], job=job["id"],
-            attempt=job["attempts"],
-        ) as span_:
+        with self._job_span(job) as span_:
             try:
                 handler = self.handlers.get(job["kind"])
                 if handler is None:
@@ -115,12 +137,14 @@ class Worker(threading.Thread):
                 outcome = "stale"
             except FatalJobError as exc:
                 outcome = "dead"
+                span_.mark_error(f"FatalJobError: {exc}")
                 self._fail(job, str(exc), retryable=False)
             except Exception as exc:  # noqa: BLE001 — the retry boundary
                 outcome = "retry"
                 detail = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
+                span_.mark_error(detail)
                 self._fail(job, detail, retryable=True)
             span_.set(outcome=outcome)
         self.jobs_run += 1
@@ -154,6 +178,7 @@ class WorkerPool:
         size: int = 2,
         poll_interval: float = 0.05,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
         name: str = "pool",
     ) -> None:
         self.queue = queue
@@ -163,6 +188,7 @@ class WorkerPool:
                 worker_id=f"{name}-{i}",
                 poll_interval=poll_interval,
                 metrics=metrics,
+                tracer=tracer,
             )
             for i in range(size)
         ]
@@ -195,6 +221,7 @@ def run_pending(
     worker_id: str = "inline",
     max_jobs: int | None = None,
     metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> int:
     """Synchronously drain runnable jobs in the calling thread.
 
@@ -202,7 +229,8 @@ def run_pending(
     the CLI's ``carcs jobs --drain``, and benchmarks use it when thread
     scheduling would only add noise.  Returns the number of jobs run.
     """
-    worker = Worker(queue, handlers, worker_id=worker_id, metrics=metrics)
+    worker = Worker(queue, handlers, worker_id=worker_id, metrics=metrics,
+                    tracer=tracer)
     run = 0
     while max_jobs is None or run < max_jobs:
         job = queue.lease(worker_id)

@@ -22,11 +22,15 @@ from .metrics import (
     MetricsRegistry,
     render_prometheus,
 )
+from .runtime import collect_runtime_metrics
+from .slo import SloMonitor
 from .trace import (
     MODE_ALL,
     MODE_OFF,
     MODE_SAMPLED,
     NULL_SPAN,
+    REMOTE_PARENT_ATTR,
+    TRACEPARENT_HEADER,
     TRACER,
     Span,
     TraceRecord,
@@ -34,9 +38,14 @@ from .trace import (
     TraceStore,
     current_span,
     current_trace_id,
+    current_traceparent,
+    format_traceparent,
     get_tracer,
+    parse_traceparent,
     render_text,
+    render_tree,
     span,
+    stitch_trace,
 )
 
 __all__ = [
@@ -49,17 +58,26 @@ __all__ = [
     "MODE_SAMPLED",
     "MetricsRegistry",
     "NULL_SPAN",
+    "REMOTE_PARENT_ATTR",
     "RequestLog",
+    "SloMonitor",
     "Span",
+    "TRACEPARENT_HEADER",
     "TRACER",
     "TraceRecord",
     "TraceStore",
     "Tracer",
+    "collect_runtime_metrics",
     "current_span",
     "current_trace_id",
+    "current_traceparent",
+    "format_traceparent",
     "get_tracer",
     "new_request_id",
+    "parse_traceparent",
     "render_prometheus",
     "render_text",
+    "render_tree",
     "span",
+    "stitch_trace",
 ]

@@ -1,0 +1,83 @@
+"""Process runtime gauges: build info, memory, fds, threads.
+
+One call per metrics scrape stamps the process-level facts an operator
+correlates with request-level signals — is the p99 regression a code
+path or the box swapping?  Stdlib only (``os`` + ``resource``): reads
+``/proc/self`` where the platform has it and falls back to
+``getrusage`` elsewhere, so the scrape works identically in tests, the
+CLI and every fleet role.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
+from .metrics import MetricsRegistry
+
+#: Monotonic reference taken at import — the process-wide uptime origin
+#: (the API's own ``carcs_uptime_seconds`` measures the *server* object,
+#: which can be younger than the process that hosts it).
+_PROCESS_START = time.monotonic()
+
+
+def rss_bytes() -> int:
+    """Current resident set size; ``-1`` when undeterminable."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    if resource is not None:
+        # ru_maxrss is the peak, not current — still the right order of
+        # magnitude for capacity planning, and the best portable answer.
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        scale = 1024 if sys.platform != "darwin" else 1
+        return int(usage) * scale
+    return -1
+
+
+def open_fds() -> int:
+    """Open file descriptors of this process; ``-1`` when unknowable."""
+    for fd_dir in ("/proc/self/fd", "/dev/fd"):
+        try:
+            return len(os.listdir(fd_dir))
+        except OSError:
+            continue
+    return -1
+
+
+def collect_runtime_metrics(registry: MetricsRegistry) -> None:
+    """Stamp ``carcs_build_info`` + process gauges into ``registry``.
+
+    Called by the ``/metrics`` handlers (v1 and v2 share them) at scrape
+    time — gauges are cheap to re-set and scrapes are rare.
+    """
+    from repro import __version__
+
+    registry.gauge(
+        "carcs_build_info",
+        version=__version__,
+        python="{}.{}.{}".format(*sys.version_info[:3]),
+    ).set(1)
+    registry.gauge("carcs_process_uptime_seconds").set(
+        round(time.monotonic() - _PROCESS_START, 3)
+    )
+    rss = rss_bytes()
+    if rss >= 0:
+        registry.gauge("carcs_process_resident_memory_bytes").set(rss)
+    fds = open_fds()
+    if fds >= 0:
+        registry.gauge("carcs_process_open_fds").set(fds)
+    registry.gauge("carcs_process_threads").set(threading.active_count())
+
+
+__all__ = ["collect_runtime_metrics", "open_fds", "rss_bytes"]

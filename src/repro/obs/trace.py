@@ -39,6 +39,19 @@ Design rules, in overhead order:
   :class:`TraceStore` keeps the newest ``capacity`` retained traces;
   ``GET /api/v1/traces`` pages over summaries and
   ``GET /api/v1/traces/<id>`` returns the full span tree.
+* **Context propagates across processes.**  A W3C-``traceparent``-style
+  header (``00-<trace id>-<span id>-01``) carries the active span's
+  identity over every proxied hop: the front tier injects it
+  (:func:`current_traceparent` / :func:`format_traceparent`), the web
+  middleware extracts it (:func:`parse_traceparent`) and opens its root
+  with the *propagated* trace id plus a ``remote_parent`` attribute
+  naming the caller's span.  Each process still records only its own
+  spans; :func:`stitch_trace` reassembles the per-process segments into
+  one tree by attaching every remote root under the span whose id it
+  names.  The same mechanism links asynchronous work: the job queue
+  persists the enqueuing request's traceparent in the ``_jobs`` row and
+  the worker opens its ``job.run`` root from it — so one trace id covers
+  router → primary → worker.
 * **Metrics cross-reference.**  Every finished trace feeds per-span-name
   duration histograms (``carcs_span_seconds{span=...}``) into an
   attached :class:`~repro.obs.metrics.MetricsRegistry`, and the tracer
@@ -108,6 +121,55 @@ def new_trace_id() -> str:
 
 def new_span_id() -> str:
     return f"{_ids.getrandbits(64):016x}"
+
+
+# -- cross-process context propagation ------------------------------------
+
+#: Header carrying the caller's trace context over proxied hops
+#: (W3C-traceparent-shaped; carcs trace ids are 24 hex chars, not 32).
+TRACEPARENT_HEADER = "traceparent"
+
+#: Root-span attribute naming the *remote* parent span id — the span in
+#: the calling process this segment hangs under when stitched.
+REMOTE_PARENT_ATTR = "remote_parent"
+
+_HEX = frozenset("0123456789abcdef")
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """``00-<trace id>-<span id>-01``: the outbound header value."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: str | None) -> tuple[str, str] | None:
+    """``(trace_id, parent_span_id)`` from a traceparent header, or
+    ``None`` when the header is absent/malformed (a bad value from an
+    arbitrary client must never break dispatch — it just starts a fresh
+    trace)."""
+    if not value:
+        return None
+    parts = value.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if len(version) != 2 or not (2 <= len(flags) <= 2):
+        return None
+    if not (16 <= len(trace_id) <= 32 and 8 <= len(span_id) <= 16):
+        return None
+    for field in (version, trace_id, span_id, flags):
+        if not set(field) <= _HEX:
+            return None
+    return trace_id, span_id
+
+
+def current_traceparent() -> str | None:
+    """The header value for the innermost open span of this context
+    (``None`` outside any trace).  This mints the span id — the callee
+    names it as ``remote_parent``, so it has to be pinned now."""
+    handle = current_span()
+    if handle is None:
+        return None
+    return format_traceparent(handle.trace_id, handle.span_id)
 
 
 #: Maps ``perf_counter`` readings onto the wall clock so spans need only
@@ -417,10 +479,18 @@ class _TraceScope:
     def __init__(self, tracer: "Tracer", trace_id: str, name: str,
                  attributes: dict[str, Any]) -> None:
         self._tracer = tracer
-        try:
-            trace = _LOCAL.trace
-        except AttributeError:
-            trace = _LOCAL.trace = _Trace()
+        if _CURRENT.get() is None:
+            try:
+                trace = _LOCAL.trace
+            except AttributeError:
+                trace = _LOCAL.trace = _Trace()
+        else:
+            # The pooled recorder is busy with an enclosing trace on
+            # this thread (an in-process proxied hop opening a fresh
+            # segment): record on a private one and leave the outer
+            # trace's records alone.  The ContextVar token restores the
+            # outer trace on exit.
+            trace = _Trace()
         trace.trace_id = trace_id
         trace.records = []
         trace.stack = []
@@ -529,15 +599,28 @@ class TraceStore:
     wrapper in place, so trace reads keep their lazily-built span trees
     while the request hot path never constructs one.  Memory stays
     strictly bounded by ``capacity`` either way.
+
+    One trace id may hold several *segments*: with cross-process
+    propagation an HTTP request and the job it enqueued share a trace
+    id, and both can finish inside the same process (``carcs serve
+    --workers``).  Each entry is therefore a list of segments in
+    completion order; :meth:`get` answers the first (the originating
+    request — the view single-process callers always had) and
+    :meth:`segments` exposes them all for stitching.
     """
+
+    #: Segments retained per trace id — bounds a pathological client
+    #: reusing one traceparent forever.
+    MAX_SEGMENTS = 32
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._lock = threading.Lock()
-        #: trace id -> raw tuple (unread) | TraceRecord (read at least once)
-        self._traces: "OrderedDict[str, Any]" = OrderedDict()
+        #: trace id -> list of segments, each a raw tuple (unread) |
+        #: TraceRecord (read at least once)
+        self._traces: "OrderedDict[str, list[Any]]" = OrderedDict()
         self._evicted = 0
         #: Set by the owning Tracer: read paths call it first so traces
         #: still sitting in the tracer's completion queue become visible
@@ -545,60 +628,79 @@ class TraceStore:
         #: (the hook runs before this store's lock is taken).
         self._drain_hook: Any = None
 
+    def _append_locked(self, trace_id: str, entry: Any) -> None:
+        traces = self._traces
+        existing = traces.pop(trace_id, None)
+        if existing is None:
+            traces[trace_id] = [entry]
+        else:
+            existing.append(entry)
+            if len(existing) > self.MAX_SEGMENTS:
+                del existing[0]
+            traces[trace_id] = existing
+        while len(traces) > self.capacity:
+            traces.popitem(last=False)
+            self._evicted += 1
+
     def add_deferred(self, trace_id: str, records: list[list[Any]],
                      slow: bool, retained_by: str) -> None:
-        """Insert a finished trace as a raw tuple (the hot path)."""
+        """Insert a finished trace segment as a raw tuple (the hot path)."""
         with self._lock:
-            traces = self._traces
-            if trace_id in traces:
-                del traces[trace_id]
-            traces[trace_id] = (trace_id, records, slow, retained_by)
-            if len(traces) > self.capacity:
-                traces.popitem(last=False)
-                self._evicted += 1
+            self._append_locked(
+                trace_id, (trace_id, records, slow, retained_by)
+            )
 
     def add(self, record: TraceRecord) -> None:
         with self._lock:
-            traces = self._traces
-            if record.trace_id in traces:
-                del traces[record.trace_id]
-            traces[record.trace_id] = record
-            while len(traces) > self.capacity:
-                traces.popitem(last=False)
-                self._evicted += 1
+            self._append_locked(record.trace_id, record)
 
-    def _wrap_locked(self, trace_id: str, value: Any) -> TraceRecord:
+    def _wrap_locked(self, entries: list[Any], index: int) -> TraceRecord:
+        value = entries[index]
         if type(value) is tuple:
             value = TraceRecord(
                 value[0], value[1], slow=value[2], retained_by=value[3],
             )
-            # Re-assigning an existing key preserves its position.
-            self._traces[trace_id] = value
+            entries[index] = value
         return value
 
     def get(self, trace_id: str) -> TraceRecord | None:
+        """The trace's first segment (its originating request)."""
         hook = self._drain_hook
         if hook is not None:
             hook()
         with self._lock:
-            value = self._traces.get(trace_id)
-            if value is None:
+            entries = self._traces.get(trace_id)
+            if entries is None:
                 return None
-            return self._wrap_locked(trace_id, value)
+            return self._wrap_locked(entries, 0)
+
+    def segments(self, trace_id: str) -> list[TraceRecord]:
+        """Every stored segment of a trace, in completion order."""
+        hook = self._drain_hook
+        if hook is not None:
+            hook()
+        with self._lock:
+            entries = self._traces.get(trace_id)
+            if entries is None:
+                return []
+            return [
+                self._wrap_locked(entries, i) for i in range(len(entries))
+            ]
 
     def summaries(self) -> list[dict[str, Any]]:
         """Newest-first summary dicts (the ``/api/v1/traces`` payload)."""
         return [r.summary() for r in self.records()]
 
     def records(self) -> list[TraceRecord]:
-        """Newest-first stored traces (exemplar derivation, the CLI)."""
+        """Newest-first stored segments (exemplar derivation, the CLI)."""
         hook = self._drain_hook
         if hook is not None:
             hook()
         with self._lock:
             wrapped = [
-                self._wrap_locked(tid, value)
-                for tid, value in self._traces.items()
+                self._wrap_locked(entries, i)
+                for entries in self._traces.values()
+                for i in range(len(entries))
             ]
         return list(reversed(wrapped))
 
@@ -811,16 +913,21 @@ class Tracer:
     # -- root spans -------------------------------------------------------
 
     def trace(self, name: str, /, *, trace_id: str | None = None,
-              **attributes: Any):
+              fresh: bool = False, **attributes: Any):
         """Open the root span of a new trace.
 
         No-op when the tracer is off; when a trace is already active the
-        "root" is just a child span of it.
+        "root" is just a child span of it — unless ``fresh`` is set, in
+        which case a new trace *segment* opens even under an ambient
+        trace.  Propagation boundaries (the tracing middleware, the
+        front tier, job runs) pass ``fresh=True``: their span is the
+        root of this process's segment even when the calling hop runs
+        in the same process (LocalBackend, inline job drains).
         """
         if self.mode == MODE_OFF:
             return NULL_SPAN
         trace = _CURRENT.get()
-        if trace is not None:
+        if trace is not None and not fresh:
             return trace.open(name, attributes)
         return _TraceScope(self, trace_id or new_trace_id(), name, attributes)
 
@@ -889,4 +996,118 @@ def render_text(record: TraceRecord) -> str:
             emit(child, depth + 1)
 
     emit(record.root, 0)
+    return "\n".join(lines)
+
+
+# -- cross-process stitching ----------------------------------------------
+
+
+def stitch_trace(
+    trace_id: str,
+    segments: list[tuple[str, dict[str, Any]]],
+) -> dict[str, Any]:
+    """Merge per-process span trees into one fleet-wide tree.
+
+    ``segments`` is ``(process label, span-tree dict)`` pairs — each
+    tree the ``root`` of one process's stored segment (``Span.as_dict``
+    shape).  A segment whose root carries a ``remote_parent`` attribute
+    is attached as a child of the span with that id, wherever it lives;
+    segment roots are labelled with their ``process`` so the rendered
+    tree shows every hop.  Roots that name an unknown parent (their
+    caller's segment was sampled out or evicted) surface under
+    ``unlinked`` rather than vanishing.
+    """
+    roots: list[dict[str, Any]] = []
+    nodes: dict[str, dict[str, Any]] = {}
+    owner: dict[str, int] = {}  # span id -> index of its segment root
+    for index, (process, tree) in enumerate(segments):
+        if not isinstance(tree, dict) or "name" not in tree:
+            continue
+        tree["process"] = process
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            sid = node.get("span_id")
+            if sid and sid not in nodes:
+                nodes[sid] = node
+                owner[sid] = index
+            stack.extend(node.get("children") or ())
+        roots.append(tree)
+
+    attached_to: dict[int, int] = {}  # segment index -> parent segment index
+
+    def _would_cycle(child: int, parent: int) -> bool:
+        seen = {child}
+        cursor: int | None = parent
+        while cursor is not None:
+            if cursor in seen:
+                return True
+            seen.add(cursor)
+            cursor = attached_to.get(cursor)
+        return False
+
+    top: list[dict[str, Any]] = []
+    for index, tree in enumerate(roots):
+        parent_id = (tree.get("attributes") or {}).get(REMOTE_PARENT_ATTR)
+        parent = nodes.get(parent_id) if parent_id else None
+        if parent is not None and not _would_cycle(index, owner[parent_id]):
+            parent.setdefault("children", []).append(tree)
+            tree["parent_id"] = parent_id
+            attached_to[index] = owner[parent_id]
+        else:
+            top.append(tree)
+    top.sort(key=lambda t: t.get("start_ts") or 0.0)
+    for tree in roots:
+        children = tree.get("children")
+        if children:
+            children.sort(key=lambda c: c.get("start_ts") or 0.0)
+    return {
+        "trace_id": trace_id,
+        "spans": len(nodes),
+        "segments": len(roots),
+        "processes": sorted({t["process"] for t in roots}),
+        "root": top[0] if top else None,
+        "unlinked": top[1:],
+    }
+
+
+def render_tree(payload: dict[str, Any]) -> str:
+    """Render a stitched trace payload (dict span trees, as served by
+    the front tier's ``GET /api/v2/traces/<id>``) — the fleet-wide
+    ``carcs trace --id`` output.  Segment roots carry ``@process``
+    labels so every hop is visible."""
+    processes = ",".join(payload.get("processes") or ()) or "?"
+    lines = [
+        f"trace {payload.get('trace_id', '?')}  "
+        f"spans={payload.get('spans', 0)}  "
+        f"segments={payload.get('segments', 0)}  "
+        f"processes={processes}"
+    ]
+
+    def emit(node: dict[str, Any], depth: int) -> None:
+        marker = " !" if node.get("status") == "error" else ""
+        process = node.get("process")
+        label = f" @{process}" if process else ""
+        attrs = {
+            k: v for k, v in (node.get("attributes") or {}).items()
+            if k != REMOTE_PARENT_ATTR
+        }
+        lines.append(
+            f"{'  ' * depth}- {node.get('name', '?')}{marker}{label}  "
+            f"{node.get('wall_ms', 0.0):.3f}ms "
+            f"(self {node.get('self_ms', 0.0):.3f}ms, "
+            f"cpu {node.get('cpu_ms', 0.0):.3f}ms)"
+            f"{_format_attributes(attrs)}"
+        )
+        if node.get("error"):
+            lines.append(f"{'  ' * (depth + 1)}error: {node['error']}")
+        for child in node.get("children") or ():
+            emit(child, depth + 1)
+
+    root = payload.get("root")
+    if root:
+        emit(root, 0)
+    for tree in payload.get("unlinked") or ():
+        lines.append("unlinked segment (caller's segment not retained):")
+        emit(tree, 1)
     return "\n".join(lines)

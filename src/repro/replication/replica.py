@@ -203,7 +203,14 @@ class ReplicaApplier:
         if version <= self.db.version and not reset:
             self.checkpoints_skipped += 1
         else:
-            with _trace.span("replication.apply_snapshot", version=version):
+            # Origin attributes name the primary commit position this
+            # snapshot embodies, so a fleet view correlates the apply
+            # span with the shipper's side.
+            with _trace.span(
+                "replication.apply_snapshot", version=version,
+                origin_fseq=message.get("fseq"),
+                origin_ts=message.get("ts"),
+            ):
                 self.db.load_state(message["data"])
             self.snapshots_applied += 1
             # Re-anchor: any position learned from the diverged past is
@@ -217,7 +224,14 @@ class ReplicaApplier:
 
     def _handle_frames(self, message: dict[str, Any]) -> None:
         items = message.get("items", [])
-        with _trace.span("replication.apply_frames", frames=len(items)):
+        # origin_pv/origin_fseq: the primary version and frame sequence
+        # this batch came from — the commit origin a fleet trace view
+        # shows next to the replica's apply latency.
+        with _trace.span(
+            "replication.apply_frames", frames=len(items),
+            origin_pv=message.get("pv"), origin_fseq=message.get("fseq"),
+            origin_ts=message.get("ts"),
+        ):
             for frame in items:
                 if self.db.apply_frame(frame):
                     self.frames_applied += 1

@@ -31,7 +31,9 @@ from repro.jobs import JobQueue, WorkerPool, default_handlers
 from repro.obs import (
     MetricsRegistry,
     RequestLog,
+    SloMonitor,
     Tracer,
+    collect_runtime_metrics,
     get_tracer,
     render_prometheus,
 )
@@ -74,7 +76,7 @@ V1_SUNSET = "Wed, 30 Jun 2027 00:00:00 GMT"
 UNCONDITIONAL_PATHS = tuple(
     f"{prefix}{suffix}"
     for prefix in (API_PREFIX, API_V2_PREFIX)
-    for suffix in ("/metrics", "/healthz", "/traces", "/replication")
+    for suffix in ("/metrics", "/healthz", "/traces", "/replication", "/slo")
 )
 
 
@@ -155,6 +157,9 @@ class CarCsApi:
         self._search.metrics = self.metrics
         self.tracer.registry = self.metrics
         self.request_log.metrics = self.metrics
+        # SLO burn rates derive from the same http_* series the metrics
+        # middleware feeds; the monitor snapshots them on read.
+        self.slo = SloMonitor(self.metrics)
         self._started = time.monotonic()
         self._register()
         from .v2 import register_v2
@@ -165,7 +170,8 @@ class CarCsApi:
         if workers > 0 and not read_only:
             self.workers = WorkerPool(
                 self.queue, self.job_handlers,
-                size=workers, metrics=self.metrics, name="api",
+                size=workers, metrics=self.metrics, tracer=self.tracer,
+                name="api",
             ).start()
         self.middlewares = [
             RequestIdMiddleware(),
@@ -322,6 +328,10 @@ class CarCsApi:
             # primary ships the _jobs table).
             for state, value in self.queue.counts().items():
                 self.metrics.gauge("carcs_jobs", state=state).set(value)
+            # Process runtime gauges (build info, uptime, RSS, fds,
+            # threads) and the carcs_slo_* target/ratio/burn gauges.
+            collect_runtime_metrics(self.metrics)
+            self.slo.export()
             if request.query_one("format") == "prometheus":
                 return text_response(
                     render_prometheus(self.metrics),
@@ -337,6 +347,18 @@ class CarCsApi:
         @router.route("GET", f"{API_PREFIX}/replication", sunset=V1_SUNSET)
         def replication_status(request: Request) -> Response:
             return json_response(self._replication_status())
+
+        @router.route("GET", f"{API_PREFIX}/slo", sunset=V1_SUNSET)
+        def slo(request: Request) -> Response:
+            # One fetch carries everything `carcs top` renders per
+            # member: burn rates plus queue depth and replication lag.
+            payload = self.slo.report()
+            payload["jobs"] = self.queue.counts()
+            payload["replication"] = self._replication_status()
+            payload["uptime_seconds"] = round(
+                time.monotonic() - self._started, 3
+            )
+            return json_response(payload)
 
         @router.route("GET", f"{API_PREFIX}/traces", sunset=V1_SUNSET)
         def list_traces(request: Request) -> Response:
@@ -358,7 +380,15 @@ class CarCsApi:
                     f"no retained trace {trace_id!r} (sampled out, evicted, "
                     "or never started)",
                 )
-            return json_response(record.as_dict())
+            payload = record.as_dict()
+            # All local segments sharing this trace id (a request and
+            # the job it enqueued can both live in this process) — the
+            # fleet stitcher consumes these.
+            payload["segments"] = [
+                seg.root.as_dict()
+                for seg in self.tracer.store.segments(trace_id)
+            ]
+            return json_response(payload)
 
         @route("GET", "/assignments")
         def list_assignments(request: Request) -> Response:
@@ -702,5 +732,6 @@ class CarCsApi:
         router.add("GET", f"{API_V2_PREFIX}/healthz", healthz)
         router.add("GET", f"{API_V2_PREFIX}/metrics", metrics)
         router.add("GET", f"{API_V2_PREFIX}/replication", replication_status)
+        router.add("GET", f"{API_V2_PREFIX}/slo", slo)
         router.add("GET", f"{API_V2_PREFIX}/traces", list_traces)
         router.add("GET", f"{API_V2_PREFIX}/traces/<trace_id>", get_trace)

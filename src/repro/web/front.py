@@ -21,9 +21,20 @@ primary — which is always at least as new as any version the session
 saw.  Sessionless requests take the fastest replica answer with no
 guarantee beyond each node's own snapshot consistency.
 
-Every response is stamped with ``x-carcs-backend`` naming the node that
-served it.  ``GET /api/v1/fleet`` answers from the front tier itself
-with per-backend health, eviction state and session-table size.
+Every response is stamped with ``x-carcs-backend`` and
+``x-carcs-served-by`` naming the node that served it (the latter also
+covers answers the router authors itself).  ``GET /api/v1/fleet``
+answers from the front tier itself with per-backend health, eviction
+state and session-table size.
+
+**Fleet tracing.**  The router opens a root span per routed request
+(adopting an inbound ``traceparent`` when one arrives) and injects its
+active span's context into every proxied hop, so router →
+primary/replica spans share one trace id.  ``GET /api/v2/traces/<id>``
+fans out to every fleet member, collects each process's stored
+segments for that id and stitches them into one tree
+(:func:`repro.obs.trace.stitch_trace`) with per-hop process labels —
+the fleet-wide view ``carcs trace --id`` renders.
 """
 
 from __future__ import annotations
@@ -32,15 +43,16 @@ import json
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.obs import trace as _trace
 
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, Tracer
 
-from .http import Request, Response, json_response
+from .http import Request, Response, error_response, json_response
 from .middleware import backpressure_response
 
 #: Method → forwarded to the primary (everything else is a read).
@@ -49,6 +61,7 @@ MUTATING_METHODS = frozenset({"POST", "PUT", "PATCH", "DELETE"})
 SESSION_HEADER = "x-carcs-session"
 VERSION_HEADER = "x-carcs-version"
 BACKEND_HEADER = "x-carcs-backend"
+SERVED_BY_HEADER = "x-carcs-served-by"
 
 #: Seconds an evicted replica sits out before the first health probe.
 DEFAULT_PROBE_COOLDOWN = 1.0
@@ -95,9 +108,11 @@ class HttpBackend:
         self.timeout = timeout
 
     def request(self, request: Request) -> Response:
-        query = "&".join(
-            f"{key}={value}"
-            for key, values in request.query.items() for value in values
+        # Re-encode: request.query holds *decoded* values, and a space
+        # or reserved character forwarded raw is an invalid URL.
+        query = urllib.parse.urlencode(
+            [(key, value)
+             for key, values in request.query.items() for value in values]
         )
         url = self.base_url + request.path + (f"?{query}" if query else "")
         body = request.body
@@ -154,12 +169,18 @@ class FrontTier:
         max_lag_frames: int = DEFAULT_MAX_LAG_FRAMES,
         retry_after: int = DEFAULT_RETRY_AFTER,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        name: str = "router",
     ) -> None:
         self.primary = primary
         self.probe_cooldown = probe_cooldown
         self.max_lag_frames = max_lag_frames
         self.retry_after = retry_after
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The router's own process label in stitched traces and its
+        #: ``x-carcs-served-by`` stamp on self-served answers.
+        self.name = name
+        self.tracer = tracer if tracer is not None else _trace.get_tracer()
         self._slots = [_ReplicaSlot(backend) for backend in replicas]
         self._rr = 0
         self._sessions: OrderedDict[str, int] = OrderedDict()
@@ -201,8 +222,49 @@ class FrontTier:
     # -- dispatch ----------------------------------------------------------
 
     def __call__(self, request: Request) -> Response:
-        if request.path.rstrip("/") == "/api/v1/fleet" and request.method == "GET":
-            return json_response(self.status())
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return self._route(request)
+        # Adopt an inbound trace context (an instrumented client, or a
+        # router chained behind another router); otherwise the inbound
+        # request id seeds the trace id, matching single-node behaviour.
+        context = _trace.parse_traceparent(
+            request.header(_trace.TRACEPARENT_HEADER)
+        )
+        if context is not None:
+            trace_id, parent_span_id = context
+            link = {_trace.REMOTE_PARENT_ATTR: parent_span_id}
+        else:
+            trace_id = request.header("x-request-id") or None
+            link = {}
+        with tracer.trace(
+            f"front {request.method}",
+            trace_id=trace_id,
+            fresh=True,
+            path=request.path,
+            **link,
+        ) as root:
+            response = self._route(request)
+            root.set(status=response.status)
+            if response.status >= 500:
+                root.mark_error(f"http {response.status}")
+            response.headers.setdefault("x-trace-id", root.trace_id)
+            return response
+
+    def _route(self, request: Request) -> Response:
+        if request.method == "GET":
+            path = request.path.rstrip("/")
+            if path == "/api/v1/fleet":
+                response = json_response(self.status())
+                response.headers.setdefault(SERVED_BY_HEADER, self.name)
+                return response
+            trace_prefix = "/api/v2/traces/"
+            if path.startswith(trace_prefix) and path[len(trace_prefix):]:
+                response = self._stitched_trace(
+                    request, path[len(trace_prefix):]
+                )
+                response.headers.setdefault(SERVED_BY_HEADER, self.name)
+                return response
         session = request.header(SESSION_HEADER)
         if request.method in MUTATING_METHODS:
             response = self._dispatch_write(request)
@@ -211,11 +273,23 @@ class FrontTier:
         self._raise_floor(session, response)
         if session:
             response.headers.setdefault(SESSION_HEADER, session)
+        response.headers.setdefault(SERVED_BY_HEADER, self.name)
         return response
+
+    @staticmethod
+    def _inject_context(request: Request, span_: Any) -> None:
+        """Stamp the active span's traceparent on the outbound hop so
+        the backend's segment hangs under this exact span when
+        stitched.  With tracing off the inbound header (if any) is
+        forwarded untouched."""
+        if span_:
+            request.headers[_trace.TRACEPARENT_HEADER] = \
+                _trace.format_traceparent(span_.trace_id, span_.span_id)
 
     def _dispatch_write(self, request: Request) -> Response:
         self.writes += 1
-        with _trace.span("front.write", backend=self.primary.name):
+        with _trace.span("front.write", backend=self.primary.name) as span_:
+            self._inject_context(request, span_)
             try:
                 response = self.primary.request(request)
             except BackendError as exc:
@@ -225,7 +299,7 @@ class FrontTier:
                     retry_after=self.retry_after, metrics=self.metrics,
                     reason="primary-unavailable",
                 )
-        response.headers[BACKEND_HEADER] = self.primary.name
+        self._stamp_backend(response, self.primary.name)
         return response
 
     def _dispatch_read(self, request: Request, session: str | None) -> Response:
@@ -234,7 +308,10 @@ class FrontTier:
         self._maybe_readmit()
         for slot in self._rotation():
             try:
-                with _trace.span("front.read", backend=slot.backend.name):
+                with _trace.span(
+                    "front.read", backend=slot.backend.name
+                ) as span_:
+                    self._inject_context(request, span_)
                     response = slot.backend.request(request)
             except BackendError:
                 self._evict(slot)
@@ -244,12 +321,13 @@ class FrontTier:
                 # already saw — read-your-writes says try a fresher node.
                 self.stale_retries += 1
                 continue
-            response.headers[BACKEND_HEADER] = slot.backend.name
+            self._stamp_backend(response, slot.backend.name)
             return response
         # No replica could satisfy the read (none configured, all
         # evicted, or all below the session floor): the primary is the
         # freshest copy by definition.
-        with _trace.span("front.read", backend=self.primary.name):
+        with _trace.span("front.read", backend=self.primary.name) as span_:
+            self._inject_context(request, span_)
             try:
                 response = self.primary.request(request)
             except BackendError as exc:
@@ -260,8 +338,62 @@ class FrontTier:
                     retry_after=self.retry_after, metrics=self.metrics,
                     reason="no-backend",
                 )
-        response.headers[BACKEND_HEADER] = self.primary.name
+        self._stamp_backend(response, self.primary.name)
         return response
+
+    @staticmethod
+    def _stamp_backend(response: Response, name: str) -> None:
+        response.headers[BACKEND_HEADER] = name
+        response.headers[SERVED_BY_HEADER] = name
+
+    # -- fleet trace stitching --------------------------------------------
+
+    def _stitched_trace(self, request: Request, trace_id: str) -> Response:
+        """Fan ``GET /api/v2/traces/<id>`` out to every fleet member
+        (healthy or not — an evicted replica can still hold segments)
+        and stitch whatever comes back, plus the router's own segments,
+        into one tree."""
+        segments: list[tuple[str, dict[str, Any]]] = []
+        members: list[dict[str, Any]] = []
+        backends = [self.primary] + [slot.backend for slot in self._slots]
+        for backend in backends:
+            try:
+                resp = backend.request(
+                    Request(method="GET", path=f"/api/v2/traces/{trace_id}")
+                )
+            except BackendError:
+                members.append({
+                    "name": backend.name, "reachable": False, "found": False,
+                })
+                continue
+            payload = resp.payload if isinstance(resp.payload, dict) else {}
+            found = bool(resp.ok and payload.get("root"))
+            members.append({
+                "name": backend.name, "reachable": True, "found": found,
+            })
+            if not found:
+                continue
+            for tree in payload.get("segments") or [payload["root"]]:
+                if isinstance(tree, dict):
+                    segments.append((backend.name, tree))
+        if self.tracer is not None:
+            local = self.tracer.store.segments(trace_id)
+            if local:
+                members.append({
+                    "name": self.name, "reachable": True, "found": True,
+                })
+            for record in local:
+                segments.append((self.name, record.root.as_dict()))
+        if not segments:
+            return error_response(
+                404,
+                f"no fleet member retains trace {trace_id!r} "
+                "(sampled out, evicted, or never started)",
+                request.request_id,
+            )
+        stitched = _trace.stitch_trace(trace_id, segments)
+        stitched["members"] = members
+        return json_response(stitched)
 
     @staticmethod
     def _served_version(response: Response) -> int:
@@ -326,6 +458,7 @@ class FrontTier:
             replicas = [
                 {
                     "name": slot.backend.name,
+                    "url": getattr(slot.backend, "base_url", None),
                     "healthy": slot.healthy,
                     "evictions": slot.evictions,
                     "readmissions": slot.readmissions,
@@ -335,7 +468,9 @@ class FrontTier:
             sessions = len(self._sessions)
         return {
             "role": "router",
+            "name": self.name,
             "primary": self.primary.name,
+            "primary_url": getattr(self.primary, "base_url", None),
             "replicas": replicas,
             "healthy_replicas": sum(1 for r in replicas if r["healthy"]),
             "sessions": sessions,

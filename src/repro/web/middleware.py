@@ -9,8 +9,10 @@ handler.  The production chain, outermost first:
    inbound ``X-Request-Id``), echoes it as a response header, and fills
    it into any error envelope produced further down.
 2. :class:`TracingMiddleware` — opens the root span of the request's
-   trace (trace id == request id) and stamps ``X-Trace-Id``; every
-   layer below contributes child spans through the ambient context.
+   trace (the inbound ``traceparent`` context when a proxied hop
+   carries one, else trace id == request id) and stamps ``X-Trace-Id``;
+   every layer below contributes child spans through the ambient
+   context.
 3. :class:`MetricsMiddleware` — times the whole dispatch; per-route
    request counters by status class + latency histograms.
 4. :class:`LoggingMiddleware` — one structured record per request.
@@ -122,10 +124,16 @@ class RequestIdMiddleware:
 class TracingMiddleware:
     """Open the per-request root span; everything below adds children.
 
-    The trace id reuses the request id (stamped by the middleware above
-    us), so one identifier correlates the response headers, the request
-    log and the stored trace.  When tracing is off this middleware is a
-    plain pass-through — no span objects, no context-var writes.
+    An inbound ``traceparent`` header (stamped by the front tier on
+    every proxied hop, or by any instrumented client) wins: the root
+    opens under the *propagated* trace id with a ``remote_parent``
+    attribute naming the caller's span, which is what lets the fleet
+    stitcher hang this process's segment under the right hop.  Without
+    one, the trace id reuses the request id (stamped by the middleware
+    above us), so one identifier correlates the response headers, the
+    request log and the stored trace.  When tracing is off this
+    middleware is a plain pass-through — no span objects, no
+    context-var writes.
 
     The root span is named after the *matched route* (low cardinality),
     which the router only knows after dispatch — so it opens under a
@@ -138,11 +146,22 @@ class TracingMiddleware:
     def __call__(self, request: Request, call_next: Handler) -> Response:
         if not self.tracer.enabled:
             return call_next(request)
+        context = _trace.parse_traceparent(
+            request.header(_trace.TRACEPARENT_HEADER)
+        )
+        if context is not None:
+            trace_id, parent_span_id = context
+            link = {_trace.REMOTE_PARENT_ATTR: parent_span_id}
+        else:
+            trace_id = request.request_id or None
+            link = {}
         with self.tracer.trace(
             "http.request",
-            trace_id=request.request_id or None,
+            trace_id=trace_id,
+            fresh=True,
             method=request.method,
             path=request.path,
+            **link,
         ) as root:
             response = call_next(request)
             root.name = route_label(request)

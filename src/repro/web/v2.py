@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any
 from repro.core.material import CourseLevel, Material, MaterialKind
 from repro.db.errors import RowNotFound
 from repro.jobs import QueueFull, unclassified_material_ids
+from repro.obs import trace as _trace
 
 from .http import HttpError, Request, Response, cursor_page, json_response
 from .middleware import backpressure_response
@@ -54,6 +55,10 @@ _JOB_FIELDS = (
 def _job_payload(job: dict[str, Any], prefix: str) -> dict[str, Any]:
     out = {field: job.get(field) for field in _JOB_FIELDS}
     out["url"] = f"{prefix}/jobs/{job['id']}"
+    # The enqueuing request's trace id (from the persisted traceparent),
+    # so a job links straight to its fleet trace view.
+    context = _trace.parse_traceparent(job.get("trace_context"))
+    out["trace_id"] = context[0] if context is not None else None
     return out
 
 

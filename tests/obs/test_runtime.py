@@ -1,0 +1,59 @@
+"""Process runtime gauges: build info, uptime, RSS, fds, threads."""
+
+from __future__ import annotations
+
+import sys
+
+from repro import __version__
+from repro.obs import MetricsRegistry, collect_runtime_metrics
+from repro.obs.runtime import open_fds, rss_bytes
+
+
+def test_build_info_carries_version_labels():
+    registry = MetricsRegistry()
+    collect_runtime_metrics(registry)
+    gauges = registry.export()["gauges"]
+    python = ".".join(str(part) for part in sys.version_info[:3])
+    key = f'carcs_build_info{{python="{python}",version="{__version__}"}}'
+    assert gauges[key]["value"] == 1
+
+
+def test_uptime_and_threads_are_positive():
+    registry = MetricsRegistry()
+    collect_runtime_metrics(registry)
+    gauges = registry.export()["gauges"]
+    assert gauges["carcs_process_uptime_seconds"]["value"] > 0
+    assert gauges["carcs_process_threads"]["value"] >= 1
+
+
+def test_rss_and_fds_export_when_available():
+    # Both helpers answer -1 only on platforms without /proc or the
+    # resource module; Linux CI always has them.
+    rss = rss_bytes()
+    fds = open_fds()
+    registry = MetricsRegistry()
+    collect_runtime_metrics(registry)
+    gauges = registry.export()["gauges"]
+    if rss >= 0:
+        assert gauges["carcs_process_resident_memory_bytes"]["value"] > 0
+    else:
+        assert "carcs_process_resident_memory_bytes" not in gauges
+    if fds >= 0:
+        assert gauges["carcs_process_open_fds"]["value"] > 0
+    else:
+        assert "carcs_process_open_fds" not in gauges
+
+
+def test_repeated_collection_updates_in_place():
+    registry = MetricsRegistry()
+    collect_runtime_metrics(registry)
+    first = registry.export()["gauges"]["carcs_process_uptime_seconds"]["value"]
+    collect_runtime_metrics(registry)
+    second = registry.export()["gauges"]["carcs_process_uptime_seconds"]["value"]
+    assert second >= first
+    # Still one series per gauge, not an accumulation.
+    names = [
+        name for name in registry.export()["gauges"]
+        if name.startswith("carcs_process_uptime")
+    ]
+    assert names == ["carcs_process_uptime_seconds"]
