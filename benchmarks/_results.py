@@ -1,0 +1,62 @@
+"""Machine-readable gate results.
+
+``scripts/ci.sh`` exports ``CARCS_BENCH_RESULTS=BENCH_results.json``
+before running the benchmark gates; every gate then calls
+:func:`record` next to its pass/fail assertion so the run leaves one
+JSON artifact mapping each gate to the number it measured and the
+threshold it was held to::
+
+    [{"name": "storage.pinned_read_speedup",
+      "measured": 3.4, "threshold": 2.0,
+      "comparator": ">=", "unit": "x"}, ...]
+
+Without the environment variable set (ad-hoc ``pytest benchmarks/``
+runs) recording is a no-op, so local experiments never litter the
+working tree.  The gates run sequentially, so plain read-modify-write
+is safe; entries with the same name are replaced, letting a re-run
+stage overwrite its own rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+ENV_RESULTS = "CARCS_BENCH_RESULTS"
+
+
+def results_path() -> Path | None:
+    raw = os.environ.get(ENV_RESULTS, "").strip()
+    return Path(raw) if raw else None
+
+
+def record(
+    name: str,
+    measured: float,
+    threshold: float,
+    *,
+    comparator: str = ">=",
+    unit: str = "",
+) -> None:
+    """Append one gate verdict to the results file (if configured)."""
+    path = results_path()
+    if path is None:
+        return
+    entries = []
+    if path.exists():
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    entries = [e for e in entries if e["name"] != name]
+    entries.append(
+        {
+            "name": name,
+            "measured": round(float(measured), 6),
+            "threshold": round(float(threshold), 6),
+            "comparator": comparator,
+            "unit": unit,
+        }
+    )
+    entries.sort(key=lambda e: e["name"])
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)

@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from _results import record
 from repro.core.classification import ClassificationSet
 from repro.core.repository import Repository
 from repro.corpus.generator import GeneratorConfig, generate_specs, seed_synthetic
@@ -85,6 +86,8 @@ def test_enqueue_to_suggestion_throughput(backlog_repo):
     assert placed >= len(ids) * 0.5, (
         "the model should place at least half the synthetic backlog"
     )
+    record("jobs.classify_throughput", throughput, THROUGHPUT_FLOOR,
+           unit="materials/s")
     assert throughput >= THROUGHPUT_FLOOR, (
         f"enqueue-to-suggestion throughput {throughput:.1f}/s below "
         f"the {THROUGHPUT_FLOOR}/s floor"

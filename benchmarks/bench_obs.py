@@ -39,6 +39,7 @@ import time
 
 import pytest
 
+from _results import record
 from repro.obs import MODE_ALL, MODE_OFF, MODE_SAMPLED, TraceStore, Tracer
 from repro.web import CarCsApi, FrontTier, HttpBackend, LocalBackend
 from repro.web.http import Request
@@ -143,11 +144,15 @@ def _report(path: str, pipeline: dict[str, float],
 def test_sampled_overhead_within_budget(harness):
     app, get, tracer = harness
     failures = []
+    worst = 0.0
     for path, (pipeline, baseline) in _measure(app, get, tracer).items():
         _report(path, pipeline, baseline)
         overhead = _overhead(pipeline, baseline, MODE_SAMPLED)
+        worst = max(worst, overhead)
         if overhead > OVERHEAD_BUDGET:
             failures.append(f"{path}: {overhead:.1%}")
+    record("obs.sampled_trace_overhead", worst, OVERHEAD_BUDGET,
+           comparator="<=", unit="fraction")
     assert not failures, (
         f"sampled-mode tracing exceeds the {OVERHEAD_BUDGET:.0%} warm-path "
         f"budget: {'; '.join(failures)}"
@@ -217,6 +222,7 @@ def test_propagation_overhead_within_budget(fleet_harness):
     front, get, router_tracer, member_tracer = fleet_harness
     prop_modes = (MODE_OFF, MODE_SAMPLED)
     failures = []
+    worst = 0.0
     for path in (SEARCH, COVERAGE):
         pipeline = {mode: float("inf") for mode in prop_modes}
         for round_no in range(ROUNDS):
@@ -244,8 +250,11 @@ def test_propagation_overhead_within_budget(fleet_harness):
                   f"  delta {delta * 1e6:+7.2f} us  overhead "
                   f"{_overhead(pipeline, baseline, mode):+7.2%}")
         overhead = _overhead(pipeline, baseline, MODE_SAMPLED)
+        worst = max(worst, overhead)
         if overhead > OVERHEAD_BUDGET:
             failures.append(f"{path}: {overhead:.1%}")
+    record("obs.propagated_trace_overhead", worst, OVERHEAD_BUDGET,
+           comparator="<=", unit="fraction")
     assert not failures, (
         f"trace propagation exceeds the {OVERHEAD_BUDGET:.0%} warm-path "
         f"budget on proxied requests: {'; '.join(failures)}"

@@ -43,6 +43,8 @@ import urllib.request
 
 import pytest
 
+from _results import record
+
 ROUNDS = max(1, int(os.environ.get("CARCS_BENCH_REPL_ROUNDS", "2")))
 
 USABLE_CPUS = len(os.sched_getaffinity(0))
@@ -210,6 +212,7 @@ class TestReadFanOut:
         print(f"  single-replica: {single:8.1f} req/s")
         print(f"  {REPLICAS}-replica fan-out: {spread:8.1f} req/s "
               f"-> ratio {ratio:.2f}x (floor {FANOUT_FLOOR}x)")
+        record("replication.read_fanout", ratio, FANOUT_FLOOR, unit="x")
         assert ratio >= FANOUT_FLOOR, (
             f"read fan-out ratio {ratio:.2f}x below the "
             f"{FANOUT_FLOOR}x floor ({USABLE_CPUS} usable CPUs)"
@@ -250,6 +253,8 @@ class TestBoundedStaleness:
         print(f"\nREPL gate B: {writes[0]} writes in {WRITE_WINDOW}s, "
               f"{len(samples)} lag samples across {REPLICAS} replica(s)")
         print(f"  worst lag_seconds: {worst:.3f} (bound {STALENESS_BOUND})")
+        record("replication.worst_lag_seconds", worst, STALENESS_BOUND,
+               comparator="<=", unit="s")
         assert worst <= STALENESS_BOUND
         # ...and the fleet converges once writes stop.
         topology.wait_converged(time.time() + CONVERGE_TIMEOUT)

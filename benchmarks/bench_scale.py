@@ -16,6 +16,7 @@ import urllib.request
 
 import pytest
 
+from _results import record
 from repro.core.coverage import compute_coverage
 from repro.core.gaps import find_gaps
 from repro.core.ontology import NodeKind
@@ -250,6 +251,7 @@ def test_planner_speedup_at_1e5(mega_repo):
     print(f"\nSCALE planner n={PLANNER_SCALE_N}: "
           f"planned {planned_s * 1e3:.2f} ms, naive {naive_s * 1e3:.1f} ms, "
           f"{speedup:,.0f}x  [{q.plan().summary()}]")
+    record("scale.planner_speedup_1e5", speedup, 10.0, unit="x")
     assert naive_s >= 10 * planned_s, (
         f"planned query only {speedup:.1f}x faster "
         f"(planned {planned_s:.4f}s, naive {naive_s:.4f}s)"
@@ -268,6 +270,8 @@ def test_coverage_latency_at_1e5(mega_repo):
     assert report.n_materials == PLANNER_SCALE_N
     print(f"\nSCALE coverage n={PLANNER_SCALE_N}: {elapsed * 1e3:.0f} ms "
           f"(budget {COVERAGE_BUDGET_S:.1f} s)")
+    record("scale.coverage_latency_1e5", elapsed, COVERAGE_BUDGET_S,
+           comparator="<=", unit="s")
     assert elapsed < COVERAGE_BUDGET_S, (
         f"coverage took {elapsed:.2f}s at n={PLANNER_SCALE_N} "
         f"(budget {COVERAGE_BUDGET_S}s)"
@@ -291,6 +295,8 @@ def test_gap_latency_at_1e5(mega_repo):
     assert report.alignment > 0
     print(f"\nSCALE gaps n={PLANNER_SCALE_N}: {elapsed * 1e3:.0f} ms "
           f"(budget {GAP_BUDGET_S:.1f} s)")
+    record("scale.gap_latency_1e5", elapsed, GAP_BUDGET_S,
+           comparator="<=", unit="s")
     assert elapsed < GAP_BUDGET_S, (
         f"gap analysis took {elapsed:.2f}s at n={PLANNER_SCALE_N} "
         f"(budget {GAP_BUDGET_S}s)"

@@ -41,6 +41,7 @@ import time
 
 import pytest
 
+from _results import record
 from repro.db import Column, Database, TableSchema
 
 ROUNDS = max(1, int(os.environ.get("CARCS_BENCH_STORAGE_ROUNDS", "3")))
@@ -190,6 +191,8 @@ def test_pinned_reads_beat_locked_reads_under_durable_writer(tmp_path):
           f"(writer {pin_commits:8,.0f} commits/s)")
     print(f"  speedup {ratio:10.1f}x   (gate: >= {READ_SPEEDUP_FLOOR:.0f}x)")
 
+    record("storage.pinned_read_speedup", ratio, READ_SPEEDUP_FLOOR,
+           unit="x")
     assert pin_rate > 0 and lock_rate >= 0
     assert ratio >= READ_SPEEDUP_FLOOR, (
         f"pinned reads only {ratio:.2f}x the RWLock baseline "
@@ -228,6 +231,8 @@ def test_wal_batch_write_overhead_within_budget(tmp_path):
           f"{memory_single * 1e6:.2f} -> {durable_single * 1e6:.2f} us/op "
           f"({durable_single / memory_single - 1.0:+.1%})")
 
+    record("storage.batch_wal_overhead", overhead, WRITE_OVERHEAD_BUDGET,
+           comparator="<=", unit="fraction")
     assert overhead <= WRITE_OVERHEAD_BUDGET, (
         f"batch-mode WAL costs {overhead:.1%} over in-memory on the "
         f"transaction-frame workload; budget is "

@@ -1,0 +1,174 @@
+"""TIERED — bounded-memory opens and graceful overload shedding.
+
+Two gates for the million-material scale-out
+(docs/capacity.md, docs/architecture.md §Tiered storage):
+
+**Gate A — bounded RSS.**  A blocked-checkpoint database synthesized
+out of process (``carcs synth``) must open lazily: after the open plus
+a point-read workload that strides across every region of the
+keyspace, this process's RSS may grow by at most the block-cache
+budget plus a fixed overhead allowance — independent of corpus size.
+The default corpus is 10^5 materials; ``CARCS_SCALE=1`` reruns the
+same gate at 10^6 (the opt-in ci.sh stage).
+
+**Gate B — load shedding.**  Under sustained overload (offered load
+far above the admission rate limit) the API must absorb the excess as
+structured 429s while the *served* requests keep their latency: served
+p99 stays within budget and every shed answer carries ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from _results import record
+from repro.core.repository import Repository
+from repro.corpus.seed import seed_ontologies
+from repro.db import Database
+from repro.obs.runtime import rss_bytes
+from repro.web import CarCsApi, Client
+from repro.web.middleware import CLIENT_HEADER
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Gate A sizing: cache budget the open is held to, plus a fixed
+#: allowance for the interpreter, manifest, lazy pk maps and fixture
+#: noise.  The allowance is deliberately generous — the point is that
+#: it does NOT scale with the corpus (a 10^6 corpus is ~1.7 GB eager).
+CACHE_BUDGET = 32 * 1024 * 1024
+FIXED_OVERHEAD = 160 * 1024 * 1024
+POINT_READS = 2_000
+
+#: Gate B sizing: offered load (4 workers going flat out, in-process)
+#: exceeds 50 req/s by orders of magnitude, so most requests must shed.
+RATE_LIMIT = 50.0
+RATE_BURST = 25.0
+WORKERS = 4
+REQUESTS_PER_WORKER = 250
+SERVED_P99_BUDGET_S = 0.100
+
+
+def _synthesize(directory, n: int) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "synth", str(directory),
+         "--n", str(n)],
+        cwd=REPO_ROOT, env=env, check=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        timeout=1800,
+    )
+
+
+def _bounded_open(tmp_path, monkeypatch, n: int, gate: str) -> None:
+    _synthesize(tmp_path / "corpus", n)
+    monkeypatch.setenv("CARCS_CACHE_BYTES", str(CACHE_BUDGET))
+    gc.collect()
+    before = rss_bytes()
+    if before < 0:
+        pytest.skip("RSS not measurable on this platform")
+    db = Database.open(tmp_path / "corpus")
+    materials = db.table("materials")
+    stride = max(1, n // POINT_READS)
+    for pk in range(1, n + 1, stride):
+        assert materials.get(pk)["id"] == pk
+    grown = rss_bytes() - before
+    stats = db.storage_stats()
+    budget = CACHE_BUDGET + FIXED_OVERHEAD
+    print(f"\nTIERED gate A (n={n}): RSS +{grown / 1e6:.0f} MB "
+          f"(budget {budget / 1e6:.0f} MB), "
+          f"{stats['block_cache_misses']} block reads, "
+          f"{stats['block_cache_evictions']} evictions, "
+          f"cache {stats['block_cache_resident_bytes'] / 1e6:.1f} MB")
+    record(gate, grown, budget, comparator="<=", unit="bytes")
+    assert stats["block_cache_resident_bytes"] <= CACHE_BUDGET
+    assert grown <= budget, (
+        f"opening the {n}-material corpus grew RSS by "
+        f"{grown / 1e6:.0f} MB; the lazy tier is budgeted "
+        f"{budget / 1e6:.0f} MB"
+    )
+    db.close()
+
+
+def test_bounded_rss_open_at_1e5(tmp_path, monkeypatch):
+    """GATE — lazy open of a 10^5-material blocked checkpoint."""
+    _bounded_open(tmp_path, monkeypatch, 100_000, "tiered.open_rss_1e5")
+
+
+def test_bounded_rss_open_at_1e6(tmp_path, monkeypatch):
+    """GATE (opt-in) — the same bound holds at 10^6 materials."""
+    if os.environ.get("CARCS_SCALE") != "1":
+        pytest.skip("set CARCS_SCALE=1 to run (builds a 10^6-row corpus)")
+    _bounded_open(tmp_path, monkeypatch, 1_000_000, "tiered.open_rss_1e6")
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_overload_sheds_while_served_p99_holds():
+    """GATE — admission control absorbs a sustained overload."""
+    repo = Repository()
+    seed_ontologies(repo)
+    api = CarCsApi(repo, rate_limit=RATE_LIMIT, rate_burst=RATE_BURST)
+    served: list[float] = []
+    shed: list[float] = []
+    bad: list[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(WORKERS)
+
+    def worker() -> None:
+        client = Client(api, root="/api/v1")
+        headers = {CLIENT_HEADER: "bench"}  # one shared bucket
+        barrier.wait()
+        for i in range(REQUESTS_PER_WORKER):
+            path = "/stats" if i % 2 else "/ontologies"
+            t0 = time.perf_counter()
+            response = client.get(path, headers=headers)
+            elapsed = time.perf_counter() - t0
+            with lock:
+                if response.status == 200:
+                    served.append(elapsed)
+                elif (response.status == 429
+                      and response.headers.get("retry-after")):
+                    shed.append(elapsed)
+                else:
+                    bad.append(response.status)
+
+    threads = [threading.Thread(target=worker) for _ in range(WORKERS)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    window = time.perf_counter() - t0
+
+    total = WORKERS * REQUESTS_PER_WORKER
+    shed_rate = len(shed) / total
+    p99 = _percentile(served, 0.99)
+    print(f"\nTIERED gate B: {total} requests in {window:.2f}s "
+          f"(offered {total / window:,.0f} req/s, limit {RATE_LIMIT:.0f})")
+    print(f"  served {len(served)} (p99 {p99 * 1e3:.2f} ms, "
+          f"budget {SERVED_P99_BUDGET_S * 1e3:.0f} ms)   "
+          f"shed {len(shed)} ({shed_rate:.0%})   other {bad[:5]}")
+    record("tiered.shed_served_p99_s", p99, SERVED_P99_BUDGET_S,
+           comparator="<=", unit="s")
+    record("tiered.shed_rate_under_overload", shed_rate, 0.5, unit="fraction")
+    assert not bad, f"unexpected statuses under overload: {bad[:5]}"
+    assert len(served) >= RATE_BURST, "admission starved the workload"
+    assert shed_rate >= 0.5, (
+        f"offered load should overwhelm the {RATE_LIMIT:.0f}/s limit, "
+        f"but only {shed_rate:.0%} was shed"
+    )
+    assert p99 <= SERVED_P99_BUDGET_S, (
+        f"served p99 {p99 * 1e3:.1f} ms blew the "
+        f"{SERVED_P99_BUDGET_S * 1e3:.0f} ms budget under overload"
+    )

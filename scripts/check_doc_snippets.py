@@ -28,7 +28,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Documents whose python blocks must execute cleanly.
-GUARDED_DOCS = ("docs/db-internals.md", "docs/observability.md")
+GUARDED_DOCS = (
+    "docs/db-internals.md",
+    "docs/observability.md",
+    "docs/capacity.md",
+)
 
 _FENCE = re.compile(
     r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL

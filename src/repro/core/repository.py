@@ -834,6 +834,8 @@ class Repository:
             base[f"changelog_{key}"] = value
         for key, value in self.db.wal_stats().items():
             base[f"wal_{key}"] = value
+        for key, value in self.db.storage_stats().items():
+            base[f"storage_{key}"] = value
         if self._search_engine is not None:
             for key, value in self._search_engine.stats().items():
                 base[f"search_{key}"] = value

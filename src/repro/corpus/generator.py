@@ -134,6 +134,202 @@ def generate_specs(
     return out
 
 
+def _cluster_weights(
+    rng: np.random.Generator, n_leaves: int, config: GeneratorConfig
+) -> np.ndarray:
+    """The per-cluster entry-sampling weight matrix (n_clusters x
+    n_leaves), drawn exactly like :func:`generate_specs` draws its
+    popularity law and cluster masks."""
+    ranks = rng.permutation(n_leaves) + 1
+    popularity = 1.0 / np.power(ranks.astype(np.float64), config.zipf_s)
+    popularity /= popularity.sum()
+    width = max(4, n_leaves // 20)
+    weights = np.empty((config.n_clusters, n_leaves))
+    for c in range(config.n_clusters):
+        chosen = rng.choice(n_leaves, size=width, replace=False)
+        mask = np.zeros(n_leaves)
+        mask[chosen] = 1.0
+        weights[c] = 0.6 * mask / max(mask.sum(), 1.0) + 0.4 * popularity
+    weights /= weights.sum(axis=1, keepdims=True)
+    return weights
+
+
+def synthesize_database(
+    directory,
+    config: GeneratorConfig | None = None,
+    *,
+    ontology_name: str = "CS13",
+    block_rows: int | None = None,
+    chunk_rows: int = 1024,
+) -> dict:
+    """Write ``config.n_materials`` synthetic materials straight to a
+    format-2 blocked checkpoint at ``directory`` — the million-material
+    path.
+
+    :func:`seed_synthetic` routes every material through engine inserts
+    (constraint checks, WAL frames, MVCC publication), which is correct
+    but O(corpus) resident and far too slow at 10^6.  This writer
+    sidesteps the engine: materials are drawn in vectorized numpy chunks
+    (weighted sampling without replacement via exponential races) and
+    streamed directly into a :class:`~repro.db.pager.BlockFileWriter`,
+    so peak memory is one chunk of rows plus a compact int32 buffer of
+    classification links (~12 bytes/link).  ``Database.open`` on the
+    result pages rows in lazily through the block cache.
+
+    Deterministic: same config -> byte-identical rows file + manifest.
+    Returns a summary dict (materials, links, version, path).
+    """
+    from pathlib import Path
+
+    from repro.db.pager import BlockFileWriter
+    from repro.db.snapshot import schema_to_dict
+    from repro.ontologies import load as _load_ontology
+
+    config = config or GeneratorConfig()
+    # A scratch in-memory repository supplies everything that is *not*
+    # synthesized: table schemas in FK-dependency creation order, the
+    # mirrored ontology_entries rows, and the declared index set.
+    scratch = Repository()
+    scratch.add_ontology(_load_ontology(ontology_name))
+    ontology = scratch.ontology(ontology_name)
+    leaves = _leaf_keys(ontology)
+    n_leaves = len(leaves)
+    if n_leaves == 0:
+        raise ValueError("ontology has no leaf entries")
+    entry_ids = np.array(
+        [scratch.entry_id(key) for key in leaves], dtype=np.int64
+    )
+    labels = [ontology.node(key).label.lower() for key in leaves]
+
+    rng = np.random.default_rng(config.seed)
+    weights = _cluster_weights(rng, n_leaves, config)
+    levels = [lv.value for lv in CourseLevel]
+    kinds = (
+        MaterialKind.ASSIGNMENT.value,
+        MaterialKind.ASSIGNMENT.value,
+        MaterialKind.ASSIGNMENT.value,
+        MaterialKind.LECTURE_SLIDES.value,
+        MaterialKind.EXAM.value,
+    )
+
+    # Per-material link targets, buffered compactly while material rows
+    # stream out (link rows serialize later, in table-creation order).
+    link_mids: list[np.ndarray] = []
+    link_eids: list[np.ndarray] = []
+
+    def material_rows():
+        n = config.n_materials
+        for start in range(0, n, chunk_rows):
+            count = min(chunk_rows, n - start)
+            clusters = rng.integers(config.n_clusters, size=count)
+            ks = np.minimum(
+                rng.integers(config.min_items, config.max_items + 1,
+                             size=count),
+                n_leaves,
+            )
+            adj = rng.integers(len(_ADJECTIVES), size=count)
+            noun = rng.integers(len(_NOUNS), size=count)
+            verb = rng.integers(len(_VERBS), size=count)
+            kind = rng.integers(len(kinds), size=count)
+            level = rng.integers(len(levels), size=count)
+            year = 2010 + rng.integers(10, size=count)
+            # Weighted sampling without replacement, all rows at once:
+            # each entry's exponential clock fires at Exp(1)/w, and the
+            # first k to fire are the sample (the Gumbel-top-k dual).
+            clocks = rng.exponential(size=(count, n_leaves))
+            clocks /= weights[clusters]
+            kmax = int(ks.max())
+            top = np.argpartition(
+                clocks, min(kmax, n_leaves - 1), axis=1
+            )[:, :kmax]
+            order = np.take_along_axis(clocks, top, axis=1).argsort(axis=1)
+            top = np.take_along_axis(top, order, axis=1)
+            mids = np.repeat(
+                np.arange(start + 1, start + count + 1, dtype=np.int64), ks
+            )
+            flat = np.concatenate(
+                [top[i, : ks[i]] for i in range(count)]
+            ) if count else np.empty(0, dtype=np.int64)
+            link_mids.append(mids.astype(np.int32))
+            link_eids.append(entry_ids[flat].astype(np.int32))
+            for i in range(count):
+                mid = start + i + 1
+                adjective = _ADJECTIVES[int(adj[i])]
+                noun_word = _NOUNS[int(noun[i])]
+                chosen = top[i, : min(3, ks[i])]
+                yield mid, {
+                    "id": mid,
+                    "title": f"Synthetic {start + i:05d}: "
+                             f"the {adjective} {noun_word}",
+                    "description": (
+                        f"Students {_VERBS[int(verb[i])]} a {adjective} "
+                        f"{noun_word} while practicing "
+                        + "; ".join(labels[int(c)] for c in chosen)
+                        + "."
+                    ),
+                    "kind": kinds[int(kind[i])],
+                    "url": "",
+                    "course_level": levels[int(level[i])],
+                    "collection": config.collection,
+                    "year": int(year[i]),
+                }
+
+    def link_rows():
+        lid = 0
+        for mids, eids in zip(link_mids, link_eids):
+            for mid, eid in zip(mids.tolist(), eids.tolist()):
+                lid += 1
+                yield lid, {
+                    "id": lid,
+                    "materials_id": mid,
+                    "ontology_entries_id": eid,
+                    "bloom": None,
+                }
+
+    db = scratch.db
+    # Version only needs to be monotonic for future WAL frames; one
+    # bump per synthesized material mirrors what inserts would cost.
+    final_version = db.version + config.n_materials
+    writer = BlockFileWriter(
+        directory, version=final_version, name=db.name,
+        block_rows=block_rows,
+    )
+    counts: dict[str, int] = {}
+    try:
+        with db.lock.write():
+            for table in db._tables.values():
+                if table.name == "materials":
+                    items = material_rows()
+                elif table.name == "material_classifications":
+                    items = link_rows()
+                else:
+                    items = iter(sorted(table._rows.items()))
+                    writer.add_table(
+                        schema_to_dict(table.schema), items,
+                        next_id=table._next_id, version=table._version,
+                        indexes=table.index_columns(),
+                        sorted_indexes=table.sorted_index_columns(),
+                    )
+                    counts[table.name] = len(table._rows)
+                    continue
+                counts[table.name] = writer.add_table(
+                    schema_to_dict(table.schema), items,
+                    indexes=table.index_columns(),
+                    sorted_indexes=table.sorted_index_columns(),
+                )
+        writer.finish()
+    except BaseException:
+        writer.abort()
+        raise
+    return {
+        "path": str(Path(directory) / "snapshot.json"),
+        "materials": counts.get("materials", 0),
+        "links": counts.get("material_classifications", 0),
+        "version": final_version,
+        "tables": counts,
+    }
+
+
 def seed_synthetic(
     repo: Repository,
     ontology_name: str = "CS13",

@@ -31,10 +31,13 @@ from .snapshot import (
     database_to_dict,
     restore_database,
 )
+from .pager import BlockCache, BlockFileWriter, PagedRows
 from .table import SortedIndex, Table
-from .wal import WalWriter, read_wal, truncate_wal
+from .wal import WalReader, WalWriter, read_wal, truncate_wal
 
 __all__ = [
+    "BlockCache",
+    "BlockFileWriter",
     "Change",
     "Column",
     "Database",
@@ -44,6 +47,7 @@ __all__ = [
     "IntegrityError",
     "ManyToMany",
     "NotNullViolation",
+    "PagedRows",
     "PlanNode",
     "Query",
     "QuerySpec",
@@ -59,6 +63,7 @@ __all__ = [
     "TableSnapshot",
     "TransactionError",
     "UniqueViolation",
+    "WalReader",
     "WalWriter",
     "build_plan",
     "current_pin",

@@ -63,6 +63,15 @@ from .errors import (
     TransactionError,
 )
 from .locks import RWLock
+from .pager import (
+    BlockCache,
+    BlockStore,
+    PagedRows,
+    env_inline_rows,
+    restore_blocked,
+    storage_stats,
+    write_blocked_checkpoint,
+)
 from .schema import Column, ForeignKey, TableSchema
 from .snapshot import (
     _PIN,
@@ -75,7 +84,7 @@ from .snapshot import (
     schema_to_dict,
 )
 from .table import Table
-from .wal import WalWriter, read_wal, truncate_wal
+from .wal import WalReader, WalWriter, truncate_wal
 
 #: Default bound of the change journal.  Large enough that a read-heavy
 #: deployment's occasional writes always catch up incrementally; small
@@ -212,6 +221,11 @@ class Database:
         # under the write lock, in registration order.
         self._commit_listeners: list[Callable[[dict[str, Any]], None]] = []
         self._listener_errors = 0
+        # Tiered storage (populated by a blocked restore or the first
+        # blocked checkpoint): the open rows-file store and the shared
+        # byte-budgeted block cache.
+        self._pager: BlockStore | None = None
+        self._block_cache: BlockCache | None = None
 
     # -- observability --------------------------------------------------------
 
@@ -224,6 +238,10 @@ class Database:
         that suffered it; with no active trace the span is a no-op but
         the slow-op log still records outliers (trace_id ``None``).
         """
+        # A request past its deadline aborts before doing db work (and
+        # before queuing on the write lock) — the admission layer maps
+        # the exception to a shed response.
+        _trace.check_deadline(f"db.{op}")
         start = time.perf_counter()
         with _trace.span(f"db.{op}", table=table) as span_:
             try:
@@ -761,30 +779,37 @@ class Database:
         }
         snap_path = directory / SNAPSHOT_FILE
         if snap_path.exists():
-            db = restore_database(
-                json.loads(snap_path.read_text(encoding="utf-8")), **kwargs
-            )
+            data = json.loads(snap_path.read_text(encoding="utf-8"))
+            if data.get("format") == 2:
+                # Blocked checkpoint: restore the manifest only — rows
+                # page in lazily through the block cache.
+                db = restore_blocked(data, directory, **kwargs)
+            else:
+                db = restore_database(data, **kwargs)
             report["snapshot_version"] = db._version
         else:
             db = cls(name, **kwargs)
         wal_path = directory / WAL_FILE
         with _trace.span("wal.replay"):
-            frames, valid_bytes, torn = read_wal(wal_path)
-            if torn:
-                report["torn"] = True
-                # A tear inside the magic header leaves the file shorter
-                # than the valid offset; clamp so the report never goes
-                # negative.
-                report["truncated_bytes"] = max(
-                    0, wal_path.stat().st_size - valid_bytes
-                )
-                truncate_wal(wal_path, valid_bytes)
-            for frame in frames:
+            # Streaming replay: one frame is decoded, applied and
+            # released at a time, so a large replay tail never holds all
+            # its decoded operation lists in memory at once.
+            reader = WalReader(wal_path)
+            for frame in reader:
                 if not db._should_replay(frame):
                     continue
                 db._replay_frame(frame)
                 report["frames_replayed"] += 1
                 report["ops_replayed"] += len(frame["ops"])
+            if reader.torn:
+                report["torn"] = True
+                # A tear inside the magic header leaves the file shorter
+                # than the valid offset; clamp so the report never goes
+                # negative.
+                report["truncated_bytes"] = max(
+                    0, wal_path.stat().st_size - reader.valid_bytes
+                )
+                truncate_wal(wal_path, reader.valid_bytes)
         db._dir = directory
         db._wal = WalWriter(wal_path, sync=wal_sync)
         if compact_bytes is not None:
@@ -819,24 +844,45 @@ class Database:
         reset) log, whose leftover frames replay as no-ops."""
         if self._wal is None or self._dir is None:
             raise ValueError("database is not durable (no WAL attached)")
-        with self.lock.write():
+        # Deadline-immune: auto-compaction runs on whatever request
+        # thread tripped the WAL threshold, and a client deadline
+        # aborting between the WAL append and the snapshot publish would
+        # leave the commit half-done.  Once a checkpoint starts it runs
+        # to completion.
+        with self.lock.write(), _trace.no_deadline():
             with _trace.span("db.checkpoint", version=self._version):
-                data = database_to_dict(self)
-                target = self._dir / SNAPSHOT_FILE
-                tmp = self._dir / (SNAPSHOT_FILE + ".tmp")
-                with tmp.open("w", encoding="utf-8") as fh:
-                    json.dump(data, fh, separators=(",", ":"))
-                    fh.flush()
-                    os.fsync(fh.fileno())
-                os.replace(tmp, target)
+                if self._use_blocked_checkpoint():
+                    # The superseded store (if any) stays open: pinned
+                    # snapshots may still page from it; GC closes it.
+                    target = write_blocked_checkpoint(self, self._dir)
+                else:
+                    data = database_to_dict(self)
+                    target = self._dir / SNAPSHOT_FILE
+                    tmp = self._dir / (SNAPSHOT_FILE + ".tmp")
+                    with tmp.open("w", encoding="utf-8") as fh:
+                        json.dump(data, fh, separators=(",", ":"))
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, target)
                 self._wal.reset()
                 self._checkpoints += 1
             return target
+
+    def _use_blocked_checkpoint(self) -> bool:
+        """Blocked (format-2) once any table is paged or the database
+        outgrows the inline threshold; small databases keep the eager
+        inline format so every historical durability property (and its
+        test) holds byte-for-byte."""
+        if any(isinstance(t._rows, PagedRows) for t in self._tables.values()):
+            return True
+        return sum(len(t._rows) for t in self._tables.values()) >= env_inline_rows()
 
     def close(self) -> None:
         """Flush and detach the WAL (safe to call on in-memory dbs)."""
         if self._wal is not None:
             self._wal.close()
+        if self._pager is not None:
+            self._pager.close()
 
     def _should_replay(self, frame: dict[str, Any]) -> bool:
         v = frame["v"]
@@ -984,6 +1030,11 @@ class Database:
             out["replayed_frames"] = self._recovery["frames_replayed"]
             out["recovered_truncated_bytes"] = self._recovery["truncated_bytes"]
         return out
+
+    def storage_stats(self) -> dict[str, int]:
+        """Tiered-storage counters: block-cache budget/occupancy/hit
+        rates and per-tier overlay sizes (empty on a fully eager db)."""
+        return storage_stats(self)
 
     # -- stats ------------------------------------------------------------------
 

@@ -45,6 +45,13 @@ from dataclasses import dataclass, field
 from math import log2
 from typing import Any, Callable, Iterator
 
+from repro.obs import trace as _trace
+
+#: Rows between ambient-deadline checks inside unbounded scans — coarse
+#: enough to stay off the per-row profile, fine enough that a scan over
+#: a cold paged table aborts within one block of the deadline passing.
+_DEADLINE_STRIDE = 4096
+
 #: Assumed fraction of rows surviving each residual predicate.  Only used
 #: for display estimates — access-path choice uses exact cardinalities.
 RESIDUAL_SELECTIVITY = 1 / 3
@@ -181,7 +188,14 @@ class FullScan(PlanNode):
         self.est_rows = float(len(source))
 
     def _produce(self) -> Iterator[dict[str, Any]]:
-        return self.source.iter_rows()
+        check = _trace.check_deadline
+        countdown = _DEADLINE_STRIDE
+        for row in self.source.iter_rows():
+            countdown -= 1
+            if not countdown:
+                check("full_scan")
+                countdown = _DEADLINE_STRIDE
+            yield row
 
     def detail(self) -> str:
         return self.source.name
@@ -270,8 +284,14 @@ class IndexRange(PlanNode):
         source = self.source
         sindex = source.sorted_index(self.column)
         lo, hi = self.bounds
+        check = _trace.check_deadline
+        countdown = _DEADLINE_STRIDE
         for pk in sindex.scan(lo, hi, descending=self.descending,
                               with_nones=self.with_nones):
+            countdown -= 1
+            if not countdown:
+                check("index_range")
+                countdown = _DEADLINE_STRIDE
             row = source.row(pk)
             if row is not None:
                 yield row

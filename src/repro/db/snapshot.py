@@ -29,6 +29,7 @@ from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from .errors import SchemaError
+from .pager import PagedRows
 from .schema import _NO_DEFAULT, Column, ForeignKey, TableSchema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -94,9 +95,19 @@ class TableSnapshot:
 
     @classmethod
     def capture(cls, table: "Table") -> "TableSnapshot":
-        """Full snapshot of a live table (open/DDL/consolidation path)."""
-        return cls(table.schema, table.version, dict(table._rows), {},
-                   frozenset(table._indexes), frozenset(table._sorted))
+        """Full snapshot of a live table (open/DDL/consolidation path).
+
+        A paged table freezes in O(overlay) — the immutable block tier
+        is shared, not copied — so capturing a 10^6-row cold table costs
+        nothing."""
+        rows = table._rows
+        if isinstance(rows, PagedRows):
+            base: Any = rows.freeze()
+        else:
+            base = dict(rows)
+        return cls(table.schema, table.version, base, {},
+                   frozenset(table._indexes) | frozenset(table._lazy_hash),
+                   frozenset(table._sorted) | frozenset(table._lazy_sorted))
 
     def advance(self, table: "Table",
                 ops: Iterable[dict[str, Any]]) -> "TableSnapshot":
@@ -109,18 +120,24 @@ class TableSnapshot:
             elif kind == "delete":
                 delta[op["pk"]] = _TOMBSTONE
         if len(delta) > max(_CONSOLIDATE_MIN, len(self._base) // 4):
-            merged = dict(self._base)
-            for pk, row in delta.items():
-                if row is _TOMBSTONE:
-                    merged.pop(pk, None)
-                else:
-                    merged[pk] = row
-            delta, base = {}, merged
+            if isinstance(self._base, PagedRows):
+                # Fold the delta into a fresh overlay copy — the block
+                # tier is shared, never materialized.
+                delta, base = {}, self._base.with_delta(delta, _TOMBSTONE)
+            else:
+                merged = dict(self._base)
+                for pk, row in delta.items():
+                    if row is _TOMBSTONE:
+                        merged.pop(pk, None)
+                    else:
+                        merged[pk] = row
+                delta, base = {}, merged
         else:
             base = self._base
-        return TableSnapshot(self.schema, table.version, base, delta,
-                             frozenset(table._indexes),
-                             frozenset(table._sorted))
+        return TableSnapshot(
+            self.schema, table.version, base, delta,
+            frozenset(table._indexes) | frozenset(table._lazy_hash),
+            frozenset(table._sorted) | frozenset(table._lazy_sorted))
 
     # -- introspection -----------------------------------------------------
 
@@ -380,8 +397,8 @@ def database_to_dict(db: "Database") -> dict[str, Any]:
                 "rows": [dict(row) for row in table._rows.values()],
                 "next_id": table._next_id,
                 "version": table._version,
-                "indexes": list(table._indexes),
-                "sorted_indexes": list(table._sorted),
+                "indexes": table.index_columns(),
+                "sorted_indexes": table.sorted_index_columns(),
             })
         return {
             "format": 1,

@@ -42,6 +42,7 @@ from .errors import (
     SchemaError,
     UniqueViolation,
 )
+from .pager import PagedRows
 from .schema import Column, TableSchema
 
 _VALUE = itemgetter(0)
@@ -169,6 +170,14 @@ class Table:
         self._indexes: dict[str, dict[Any, set]] = {}
         # sorted secondary indexes: column -> SortedIndex
         self._sorted: dict[str, SortedIndex] = {}
+        # Declared-but-unbuilt indexes (tiered restore): contents build
+        # on first probe with a single streaming scan, then maintain
+        # incrementally like any built index.
+        self._lazy_hash: set[str] = set()
+        self._lazy_sorted: set[str] = set()
+        # Unique-constraint maps likewise defer on a tiered restore
+        # until the first write needs them.
+        self._unique_built = True
         # Monotonic mutation counter (rolled back with aborted transactions).
         self._version = 0
         # Owning database, set by Database.create_table; enables transaction
@@ -190,7 +199,7 @@ class Table:
         return len(self._rows)
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
-        return iter(list(self._rows.values()))
+        return self.iter_rows()
 
     def __contains__(self, pk: Any) -> bool:
         return pk in self._rows
@@ -202,7 +211,7 @@ class Table:
 
     def create_index(self, column: str) -> None:
         """Build (idempotently) a hash index on ``column``."""
-        if column in self._indexes:
+        if column in self._indexes or column in self._lazy_hash:
             return
         self.schema.column(column)  # validates existence
         index: dict[Any, set] = {}
@@ -227,7 +236,7 @@ class Table:
         Like hash indexes they are transactional DDL, journaled through
         the WAL and rebuilt on recovery and replica apply.
         """
-        if column in self._sorted:
+        if column in self._sorted or column in self._lazy_sorted:
             return
         self.schema.column(column)  # validates existence
         index = SortedIndex()
@@ -239,19 +248,59 @@ class Table:
             self._db._log_index(self.name, column, kind="sorted")
 
     def has_index(self, column: str) -> bool:
-        return column in self._indexes
+        return column in self._indexes or column in self._lazy_hash
 
     def has_sorted_index(self, column: str) -> bool:
-        return column in self._sorted
+        return column in self._sorted or column in self._lazy_sorted
+
+    def _hash_index(self, column: str) -> dict[Any, set]:
+        """The hash index on ``column``, building a lazily-declared one
+        on first probe (one streaming scan through the block cache)."""
+        index = self._indexes.get(column)
+        if index is None:
+            self._lazy_hash.discard(column)
+            index = {}
+            for pk, row in self._rows.items():
+                index.setdefault(row[column], set()).add(pk)
+            self._indexes[column] = index
+        return index
 
     def sorted_index(self, column: str) -> SortedIndex:
-        return self._sorted[column]
+        sindex = self._sorted.get(column)
+        if sindex is None and column in self._lazy_sorted:
+            self._lazy_sorted.discard(column)
+            sindex = SortedIndex()
+            for pk, row in self._rows.items():
+                sindex.add(row[column], pk)
+            self._sorted[column] = sindex
+        if sindex is None:
+            raise KeyError(column)
+        return sindex
+
+    def _ensure_unique(self) -> None:
+        """Materialize deferred unique-constraint maps before a write."""
+        if self._unique_built:
+            return
+        self._unique_built = True
+        for group in self._unique:
+            rebuilt: dict[tuple, Any] = {}
+            for pk, row in self._rows.items():
+                rebuilt[self._unique_key(group, row)] = pk
+            self._unique[group] = rebuilt
+
+    def index_columns(self) -> list[str]:
+        """Declared hash-indexed columns (built or lazy), sorted."""
+        return sorted(set(self._indexes) | self._lazy_hash)
+
+    def sorted_index_columns(self) -> list[str]:
+        """Declared sorted-indexed columns (built or lazy), sorted."""
+        return sorted(set(self._sorted) | self._lazy_sorted)
 
     def indexes(self) -> dict[str, str]:
         """Declared secondary indexes: column -> "hash" | "sorted" |
         "hash+sorted" (introspection for EXPLAIN and the docs)."""
-        out = {c: "hash" for c in self._indexes}
-        for c in self._sorted:
+        out = {c: "hash" for c in self.index_columns()}
+        for c in self.sorted_index_columns():
             out[c] = "hash+sorted" if c in out else "sorted"
         return out
 
@@ -260,18 +309,25 @@ class Table:
     def eq_pks(self, column: str, value: Any) -> Iterable[Any]:
         """Pks matching ``column == value`` via the hash index (the
         column must be hash-indexed)."""
-        return self._indexes[column].get(value, ())
+        return self._hash_index(column).get(value, ())
 
     def eq_count(self, column: str, value: Any) -> int:
-        return len(self._indexes[column].get(value, ()))
+        return len(self._hash_index(column).get(value, ()))
 
     def row(self, pk: Any) -> dict[str, Any] | None:
         """The raw stored row (no copy) — planner-internal."""
         return self._rows.get(pk)
 
     def iter_rows(self) -> Iterator[dict[str, Any]]:
-        """Raw stored rows (no copies) — planner-internal."""
-        return iter(list(self._rows.values()))
+        """Raw stored rows (no copies) — planner-internal.
+
+        Eager tables snapshot the dict's values so callers may mutate
+        mid-iteration; paged tables stream block-by-block from a frozen
+        overlay copy (materializing would defeat the tier)."""
+        rows = self._rows
+        if isinstance(rows, PagedRows):
+            return rows.freeze().values()
+        return iter(list(rows.values()))
 
     # -- transaction journal ----------------------------------------------
 
@@ -357,6 +413,7 @@ class Table:
     def insert(self, **values: Any) -> dict[str, Any]:
         """Insert a row; returns the stored row dict (with assigned pk)."""
         row = self._complete_row(values)
+        self._ensure_unique()
         pk = row[self.schema.primary_key]
         if pk in self._rows:
             raise UniqueViolation(
@@ -387,6 +444,7 @@ class Table:
             raise RowNotFound(f"{self.name!r} has no row with pk {pk!r}")
         if self.schema.primary_key in changes:
             raise IntegrityError("primary key columns cannot be updated")
+        self._ensure_unique()
         old = self._rows[pk]
         new = dict(old)
         for name, value in changes.items():
@@ -457,21 +515,24 @@ class Table:
             return [dict(r) for r in self._rows.values()]
         for name in equals:
             self.schema.column(name)
-        indexed = [c for c in equals if c in self._indexes]
+        indexed = [c for c in equals if self.has_index(c)]
         if indexed:
-            # Seed from the smallest index bucket.
+            # Seed from the smallest index bucket (building any
+            # lazily-declared index on first probe).
             seed_col = min(
                 indexed,
-                key=lambda c: len(self._indexes[c].get(equals[c], ())),
+                key=lambda c: len(self._hash_index(c).get(equals[c], ())),
             )
-            pks: Iterable[Any] = self._indexes[seed_col].get(equals[seed_col], set())
+            pks: Iterable[Any] = self._hash_index(seed_col).get(
+                equals[seed_col], set()
+            )
             candidates = (self._rows[pk] for pk in pks)
-        elif any(c in self._sorted for c in equals):
+        elif any(self.has_sorted_index(c) for c in equals):
             seed_col = min(
-                (c for c in equals if c in self._sorted),
-                key=lambda c: self._sorted[c].eq_count(equals[c]),
+                (c for c in equals if self.has_sorted_index(c)),
+                key=lambda c: self.sorted_index(c).eq_count(equals[c]),
             )
-            pks = self._sorted[seed_col].eq_pks(equals[seed_col])
+            pks = self.sorted_index(seed_col).eq_pks(equals[seed_col])
             candidates = (self._rows[pk] for pk in pks)
         else:
             candidates = iter(self._rows.values())

@@ -62,60 +62,85 @@ def encode_record(frame: dict[str, Any]) -> bytes:
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
-    """Decode every intact frame of a WAL file.
+class WalReader:
+    """Streaming decoder over one WAL file's intact frames.
 
-    Returns ``(frames, valid_bytes, torn)``: the frames in append order,
-    the byte offset up to which the file is valid (header included), and
-    whether a torn/corrupt tail was found after that offset.  A missing
-    file reads as empty; a file with a foreign header raises.
+    Iterating yields frames in append order, decoding **one frame at a
+    time** — a multi-megabyte replay tail never holds all its decoded
+    operation lists in memory at once (the raw bytes are one contiguous
+    read; the decoded form is what dominates).  After iteration,
+    :attr:`valid_bytes` is the offset up to which the file is valid
+    (header included) and :attr:`torn` reports whether a torn/corrupt
+    tail follows it.  A missing file reads as empty; a file with a
+    foreign header raises on construction.
     """
-    path = Path(path)
-    if not path.exists():
-        return [], len(MAGIC), False
-    blob = path.read_bytes()
-    if not blob:
-        return [], len(MAGIC), False
-    if len(blob) < len(MAGIC):
-        if MAGIC.startswith(blob):
-            # The torn record is the magic header itself: a crash while
-            # the very first write (the header) was in flight.  The file
-            # carries zero committed history — report it as a tear at
-            # offset zero so truncate_wal rewrites a clean header.
-            return [], len(MAGIC), True
-        raise ValueError(f"{path} is not a CAR-CS WAL (bad magic)")
-    if blob[: len(MAGIC)] != MAGIC:
-        raise ValueError(f"{path} is not a CAR-CS WAL (bad magic)")
-    frames: list[dict[str, Any]] = []
-    offset = len(MAGIC)
-    valid = offset
-    torn = False
-    total = len(blob)
-    while offset < total:
-        if offset + _HEADER.size > total:
-            torn = True
-            break
-        length, crc = _HEADER.unpack_from(blob, offset)
-        start = offset + _HEADER.size
-        end = start + length
-        if length > MAX_RECORD_BYTES or end > total:
-            torn = True
-            break
-        payload = blob[start:end]
-        if zlib.crc32(payload) != crc:
-            torn = True
-            break
-        try:
-            frame = json.loads(payload.decode("utf-8"))
-        except ValueError:
-            # CRC collisions on garbage are astronomically unlikely, but
-            # the recovery contract is "stop at the first bad record".
-            torn = True
-            break
-        frames.append(frame)
-        offset = end
-        valid = offset
-    return frames, valid, torn
+
+    __slots__ = ("path", "valid_bytes", "torn", "_blob")
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.valid_bytes = len(MAGIC)
+        self.torn = False
+        blob = self.path.read_bytes() if self.path.exists() else b""
+        if not blob:
+            self._blob = b""
+            return
+        if len(blob) < len(MAGIC):
+            if MAGIC.startswith(blob):
+                # The torn record is the magic header itself: a crash
+                # while the very first write (the header) was in flight.
+                # The file carries zero committed history — report it as
+                # a tear at offset zero so truncate_wal rewrites a clean
+                # header.
+                self.torn = True
+                self._blob = b""
+                return
+            raise ValueError(f"{self.path} is not a CAR-CS WAL (bad magic)")
+        if blob[: len(MAGIC)] != MAGIC:
+            raise ValueError(f"{self.path} is not a CAR-CS WAL (bad magic)")
+        self._blob = blob
+
+    def __iter__(self):
+        blob = self._blob
+        offset = len(MAGIC)
+        total = len(blob)
+        while offset < total:
+            if offset + _HEADER.size > total:
+                self.torn = True
+                return
+            length, crc = _HEADER.unpack_from(blob, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if length > MAX_RECORD_BYTES or end > total:
+                self.torn = True
+                return
+            payload = blob[start:end]
+            if zlib.crc32(payload) != crc:
+                self.torn = True
+                return
+            try:
+                frame = json.loads(payload.decode("utf-8"))
+            except ValueError:
+                # CRC collisions on garbage are astronomically unlikely,
+                # but the recovery contract is "stop at the first bad
+                # record".
+                self.torn = True
+                return
+            offset = end
+            self.valid_bytes = offset
+            yield frame
+
+
+def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
+    """Decode every intact frame of a WAL file at once.
+
+    Returns ``(frames, valid_bytes, torn)`` — the materialized form of
+    :class:`WalReader` for callers that want the whole (small) log;
+    replay paths over potentially large logs iterate the reader instead.
+    """
+    reader = WalReader(path)
+    frames = list(reader)
+    return frames, reader.valid_bytes, reader.torn
 
 
 def truncate_wal(path: str | Path, valid_bytes: int) -> None:

@@ -172,6 +172,74 @@ def current_traceparent() -> str | None:
     return format_traceparent(handle.trace_id, handle.span_id)
 
 
+# -- request deadlines ------------------------------------------------------
+#
+# The admission middleware parses a client deadline and plants it here as
+# an *absolute* monotonic instant; every instrumented layer below (db
+# entry points, block page-ins, planner scan loops, job drains) calls
+# check_deadline() at its natural abort points.  Work a client has
+# already given up on is the cheapest load to shed — cancelling it frees
+# capacity for requests that can still succeed, which is the whole
+# graceful-degradation story docs/capacity.md tells.
+
+
+class DeadlineExceeded(RuntimeError):
+    """The context's request deadline has passed; abort and shed."""
+
+
+#: Absolute ``perf_counter`` instant after which the current context's
+#: work is abandoned (``None`` = no deadline).
+_DEADLINE: ContextVar[float | None] = ContextVar(
+    "carcs_deadline", default=None
+)
+
+
+def set_deadline(seconds: float):
+    """Arm a deadline ``seconds`` from now; returns the reset token."""
+    return _DEADLINE.set(_perf_counter() + seconds)
+
+
+def clear_deadline(token: Any) -> None:
+    _DEADLINE.reset(token)
+
+
+def deadline_remaining() -> float | None:
+    """Seconds until the ambient deadline (negative = past it), or
+    ``None`` when no deadline is armed."""
+    deadline = _DEADLINE.get()
+    if deadline is None:
+        return None
+    return deadline - _perf_counter()
+
+
+def check_deadline(what: str = "request") -> None:
+    """Raise :class:`DeadlineExceeded` if the ambient deadline passed.
+
+    One ContextVar read on the no-deadline path — cheap enough for
+    per-operation call sites (db entry points, block page-ins, planner
+    scan strides)."""
+    deadline = _DEADLINE.get()
+    if deadline is not None and _perf_counter() > deadline:
+        raise DeadlineExceeded(f"deadline exceeded before {what}")
+
+
+class no_deadline:
+    """Scope that masks any ambient deadline — for work that must run to
+    completion once started (replication apply, WAL checkpointing),
+    where a leaked client deadline aborting midway would cost far more
+    than it saves."""
+
+    __slots__ = ("_token",)
+
+    def __enter__(self) -> "no_deadline":
+        self._token = _DEADLINE.set(None)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        _DEADLINE.reset(self._token)
+        return False
+
+
 #: Maps ``perf_counter`` readings onto the wall clock so spans need only
 #: one monotonic read at open time instead of two clock syscalls.
 _EPOCH = time.time() - time.perf_counter()

@@ -179,18 +179,26 @@ class ReplicaApplier:
     # -- message handling (public so tests can drive it directly) ---------
 
     def handle_message(self, message: dict[str, Any]) -> None:
-        """Apply one primary → replica message to the database."""
+        """Apply one primary → replica message to the database.
+
+        Runs under :class:`~repro.obs.trace.no_deadline`: replication
+        apply must converge regardless of any request deadline leaked
+        into the calling context (inline appliers in tests, embedded
+        topologies) — aborting a half-applied batch would only force a
+        snapshot re-bootstrap, which costs far more than finishing.
+        """
         kind = message.get("type")
-        if kind == "snapshot":
-            self._handle_snapshot(message)
-        elif kind == "frames":
-            self._handle_frames(message)
-        elif kind == "heartbeat":
-            self.heartbeats_seen += 1
-            self._note_position(message["pv"], message.get("fseq"),
-                               message.get("ts"))
-        else:
-            raise ProtocolError(f"unexpected message type {kind!r}")
+        with _trace.no_deadline():
+            if kind == "snapshot":
+                self._handle_snapshot(message)
+            elif kind == "frames":
+                self._handle_frames(message)
+            elif kind == "heartbeat":
+                self.heartbeats_seen += 1
+                self._note_position(message["pv"], message.get("fseq"),
+                                   message.get("ts"))
+            else:
+                raise ProtocolError(f"unexpected message type {kind!r}")
 
     def _handle_snapshot(self, message: dict[str, Any]) -> None:
         version = message["version"]

@@ -16,7 +16,9 @@ from .http import (
     text_response,
 )
 from .middleware import (
+    AdmissionMiddleware,
     ConditionalGetMiddleware,
+    TokenBucket,
     backpressure_response,
     ErrorMiddleware,
     LoggingMiddleware,
@@ -34,6 +36,7 @@ from .server import ApiServer
 __all__ = [
     "API_PREFIX",
     "API_V2_PREFIX",
+    "AdmissionMiddleware",
     "ApiServer",
     "BackendError",
     "CarCsApi",
@@ -53,6 +56,7 @@ __all__ = [
     "Route",
     "Router",
     "SnapshotMiddleware",
+    "TokenBucket",
     "TracingMiddleware",
     "VersionHeaderMiddleware",
     "backpressure_response",

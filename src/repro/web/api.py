@@ -47,6 +47,7 @@ from .http import (
     text_response,
 )
 from .middleware import (
+    AdmissionMiddleware,
     ConditionalGetMiddleware,
     ErrorMiddleware,
     LoggingMiddleware,
@@ -127,6 +128,9 @@ class CarCsApi:
         queue: JobQueue | None = None,
         workers: int = 0,
         max_queued_jobs: int = 1_000,
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         self.repo = repo
         # A PrimaryShipper or ReplicaApplier (anything with .status());
@@ -173,12 +177,22 @@ class CarCsApi:
                 size=workers, metrics=self.metrics, tracer=self.tracer,
                 name="api",
             ).start()
+        # Admission sits below Error (sheds get request ids, metrics,
+        # logs and trace spans) but above ReadOnly/Snapshot: a shed
+        # request must never queue on the database write lock.
+        self.admission = AdmissionMiddleware(
+            self.metrics,
+            rate_limit=rate_limit,
+            rate_burst=rate_burst,
+            max_inflight=max_inflight,
+        )
         self.middlewares = [
             RequestIdMiddleware(),
             TracingMiddleware(self.tracer),
             MetricsMiddleware(self.metrics),
             LoggingMiddleware(self.request_log),
             ErrorMiddleware(self.metrics, self.request_log),
+            self.admission,
             *([ReadOnlyMiddleware(primary_url)] if read_only else []),
             SnapshotMiddleware(repo.db),
             VersionHeaderMiddleware(repo.db),
@@ -317,6 +331,10 @@ class CarCsApi:
             )
             for key, value in self.tracer.stats().items():
                 self.metrics.gauge(f"carcs_traces_{key}").set(value)
+            # Admission-control counters: in-flight level, tracked
+            # client buckets, and shed totals by cause.
+            for key, value in self.admission.stats().items():
+                self.metrics.gauge(f"carcs_admission_{key}").set(value)
             # Replication lag/offset gauges (numbers only; booleans such
             # as `connected` export as 0/1, strings stay JSON-only).
             for key, value in self._replication_status().items():

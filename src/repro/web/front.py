@@ -53,7 +53,7 @@ from repro.obs import trace as _trace
 from repro.obs import MetricsRegistry, Tracer
 
 from .http import Request, Response, error_response, json_response
-from .middleware import backpressure_response
+from .middleware import DEADLINE_HEADER, AdmissionMiddleware, backpressure_response
 
 #: Method → forwarded to the primary (everything else is a read).
 MUTATING_METHODS = frozenset({"POST", "PUT", "PATCH", "DELETE"})
@@ -107,6 +107,16 @@ class HttpBackend:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
+    def _hop_timeout(self) -> float:
+        """The socket timeout for one proxied hop: the configured cap,
+        shrunk to the request's remaining deadline budget (plus a small
+        grace so the backend's own deadline shed wins the race and the
+        client gets its structured 503 rather than a torn transport)."""
+        remaining = _trace.deadline_remaining()
+        if remaining is None:
+            return self.timeout
+        return min(self.timeout, max(0.05, remaining + 0.1))
+
     def request(self, request: Request) -> Response:
         # Re-encode: request.query holds *decoded* values, and a space
         # or reserved character forwarded raw is an invalid URL.
@@ -124,7 +134,7 @@ class HttpBackend:
             headers={"content-type": "application/json", **request.headers},
         )
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            with urllib.request.urlopen(req, timeout=self._hop_timeout()) as resp:
                 return self._to_response(resp.status, resp.headers, resp.read())
         except urllib.error.HTTPError as exc:
             # An HTTP status is a real answer from a live node, not a
@@ -171,12 +181,26 @@ class FrontTier:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         name: str = "router",
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         self.primary = primary
         self.probe_cooldown = probe_cooldown
         self.max_lag_frames = max_lag_frames
         self.retry_after = retry_after
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Fleet-wide front door: sheds happen *here*, before a doomed
+        # request burns a backend hop.  The admitted deadline is armed
+        # in this context, so proxied hops see the shrinking budget
+        # (header rewrite in _inject_context, socket cap in HttpBackend).
+        self.admission = AdmissionMiddleware(
+            self.metrics,
+            rate_limit=rate_limit,
+            rate_burst=rate_burst,
+            max_inflight=max_inflight,
+            exempt=AdmissionMiddleware.DEFAULT_EXEMPT + ("/api/v1/fleet",),
+        )
         #: The router's own process label in stitched traces and its
         #: ``x-carcs-served-by`` stamp on self-served answers.
         self.name = name
@@ -224,7 +248,7 @@ class FrontTier:
     def __call__(self, request: Request) -> Response:
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
-            return self._route(request)
+            return self.admission(request, self._route)
         # Adopt an inbound trace context (an instrumented client, or a
         # router chained behind another router); otherwise the inbound
         # request id seeds the trace id, matching single-node behaviour.
@@ -244,7 +268,7 @@ class FrontTier:
             path=request.path,
             **link,
         ) as root:
-            response = self._route(request)
+            response = self.admission(request, self._route)
             root.set(status=response.status)
             if response.status >= 500:
                 root.mark_error(f"http {response.status}")
@@ -281,10 +305,21 @@ class FrontTier:
         """Stamp the active span's traceparent on the outbound hop so
         the backend's segment hangs under this exact span when
         stitched.  With tracing off the inbound header (if any) is
-        forwarded untouched."""
+        forwarded untouched.
+
+        Deadlines propagate the same way: the header carries *remaining
+        budget* (milliseconds), so each hop rewrites it down by however
+        long the request has already spent at this tier — the backend
+        arms a deadline covering only what the client still waits for.
+        """
         if span_:
             request.headers[_trace.TRACEPARENT_HEADER] = \
                 _trace.format_traceparent(span_.trace_id, span_.span_id)
+        remaining = _trace.deadline_remaining()
+        if remaining is not None:
+            request.headers[DEADLINE_HEADER] = format(
+                max(0.0, remaining) * 1000.0, ".3f"
+            )
 
     def _dispatch_write(self, request: Request) -> Response:
         self.writes += 1
@@ -478,4 +513,5 @@ class FrontTier:
             "writes": self.writes,
             "primary_errors": self.primary_errors,
             "stale_retries": self.stale_retries,
+            "admission": self.admission.stats(),
         }

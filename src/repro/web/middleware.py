@@ -44,7 +44,11 @@ the full dispatch including write lock waits.
 
 from __future__ import annotations
 
+import math
+import os
+import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Iterable, Sequence
 
 from repro.obs import MetricsRegistry, RequestLog, Tracer, new_request_id
@@ -104,6 +108,264 @@ def compose(middlewares: Sequence[Middleware], endpoint: Handler) -> Handler:
 def route_label(request: Request) -> str:
     """Low-cardinality metrics label: ``"GET /api/v1/assignments/<int:id>"``."""
     return f"{request.method} {request.route_pattern or UNMATCHED}"
+
+
+# -- admission control ------------------------------------------------------
+
+#: Client-supplied request deadline, in milliseconds of remaining budget
+#: (not a wall-clock instant, so clock skew between hops is irrelevant).
+#: The front tier rewrites it to the *remaining* budget before each
+#: proxied hop.
+DEADLINE_HEADER = "x-carcs-deadline-ms"
+
+#: Explicit client identity for per-client rate limiting.  Falls back to
+#: the session cookie header, then the standard proxy header, then one
+#: shared anonymous bucket.
+CLIENT_HEADER = "x-carcs-client"
+
+ENV_RATE_LIMIT = "CARCS_RATE_LIMIT"
+ENV_RATE_BURST = "CARCS_RATE_BURST"
+ENV_MAX_INFLIGHT = "CARCS_MAX_INFLIGHT"
+
+#: Distinct per-client buckets retained; a rotating-identity client
+#: cycles through the shared LRU instead of growing it without bound.
+MAX_TRACKED_CLIENTS = 10_000
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    :meth:`acquire` is O(1) and lock-free (callers hold the admission
+    lock); it returns 0.0 on admit or the seconds until the next token
+    otherwise — which becomes the ``Retry-After`` hint, so a limited
+    client is told exactly when trying again can succeed.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float,
+                 now: float | None = None) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = time.monotonic() if now is None else now
+
+    def acquire(self, now: float | None = None) -> float:
+        if now is None:
+            now = time.monotonic()
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionMiddleware:
+    """The front door: rate limits, concurrency caps, request deadlines.
+
+    Runs *under* the error boundary (sheds are counted, logged and
+    traced like any response) and *above* the snapshot middleware — a
+    request this layer refuses never touches the storage engine and,
+    crucially, never queues on the write lock.  Three independent
+    checks, cheapest first:
+
+    1. **Deadline** (always on): ``x-carcs-deadline-ms`` holds the
+       client's remaining budget in milliseconds.  Already expired →
+       immediate 503 (reason ``deadline``).  Otherwise the deadline is
+       armed in the trace contextvar for the whole dispatch, so the db
+       layer, planner scan strides and block page-ins abort work the
+       client has given up on; the abort surfaces as the same 503.
+    2. **Per-client token bucket** (on when ``rate_limit`` or
+       ``CARCS_RATE_LIMIT`` is set): identity from ``x-carcs-client``,
+       else the session header, else ``x-forwarded-for``, else one
+       shared anonymous bucket; over rate → 429 (reason ``rate-limit``)
+       with ``Retry-After`` computed from the bucket's actual refill.
+    3. **Inflight cap** (on when ``max_inflight`` or
+       ``CARCS_MAX_INFLIGHT`` is set): more concurrent requests than
+       the cap → 503 (reason ``overload``) rather than a queue that
+       grows until every request times out.
+
+    Every refusal goes through :func:`backpressure_response` — one
+    envelope, one ``Retry-After`` header, one ``carcs_shed_total``
+    counter, exactly like the front tier's primary-outage 503s and the
+    job queue's saturation 429s.
+    """
+
+    #: Paths that must answer even under overload (operators debugging
+    #: the overload need them).
+    DEFAULT_EXEMPT = ("/api/v1/healthz", "/api/v1/metrics")
+
+    def __init__(self, metrics: MetricsRegistry | None = None, *,
+                 rate_limit: float | None = None,
+                 rate_burst: float | None = None,
+                 max_inflight: int | None = None,
+                 exempt: Iterable[str] | None = None) -> None:
+        self.metrics = metrics
+        self.rate_limit = (
+            rate_limit if rate_limit else _env_float(ENV_RATE_LIMIT)
+        )
+        burst = rate_burst if rate_burst else _env_float(ENV_RATE_BURST)
+        self.rate_burst = burst if burst else (
+            max(1.0, self.rate_limit) if self.rate_limit else 1.0
+        )
+        self.max_inflight = (
+            max_inflight if max_inflight else _env_int(ENV_MAX_INFLIGHT)
+        )
+        self.exempt = frozenset(
+            exempt if exempt is not None else self.DEFAULT_EXEMPT
+        )
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._inflight = 0
+        self.shed_deadline = 0
+        self.shed_rate = 0
+        self.shed_inflight = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _client_id(self, request: Request) -> str:
+        return (
+            request.header(CLIENT_HEADER)
+            or request.header("x-carcs-session")
+            or request.header("x-forwarded-for")
+            or "anonymous"
+        )
+
+    @staticmethod
+    def parse_deadline(raw: str | None) -> float | None:
+        """Remaining budget in *seconds* from the header value, or
+        ``None`` when absent/malformed (a garbage value from an
+        arbitrary client must never break dispatch)."""
+        if not raw:
+            return None
+        try:
+            ms = float(raw)
+        except ValueError:
+            return None
+        if not math.isfinite(ms):
+            return None
+        return ms / 1e3
+
+    def _over_rate(self, request: Request) -> float:
+        """0.0 = admitted; else seconds until this client's next token."""
+        if self.rate_limit is None:
+            return 0.0
+        client = self._client_id(request)
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_limit, self.rate_burst)
+            self._buckets[client] = bucket
+            while len(self._buckets) > MAX_TRACKED_CLIENTS:
+                self._buckets.popitem(last=False)
+            return bucket.acquire()
+
+    def _shed(self, request: Request, status: int, message: str, *,
+              retry_after: int, reason: str) -> Response:
+        return backpressure_response(
+            status, message, request.request_id,
+            retry_after=retry_after, metrics=self.metrics, reason=reason,
+        )
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "tracked_clients": len(self._buckets),
+                "shed_deadline": self.shed_deadline,
+                "shed_rate": self.shed_rate,
+                "shed_inflight": self.shed_inflight,
+            }
+
+    # -- the middleware ----------------------------------------------------
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        if request.path in self.exempt:
+            return call_next(request)
+
+        budget = self.parse_deadline(request.header(DEADLINE_HEADER))
+        if budget is not None and budget <= 0:
+            self.shed_deadline += 1
+            return self._shed(
+                request, 503, "request deadline already expired",
+                retry_after=1, reason="deadline",
+            )
+
+        wait = self._over_rate(request)
+        if wait > 0:
+            self.shed_rate += 1
+            return self._shed(
+                request, 429, "client request rate exceeded",
+                retry_after=max(1, math.ceil(wait)), reason="rate-limit",
+            )
+
+        if self.max_inflight is not None:
+            with self._lock:
+                if self._inflight >= self.max_inflight:
+                    self.shed_inflight += 1
+                    over = True
+                else:
+                    self._inflight += 1
+                    over = False
+            if over:
+                return self._shed(
+                    request, 503, "server is at its concurrency limit",
+                    retry_after=1, reason="overload",
+                )
+        else:
+            with self._lock:
+                self._inflight += 1
+        if self.metrics is not None:
+            self.metrics.gauge("carcs_inflight_requests").set(
+                self.inflight()
+            )
+
+        token = _trace.set_deadline(budget) if budget is not None else None
+        try:
+            return call_next(request)
+        except _trace.DeadlineExceeded as exc:
+            # Work the deadline cancelled mid-flight: same shed shape as
+            # a pre-expired deadline, so clients handle one contract.
+            self.shed_deadline += 1
+            return self._shed(
+                request, 503, str(exc), retry_after=1, reason="deadline",
+            )
+        finally:
+            if token is not None:
+                _trace.clear_deadline(token)
+            with self._lock:
+                self._inflight -= 1
+            if self.metrics is not None:
+                self.metrics.gauge("carcs_inflight_requests").set(
+                    self.inflight()
+                )
 
 
 class RequestIdMiddleware:

@@ -16,15 +16,31 @@ from repro.corpus.seed import seed_all, seed_ontologies
 from repro.ontologies import load
 
 
+#: Opt-in test tiers: tier-1 (the default run) must stay fast, so tests
+#: that boot interpreters, build 10^5-row corpora, or chew through 10^6
+#: rows each sit behind an environment flag CI enables stage by stage.
+_OPT_IN_MARKERS = (
+    ("multiproc", "CARCS_MULTIPROC",
+     "spawns real server subprocesses"),
+    ("slow", "CARCS_SLOW", "builds 10^5-row corpora"),
+    ("scale", "CARCS_SCALE", "builds 10^6-row corpora"),
+)
+
+
 def pytest_collection_modifyitems(config, items):
-    """``multiproc`` tests boot several interpreters per test — opt in
-    with ``CARCS_MULTIPROC=1`` (CI does; see ``scripts/ci.sh``)."""
-    if os.environ.get("CARCS_MULTIPROC") == "1":
+    """Each opt-in marker is skipped unless its env flag is ``1``
+    (``scripts/ci.sh`` flips them per stage)."""
+    skips = {
+        marker: pytest.mark.skip(reason=f"set {env}=1 to run ({why})")
+        for marker, env, why in _OPT_IN_MARKERS
+        if os.environ.get(env) != "1"
+    }
+    if not skips:
         return
-    skip = pytest.mark.skip(reason="set CARCS_MULTIPROC=1 to run")
     for item in items:
-        if "multiproc" in item.keywords:
-            item.add_marker(skip)
+        for marker, skip in skips.items():
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,309 @@
+"""Tiered storage: blocked checkpoints, lazy page-in, cache bounds.
+
+The format-2 path must be *durability-neutral*: everything the eager
+format-1 engine guarantees (crash safety, WAL replay, MVCC pins, unique
+and FK enforcement, planner correctness) must hold identically when the
+rows live in a cold block tier and page in lazily.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.db import Column, Database, TableSchema, UniqueViolation, query
+from repro.db.errors import RecoveryError, RowNotFound
+from repro.db.pager import (
+    ENV_BLOCK_ROWS,
+    ENV_CACHE_BYTES,
+    ENV_INLINE_ROWS,
+    ROWS_PREFIX,
+    BlockCache,
+    PagedRows,
+)
+
+from tests.faults import failing_replace
+
+
+N_ROWS = 100
+
+
+@pytest.fixture()
+def blocked_env(monkeypatch):
+    """Force every checkpoint into format 2 with tiny (8-row) blocks."""
+    monkeypatch.setenv(ENV_INLINE_ROWS, "1")
+    monkeypatch.setenv(ENV_BLOCK_ROWS, "8")
+
+
+def _schema():
+    return TableSchema(
+        "items",
+        columns=(
+            Column("id", int),
+            Column("name", str),
+            Column("group", str),
+            Column("score", int, nullable=True),
+        ),
+        unique=(("name",),),
+    )
+
+
+def _populate(db, n=N_ROWS):
+    for i in range(n):
+        db.insert(
+            "items", name=f"item-{i:04d}", group="xyz"[i % 3],
+            score=i % 7 if i % 5 else None,
+        )
+
+
+def _build(tmp_path, n=N_ROWS):
+    db = Database.open(tmp_path / "store")
+    db.create_table(_schema())
+    db.table("items").create_index("group")
+    db.table("items").create_sorted_index("score")
+    _populate(db, n)
+    db.checkpoint()
+    db.close()
+    return tmp_path / "store"
+
+
+def _rows_file(directory):
+    files = sorted(directory.glob(f"{ROWS_PREFIX}*.dat"))
+    assert len(files) == 1, files
+    return files[0]
+
+
+class TestFormatSelection:
+    def test_small_databases_stay_inline_format_1(self, tmp_path):
+        directory = _build(tmp_path, n=20)
+        data = json.loads((directory / "snapshot.json").read_text())
+        assert data["format"] == 1
+        assert not list(directory.glob(f"{ROWS_PREFIX}*.dat"))
+
+    def test_large_databases_checkpoint_blocked(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        data = json.loads((directory / "snapshot.json").read_text())
+        assert data["format"] == 2
+        assert _rows_file(directory).name == data["rows_file"]
+        entry = {t["schema"]["name"]: t for t in data["tables"]}["items"]
+        assert entry["rows"] == N_ROWS
+        assert len(entry["blocks"]) == (N_ROWS + 7) // 8
+        assert entry["indexes"] == ["group"]
+        assert entry["sorted_indexes"] == ["score"]
+
+
+class TestLazyOpen:
+    def test_round_trip_preserves_every_row(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        rows = {row["id"]: row for row in db.table("items")}
+        assert len(rows) == N_ROWS
+        assert rows[1]["name"] == "item-0000"
+        assert rows[N_ROWS]["name"] == f"item-{N_ROWS - 1:04d}"
+        db.close()
+
+    def test_open_pages_nothing_in(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        stats = db.storage_stats()
+        assert stats["block_cache_resident_blocks"] == 0
+        assert stats["tier_blocks"] == (N_ROWS + 7) // 8
+        db.close()
+
+    def test_point_read_pages_exactly_one_block(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        assert db.table("items").get(42)["name"] == "item-0041"
+        stats = db.storage_stats()
+        assert stats["block_cache_resident_blocks"] == 1
+        assert stats["block_cache_misses"] == 1
+        # Same block again: pure cache hit.
+        db.table("items").get(43)
+        assert db.storage_stats()["block_cache_hits"] >= 1
+        db.close()
+
+    def test_cache_stays_within_budget_and_counts_evictions(
+        self, tmp_path, blocked_env, monkeypatch
+    ):
+        directory = _build(tmp_path)
+        monkeypatch.setenv(ENV_CACHE_BYTES, "1")  # evict all but newest
+        db = Database.open(directory)
+        rows = list(db.table("items"))
+        assert len(rows) == N_ROWS
+        stats = db.storage_stats()
+        assert stats["block_cache_resident_blocks"] == 1
+        assert stats["block_cache_evictions"] >= (N_ROWS + 7) // 8 - 1
+        db.close()
+
+    def test_lazy_hash_index_answers_correctly(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        found = db.table("items").find(group="x")
+        assert sorted(r["id"] for r in found) == [
+            i + 1 for i in range(N_ROWS) if i % 3 == 0
+        ]
+        db.close()
+
+    def test_lazy_unique_maps_still_enforce(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        with pytest.raises(UniqueViolation):
+            db.insert("items", name="item-0000", group="x", score=None)
+        db.close()
+
+
+class TestDurability:
+    def test_wal_replay_over_paged_tables(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        db.insert("items", name="fresh", group="x", score=1)
+        db.update("items", 10, score=99)
+        db.delete("items", 20)
+        db.close()
+
+        db = Database.open(directory)
+        assert db.recovery_report["frames_replayed"] == 3
+        assert db.table("items").find_one(name="fresh") is not None
+        assert db.table("items").get(10)["score"] == 99
+        with pytest.raises(RowNotFound):
+            db.table("items").get(20)
+        assert len(db.table("items")) == N_ROWS  # +1 insert, -1 delete
+        db.close()
+
+    def test_corrupt_block_raises_recovery_error(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        rows_path = _rows_file(directory)
+        blob = bytearray(rows_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        rows_path.write_bytes(bytes(blob))
+        db = Database.open(directory)  # manifest alone: opens fine
+        with pytest.raises(RecoveryError, match="crc|block"):
+            list(db.table("items"))
+        db.close()
+
+    def test_missing_rows_file_fails_loudly(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        _rows_file(directory).unlink()
+        with pytest.raises(RecoveryError, match="rows file"):
+            Database.open(directory)
+
+    def test_crash_before_manifest_publish_keeps_old_tier(
+        self, tmp_path, blocked_env
+    ):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        db.insert("items", name="victim", group="x", score=1)
+        with failing_replace():
+            with pytest.raises(OSError):
+                db.checkpoint()
+        db.close()
+        # The old manifest + rows file + WAL still recover everything.
+        db = Database.open(directory)
+        assert db.table("items").find_one(name="victim") is not None
+        assert len(db.table("items")) == N_ROWS + 1
+        db.close()
+
+    def test_recheckpoint_compacts_overlay_into_new_tier(
+        self, tmp_path, blocked_env
+    ):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        db.insert("items", name="late", group="y", score=3)
+        db.delete("items", 1)
+        db.checkpoint()
+        stats = db.storage_stats()
+        assert stats["tier_overlay_rows"] == 0
+        assert stats["tier_tombstone_rows"] == 0
+        data = json.loads((directory / "snapshot.json").read_text())
+        entry = {t["schema"]["name"]: t for t in data["tables"]}["items"]
+        assert entry["rows"] == N_ROWS  # +1 insert, -1 delete
+        assert db.table("items").find_one(name="late") is not None
+        db.close()
+
+
+class TestMvcc:
+    def test_pinned_snapshot_survives_tier_swap(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        with db.pinned():
+            before = db.table("items").get(5)["score"]
+            db_version = db.version
+            # A concurrent writer mutates and compacts: the rows file is
+            # replaced and the *old* one unlinked.  The pin must keep
+            # reading the superseded tier (open fh semantics).
+            db.update("items", 5, score=88)
+            db.checkpoint()
+            assert db.table("items").get(5)["score"] == before
+            assert db.version == db_version
+        db.close()
+
+    def test_overlay_reads_shadow_the_block_tier(self, tmp_path, blocked_env):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        db.update("items", 7, score=77)
+        assert db.table("items").get(7)["score"] == 77
+        db.delete("items", 8)
+        assert 8 not in db.table("items")
+        assert db.table("items").find_one(name="item-0007") is None
+        db.close()
+
+
+PIPELINES = (  # (builder, produces an ordered result)
+    (lambda db: query(db, "items").filter(group="x"), False),
+    (lambda db: query(db, "items").filter(group="y", score=3), False),
+    (lambda db: query(db, "items").where_range("score", 2, 5), False),
+    (lambda db: query(db, "items").where_prefix("name", "item-00"), False),
+    (lambda db: query(db, "items").where_in("group", ["x", "z"])
+     .order_by("score").limit(10), True),
+    (lambda db: query(db, "items").order_by("name", descending=True)
+     .offset(3).limit(5), True),
+)
+
+
+class TestPlannerEquivalence:
+    """``planned ≡ naive`` on cold, partially-paged and resident tables."""
+
+    @pytest.mark.parametrize("warmup", ["cold", "partial", "resident"])
+    @pytest.mark.parametrize("pipeline", range(len(PIPELINES)))
+    def test_planned_equals_naive(
+        self, tmp_path, blocked_env, warmup, pipeline
+    ):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        if warmup == "partial":
+            db.table("items").get(42)  # one block resident
+        elif warmup == "resident":
+            list(db.table("items"))  # everything paged in
+        build, ordered = PIPELINES[pipeline]
+        q = build(db)
+        planned, naive = q.all(), q._run_naive()
+        if ordered:
+            assert planned == naive
+        else:
+            def key(row):
+                return row["id"]
+            assert sorted(planned, key=key) == sorted(naive, key=key)
+        db.close()
+
+
+class TestPagedRowsUnit:
+    def test_foreign_type_probe_is_absent_not_an_error(
+        self, tmp_path, blocked_env
+    ):
+        directory = _build(tmp_path)
+        db = Database.open(directory)
+        rows = db.table("items")._rows
+        assert isinstance(rows, PagedRows)
+        assert "not-an-int" not in rows
+        db.close()
+
+    def test_cache_eviction_keeps_at_least_one_block(self):
+        cache = BlockCache(budget_bytes=10)
+        cache.put(("g", "t", 0), {"a": 1}, cost=50)
+        assert cache.stats()["resident_blocks"] == 1
+        cache.put(("g", "t", 1), {"b": 2}, cost=60)
+        stats = cache.stats()
+        assert stats["resident_blocks"] == 1
+        assert stats["evictions"] == 1
+        assert stats["resident_bytes"] == 60

@@ -60,6 +60,7 @@ class TestCompose:
             "MetricsMiddleware",
             "LoggingMiddleware",
             "ErrorMiddleware",
+            "AdmissionMiddleware",
             "SnapshotMiddleware",
             "VersionHeaderMiddleware",
             "ConditionalGetMiddleware",
